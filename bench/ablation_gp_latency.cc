@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Extension experiment: sensitivity of the §5.5 equilibrium to
+ * grace-period latency.
+ *
+ * The paper argues Prudence's steady-state memory equals the deferral
+ * flow of roughly one grace period ("Prudence hits equilibrium once
+ * the rate at which deferred objects are eligible for reallocation
+ * reaches the rate at which objects are allocated"). This bench
+ * sweeps the background grace-period interval and reports, for a
+ * fixed alloc/defer load, the peak memory and throughput of both
+ * allocators — Prudence's footprint should scale with the interval
+ * while staying bounded, and the throttled baseline should degrade
+ * much faster.
+ */
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "api/allocator_factory.h"
+#include "bench/bench_common.h"
+#include "rcu/rcu_domain.h"
+
+namespace {
+
+using namespace prudence;
+
+struct Outcome
+{
+    double pairs_per_second = 0.0;
+    std::uint64_t peak_mib = 0;
+    std::uint64_t failures = 0;
+};
+
+Outcome
+run(bool use_prudence, std::chrono::microseconds gp_interval,
+    std::uint64_t pairs_per_thread)
+{
+    RcuConfig rcfg;
+    rcfg.gp_interval = gp_interval;
+    RcuDomain rcu(rcfg);
+
+    constexpr std::size_t kArena = std::size_t{512} << 20;
+    constexpr unsigned kThreads = 4;
+    std::unique_ptr<Allocator> alloc;
+    if (use_prudence) {
+        PrudenceConfig cfg;
+        cfg.arena_bytes = kArena;
+        cfg.cpus = kThreads;
+        alloc = make_prudence_allocator(rcu, cfg);
+    } else {
+        SlubConfig cfg;
+        cfg.arena_bytes = kArena;
+        cfg.cpus = kThreads;
+        cfg.callback.inline_batch_limit = 100000;
+        cfg.callback.batch_limit = 1000;
+        alloc = make_slub_allocator(rcu, cfg);
+    }
+    CacheId id = alloc->create_cache("gp_sweep", 512);
+
+    std::atomic<std::uint64_t> failures{0};
+    std::vector<std::thread> threads;
+    auto t0 = std::chrono::steady_clock::now();
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (std::uint64_t i = 0; i < pairs_per_thread; ++i) {
+                void* p = alloc->cache_alloc(id);
+                if (p == nullptr) {
+                    failures.fetch_add(1);
+                    continue;
+                }
+                alloc->cache_free_deferred(id, p);
+            }
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+
+    Outcome out;
+    out.pairs_per_second = seconds > 0
+        ? static_cast<double>(pairs_per_thread) * kThreads / seconds
+        : 0.0;
+    out.peak_mib =
+        static_cast<std::uint64_t>(
+            alloc->page_allocator().stats().peak_pages_in_use) *
+        kPageSize >>
+        20;
+    out.failures = failures.load();
+    alloc->quiesce();
+    return out;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    double scale = prudence_bench::run_scale(argc, argv);
+    auto pairs = static_cast<std::uint64_t>(150000.0 * scale);
+    if (pairs < 1000)
+        pairs = 1000;
+
+    std::cout << "# Extension: grace-period latency sweep (512 B "
+                 "alloc+defer pairs, 4 threads)\n";
+    std::cout << "# expectation: Prudence peak memory scales with the "
+                 "GP interval but stays bounded;\n";
+    std::cout << "# throughput degrades gracefully relative to the "
+                 "baseline\n";
+    std::cout << std::left << std::setw(14) << "gp_interval"
+              << std::right << std::setw(16) << "slub pairs/s"
+              << std::setw(12) << "slub MiB" << std::setw(16)
+              << "prud pairs/s" << std::setw(12) << "prud MiB"
+              << std::setw(10) << "speedup" << "\n";
+
+    for (long micros : {100L, 500L, 2000L, 8000L}) {
+        auto interval = std::chrono::microseconds{micros};
+        Outcome slub = run(false, interval, pairs);
+        Outcome prud = run(true, interval, pairs);
+        std::cout << std::left << std::setw(14)
+                  << (std::to_string(micros) + "us") << std::right
+                  << std::fixed << std::setprecision(0)
+                  << std::setw(16) << slub.pairs_per_second
+                  << std::setw(12) << slub.peak_mib << std::setw(16)
+                  << prud.pairs_per_second << std::setw(12)
+                  << prud.peak_mib << std::setprecision(2)
+                  << std::setw(10)
+                  << (slub.pairs_per_second > 0
+                          ? prud.pairs_per_second /
+                                slub.pairs_per_second
+                          : 0.0)
+                  << "\n";
+        if (slub.failures + prud.failures > 0) {
+            std::cout << "# note: alloc failures slub="
+                      << slub.failures << " prudence="
+                      << prud.failures << "\n";
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared plumbing for the figure-reproduction binaries.
+ *
+ * Every fig* binary accepts an optional scale argument (argv[1],
+ * default 1.0) multiplying the workload op counts, so quick smoke
+ * runs and full runs use the same code. `for b in build/bench/*`
+ * style batch runs can export PRUDENCE_BENCH_SCALE instead.
+ */
+#ifndef PRUDENCE_BENCH_BENCH_COMMON_H
+#define PRUDENCE_BENCH_BENCH_COMMON_H
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "workload/report.h"
+#include "workload/suite.h"
+
+namespace prudence_bench {
+
+/// Parse the run scale from argv[1] or PRUDENCE_BENCH_SCALE.
+inline double
+run_scale(int argc, char** argv, double fallback = 1.0)
+{
+    if (argc > 1)
+        return std::atof(argv[1]);
+    if (const char* env = std::getenv("PRUDENCE_BENCH_SCALE"))
+        return std::atof(env);
+    return fallback;
+}
+
+/// Suite configuration shared by the per-figure binaries.
+inline prudence::SuiteConfig
+suite_config(double scale)
+{
+    prudence::SuiteConfig cfg;
+    cfg.scale = scale;
+    cfg.cpus = 8;
+    cfg.repetitions = 1;
+    return cfg;
+}
+
+/// Threshold scaled with the run size (paper: 1M-event caches at
+/// full kernel scale).
+inline prudence::ReportOptions
+report_options(double scale)
+{
+    prudence::ReportOptions opts;
+    opts.min_cache_traffic =
+        static_cast<std::uint64_t>(50000.0 * scale);
+    if (opts.min_cache_traffic < 100)
+        opts.min_cache_traffic = 100;
+    return opts;
+}
+
+inline void
+print_banner(const char* figure, const char* paper_summary)
+{
+    std::cout << "# " << figure << "\n";
+    std::cout << "# Paper reports: " << paper_summary << "\n";
+    std::cout << "# (shape reproduction: direction and rough factor, "
+                 "not absolute kernel numbers)\n";
+}
+
+}  // namespace prudence_bench
+
+#endif  // PRUDENCE_BENCH_BENCH_COMMON_H

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Figure 12 reproduction: deferred frees as a percentage of all free
+ * operations per benchmark — the opportunity Prudence can optimize.
+ * Paper: Postmark 24.4%, Netperf 14%, Apache 18%, PostgreSQL 4.4%.
+ * This validates the workload models themselves.
+ */
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int
+main(int argc, char** argv)
+{
+    double scale = prudence_bench::run_scale(argc, argv);
+    prudence_bench::print_banner(
+        "Figure 12: deferred frees as % of total frees",
+        "Postmark 24.4%, Netperf 14%, Apache 18%, PostgreSQL 4.4%");
+    auto cmps =
+        prudence::run_paper_suite(prudence_bench::suite_config(scale));
+    prudence::print_fig12_deferred_ratio(std::cout, cmps);
+    return 0;
+}

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Figure 13 reproduction: overall benchmark throughput improvement of
+ * Prudence over SLUB. Paper: Postmark +18%, Netperf +4.2%, Apache
+ * +5.6%, PostgreSQL +4.6% (high variance on PostgreSQL). The win
+ * scales with each benchmark's deferred-free share (Fig. 12).
+ */
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int
+main(int argc, char** argv)
+{
+    double scale = prudence_bench::run_scale(argc, argv);
+    auto cfg = prudence_bench::suite_config(scale);
+    cfg.repetitions = 3;  // paper: average of three runs
+    prudence_bench::print_banner(
+        "Figure 13: overall throughput improvement over SLUB",
+        "Postmark +18%, Netperf +4.2%, Apache +5.6%, PostgreSQL "
+        "+4.6%");
+    auto cmps = prudence::run_paper_suite(cfg);
+    prudence::print_fig13_throughput(std::cout, cmps);
+    return 0;
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The paper's §3.4 denial-of-service scenario: a malicious workload
+ * performs open/close-style operations in a tight loop, generating a
+ * flood of deferred frees.
+ *
+ * With the conventional baseline (deferred frees processed as
+ * throttled RCU callbacks), the backlog of unreclaimed objects grows
+ * until the system exhausts memory. With Prudence, deferred objects
+ * are visible to the allocator and reusable right after each grace
+ * period — memory stays bounded no matter how long the attack runs.
+ *
+ * Build & run:  build/examples/dos_endurance [seconds]
+ */
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "api/allocator_factory.h"
+#include "rcu/rcu_domain.h"
+
+namespace {
+
+using namespace prudence;
+
+struct AttackResult
+{
+    std::uint64_t operations = 0;
+    bool oom = false;
+    std::uint64_t peak_bytes = 0;
+};
+
+AttackResult
+run_attack(bool use_prudence, double seconds)
+{
+    RcuConfig rcfg;
+    rcfg.gp_interval = std::chrono::microseconds{500};
+    RcuDomain rcu(rcfg);
+
+    constexpr std::size_t kArena = 48 << 20;
+    std::unique_ptr<Allocator> alloc;
+    if (use_prudence) {
+        PrudenceConfig cfg;
+        cfg.arena_bytes = kArena;
+        cfg.cpus = 2;
+        alloc = make_prudence_allocator(rcu, cfg);
+    } else {
+        SlubConfig cfg;
+        cfg.arena_bytes = kArena;
+        cfg.cpus = 2;
+        // Kernel-like throttled callback processing: the attack
+        // outruns it.
+        cfg.callback.inline_batch_limit = 0;
+        cfg.callback.batch_limit = 10;
+        cfg.callback.tick = std::chrono::microseconds{1000};
+        alloc = make_slub_allocator(rcu, cfg);
+    }
+
+    // "filp": every open allocates one, every close defer-frees it.
+    CacheId filp = alloc->create_cache("filp", 256);
+
+    AttackResult result;
+    std::atomic<bool> stop{false};
+    std::atomic<bool> oom{false};
+    std::atomic<std::uint64_t> ops{0};
+
+    std::vector<std::thread> attackers;
+    for (int t = 0; t < 2; ++t) {
+        attackers.emplace_back([&] {
+            std::uint64_t n = 0;
+            while (!stop.load(std::memory_order_relaxed)) {
+                void* f = alloc->cache_alloc(filp);  // open()
+                if (f == nullptr) {
+                    oom = true;
+                    stop = true;
+                    break;
+                }
+                alloc->cache_free_deferred(filp, f);  // close()
+                ++n;
+            }
+            ops.fetch_add(n);
+        });
+    }
+
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(seconds));
+    std::uint64_t peak = 0;
+    while (!stop.load(std::memory_order_relaxed) &&
+           std::chrono::steady_clock::now() < deadline) {
+        peak = std::max(peak, alloc->page_allocator().bytes_in_use());
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    stop = true;
+    for (auto& t : attackers)
+        t.join();
+    peak = std::max(peak, alloc->page_allocator().bytes_in_use());
+
+    alloc->quiesce();
+    result.operations = ops.load();
+    result.oom = oom.load();
+    result.peak_bytes = peak;
+    return result;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    double seconds = argc > 1 ? std::atof(argv[1]) : 3.0;
+    std::printf("open/close flood for %.1f s against a 48 MiB "
+                "arena\n\n",
+                seconds);
+
+    AttackResult slub = run_attack(/*use_prudence=*/false, seconds);
+    std::printf("baseline (SLUB+RCU callbacks): %llu ops, peak %llu "
+                "MiB -> %s\n",
+                static_cast<unsigned long long>(slub.operations),
+                static_cast<unsigned long long>(
+                    slub.peak_bytes >> 20),
+                slub.oom ? "OUT OF MEMORY (DoS succeeded)"
+                         : "survived");
+
+    AttackResult prud = run_attack(/*use_prudence=*/true, seconds);
+    std::printf("prudence:                      %llu ops, peak %llu "
+                "MiB -> %s\n",
+                static_cast<unsigned long long>(prud.operations),
+                static_cast<unsigned long long>(
+                    prud.peak_bytes >> 20),
+                prud.oom ? "OUT OF MEMORY (unexpected!)"
+                         : "survived (DoS neutralized)");
+
+    std::printf("\nPrudence eliminates extended object lifetimes, so "
+                "the deferred backlog\nis bounded by one grace "
+                "period's worth of objects (paper §3.4, §5.5).\n");
+    return prud.oom ? 1 : 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Quickstart: the Prudence public API in one page.
+ *
+ *  1. Create an RCU domain (the synchronization mechanism).
+ *  2. Create a Prudence allocator bound to it.
+ *  3. Allocate, free, and — the paper's contribution — defer-free
+ *     objects with the turnkey free_deferred API; the allocator
+ *     tracks grace-period state itself, no RCU callback needed.
+ *
+ * Build & run:  build/examples/quickstart
+ */
+#include <cstdio>
+#include <vector>
+
+#include "api/allocator_factory.h"
+#include "rcu/rcu_domain.h"
+
+int
+main()
+{
+    using namespace prudence;
+
+    // 1. The synchronization mechanism: readers + grace periods.
+    RcuDomain rcu;
+
+    // 2. The allocator, tightly integrated with the RCU domain.
+    PrudenceConfig config;
+    config.arena_bytes = 64 << 20;  // 64 MiB of simulated memory
+    config.cpus = 4;
+    auto alloc = make_prudence_allocator(rcu, config);
+
+    // 3a. Untyped kmalloc-style allocation.
+    void* buffer = alloc->kmalloc(100);
+    std::printf("kmalloc(100)      -> %p (kmalloc-128 class)\n",
+                buffer);
+    alloc->kfree(buffer);
+
+    // 3b. A typed cache (kmem_cache analogue).
+    CacheId route_cache = alloc->create_cache("route_entry", 256);
+    void* route = alloc->cache_alloc(route_cache);
+    std::printf("cache_alloc       -> %p from 'route_entry'\n", route);
+
+    // 3c. The paper's Listing 2: after unlinking an object from an
+    // RCU-protected structure, hand it to the allocator instead of
+    // registering an RCU callback. Pre-existing readers can keep
+    // using it; the memory is reused only after the grace period.
+    alloc->cache_free_deferred(route_cache, route);
+    std::printf("free_deferred     -> object parked in latent cache\n");
+
+    auto before = alloc->cache_snapshot(route_cache);
+    std::printf("deferred now      -> %lld outstanding\n",
+                static_cast<long long>(before.deferred_outstanding));
+
+    // Wait one grace period; the object becomes reusable with no
+    // callback processing at all. (Allocate until the latent merge
+    // hands it back — it sits behind whatever the object cache still
+    // holds.)
+    rcu.synchronize();
+    bool reused = false;
+    std::vector<void*> drained;
+    for (int i = 0; i < 256 && !reused; ++i) {
+        void* p = alloc->cache_alloc(route_cache);
+        drained.push_back(p);
+        reused = (p == route);
+    }
+    std::printf("after grace period-> the deferred object %s\n",
+                reused ? "was recycled through the latent cache"
+                       : "was not seen again (unexpected)");
+    for (void* p : drained)
+        alloc->cache_free(route_cache, p);
+
+    // Allocator statistics (the quantities the paper evaluates).
+    auto snap = alloc->cache_snapshot(route_cache);
+    std::printf("\nstats for 'route_entry':\n"
+                "  allocations      %llu (cache hits %llu)\n"
+                "  deferred frees   %llu\n"
+                "  refills/flushes  %llu/%llu\n"
+                "  slabs now/peak   %lld/%lld\n",
+                static_cast<unsigned long long>(snap.alloc_calls),
+                static_cast<unsigned long long>(snap.cache_hits),
+                static_cast<unsigned long long>(
+                    snap.deferred_free_calls),
+                static_cast<unsigned long long>(snap.refills),
+                static_cast<unsigned long long>(snap.flushes),
+                static_cast<long long>(snap.current_slabs),
+                static_cast<long long>(snap.peak_slabs));
+    return 0;
+}

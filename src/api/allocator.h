@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The unified dynamic-memory-allocator interface.
+ *
+ * Every consumer in this repository — tests, benchmarks, workload
+ * models, data structures, examples — programs against this interface
+ * so the SLUB baseline and Prudence are interchangeable.
+ *
+ * The deferred-free entry points are the paper's contribution surface:
+ * kfree_deferred()/cache_free_deferred() are the "simple turnkey
+ * replacement" (paper §4, Listing 2) for registering an RCU callback
+ * that frees the object (Listing 1). The baseline implements them *as*
+ * an RCU callback; Prudence implements them with latent caches/slabs.
+ */
+#ifndef PRUDENCE_API_ALLOCATOR_H
+#define PRUDENCE_API_ALLOCATOR_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "stats/cache_stats.h"
+
+namespace prudence {
+
+class BuddyAllocator;
+
+/// Opaque handle to a named object cache (kmem_cache analogue).
+struct CacheId
+{
+    std::size_t index = static_cast<std::size_t>(-1);
+    bool valid() const { return index != static_cast<std::size_t>(-1); }
+};
+
+/// Abstract slab-based dynamic memory allocator.
+class Allocator
+{
+  public:
+    virtual ~Allocator() = default;
+
+    /// Short implementation name ("slub" or "prudence").
+    virtual const char* kind() const = 0;
+
+    // ---- untyped (kmalloc ladder) ----
+
+    /**
+     * Allocate @p size bytes from the matching kmalloc size class.
+     * @return nullptr when out of memory or size exceeds the ladder.
+     */
+    virtual void* kmalloc(std::size_t size) = 0;
+
+    /// Immediately free @p p (no-op for nullptr).
+    virtual void kfree(void* p) = 0;
+
+    /**
+     * Defer freeing @p p until the current RCU grace period completes
+     * (paper Listing 2: free_deferred). The object must not be
+     * touched by the caller afterwards, but pre-existing RCU readers
+     * may still be dereferencing it — its memory is guaranteed not to
+     * be reused until the grace period ends.
+     */
+    virtual void kfree_deferred(void* p) = 0;
+
+    // ---- typed caches (kmem_cache analogue) ----
+
+    /**
+     * Create (or look up, by exact name and size) a named cache of
+     * fixed-size objects.
+     */
+    virtual CacheId create_cache(const std::string& name,
+                                 std::size_t object_size) = 0;
+
+    /// Allocate one object from @p cache (nullptr on OOM).
+    virtual void* cache_alloc(CacheId cache) = 0;
+
+    /// Immediately free an object of @p cache.
+    virtual void cache_free(CacheId cache, void* p) = 0;
+
+    /// Defer-free an object of @p cache
+    /// (kmem_cache_free_deferred(), paper §5).
+    virtual void cache_free_deferred(CacheId cache, void* p) = 0;
+
+    // ---- introspection & lifecycle ----
+
+    /// Statistics for one cache.
+    virtual CacheStatsSnapshot cache_snapshot(CacheId cache) const = 0;
+
+    /// Statistics for every cache (kmalloc classes + named).
+    virtual std::vector<CacheStatsSnapshot> snapshots() const = 0;
+
+    /// The backing page allocator (memory-timeline probe).
+    virtual BuddyAllocator& page_allocator() = 0;
+
+    /**
+     * Wait for outstanding grace periods and reclaim every deferred
+     * object (baseline: drain the callback backlog; Prudence: merge
+     * every latent structure). Used between benchmark phases and at
+     * teardown so end-of-run metrics are comparable.
+     */
+    virtual void quiesce() = 0;
+
+    /**
+     * Deep structural self-check: walk every slab of every cache and
+     * cross-check freelists, latent structures, list membership and
+     * object accounting. Exact accounting requires a quiescent
+     * allocator (no concurrent traffic).
+     * @return empty string when consistent, else the first
+     *         inconsistency found.
+     */
+    virtual std::string validate() = 0;
+};
+
+}  // namespace prudence
+
+#endif  // PRUDENCE_API_ALLOCATOR_H

@@ -1,0 +1,20 @@
+#include "api/allocator_factory.h"
+
+#include "core/prudence_allocator.h"
+
+namespace prudence {
+
+std::unique_ptr<Allocator>
+make_slub_allocator(GracePeriodDomain& domain, const SlubConfig& config)
+{
+    return std::make_unique<SlubAllocator>(domain, config);
+}
+
+std::unique_ptr<Allocator>
+make_prudence_allocator(GracePeriodDomain& domain,
+                        const PrudenceConfig& config)
+{
+    return std::make_unique<PrudenceAllocator>(domain, config);
+}
+
+}  // namespace prudence

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Construction helpers: build either allocator behind the common
+ * Allocator interface.
+ */
+#ifndef PRUDENCE_API_ALLOCATOR_FACTORY_H
+#define PRUDENCE_API_ALLOCATOR_FACTORY_H
+
+#include <memory>
+
+#include "api/allocator.h"
+#include "core/prudence_config.h"
+#include "rcu/grace_period.h"
+#include "slub/slub_allocator.h"
+
+namespace prudence {
+
+/// Build the SLUB-like baseline (deferred frees go through RCU
+/// callbacks).
+std::unique_ptr<Allocator>
+make_slub_allocator(GracePeriodDomain& domain,
+                    const SlubConfig& config = {});
+
+/// Build Prudence (deferred frees go through latent caches/slabs).
+std::unique_ptr<Allocator>
+make_prudence_allocator(GracePeriodDomain& domain,
+                        const PrudenceConfig& config = {});
+
+}  // namespace prudence
+
+#endif  // PRUDENCE_API_ALLOCATOR_FACTORY_H

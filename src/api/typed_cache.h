@@ -1,0 +1,98 @@
+/**
+ * @file
+ * TypedCache<T>: a type-safe veneer over the kmem_cache-style API.
+ *
+ * Wraps an Allocator cache for objects of type T: allocation
+ * placement-constructs, immediate free destroys, and deferred free
+ * follows RCU discipline — the object is NOT destroyed at defer time
+ * (pre-existing readers may still be reading it) and its memory is
+ * reclaimed by the allocator after the grace period without running
+ * a destructor. T must therefore be trivially destructible, exactly
+ * like the raw kernel objects the paper's subsystems defer.
+ */
+#ifndef PRUDENCE_API_TYPED_CACHE_H
+#define PRUDENCE_API_TYPED_CACHE_H
+
+#include <new>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "api/allocator.h"
+
+namespace prudence {
+
+/// Type-safe slab cache handle.
+template <typename T>
+class TypedCache
+{
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "deferred reclamation cannot run destructors; use a "
+                  "trivially destructible T");
+
+  public:
+    /**
+     * Create (or look up) the named cache sized for T in @p alloc.
+     * The TypedCache references the allocator; it must not outlive
+     * it.
+     */
+    TypedCache(Allocator& alloc, const std::string& name)
+        : alloc_(alloc), cache_(alloc.create_cache(name, sizeof(T)))
+    {
+    }
+
+    /// The underlying cache id (for snapshots).
+    CacheId id() const { return cache_; }
+
+    /// Statistics for this cache.
+    CacheStatsSnapshot snapshot() const
+    {
+        return alloc_.cache_snapshot(cache_);
+    }
+
+    /**
+     * Allocate and construct a T.
+     * @return nullptr on out-of-memory (no exception: allocator
+     *         failure semantics match the kernel API).
+     */
+    template <typename... Args>
+    T*
+    create(Args&&... args)
+    {
+        void* mem = alloc_.cache_alloc(cache_);
+        if (mem == nullptr)
+            return nullptr;
+        return new (mem) T(std::forward<Args>(args)...);
+    }
+
+    /// Destroy and immediately free @p obj (no-op for nullptr).
+    void
+    destroy(T* obj)
+    {
+        if (obj == nullptr)
+            return;
+        obj->~T();
+        alloc_.cache_free(cache_, obj);
+    }
+
+    /**
+     * Defer-free @p obj after the current grace period (paper
+     * Listing 2). The object is left intact for pre-existing
+     * readers; no destructor runs (T is trivially destructible).
+     */
+    void
+    destroy_deferred(T* obj)
+    {
+        if (obj == nullptr)
+            return;
+        alloc_.cache_free_deferred(cache_, obj);
+    }
+
+  private:
+    Allocator& alloc_;
+    CacheId cache_;
+};
+
+}  // namespace prudence
+
+#endif  // PRUDENCE_API_TYPED_CACHE_H

@@ -1,0 +1,904 @@
+#include "core/prudence_allocator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+#include "slab/size_classes.h"
+#include "slab/validate.h"
+
+namespace prudence {
+
+PrudenceAllocator::Cache::Cache(std::string name, std::size_t object_size,
+                                BuddyAllocator& buddy,
+                                PageOwnerTable& owners, unsigned ncpus)
+    : pool(std::move(name), object_size, buddy, owners)
+{
+    pool.set_context(this);
+    cpus.reserve(ncpus);
+    for (unsigned i = 0; i < ncpus; ++i) {
+        cpus.push_back(
+            std::make_unique<PerCpu>(pool.geometry().cache_capacity));
+    }
+}
+
+PrudenceAllocator::PrudenceAllocator(GracePeriodDomain& domain,
+                                     const PrudenceConfig& config)
+    : domain_(domain),
+      config_(config),
+      buddy_(config.arena_bytes),
+      owners_(buddy_),
+      cpu_registry_(config.cpus)
+{
+    for (std::size_t i = 0; i < kNumSizeClasses; ++i) {
+        caches_[i] = std::make_unique<Cache>(
+            size_class_name(i), kSizeClasses[i], buddy_, owners_,
+            cpu_registry_.max_cpus());
+    }
+    cache_count_.store(kNumSizeClasses, std::memory_order_release);
+
+    if (config_.idle_preflush &&
+        config_.maintenance_interval.count() > 0) {
+        running_.store(true, std::memory_order_release);
+        maintenance_thread_ = std::thread([this] { maintenance_main(); });
+    }
+}
+
+PrudenceAllocator::~PrudenceAllocator()
+{
+    running_.store(false, std::memory_order_release);
+    if (maintenance_thread_.joinable())
+        maintenance_thread_.join();
+}
+
+PrudenceAllocator::Cache&
+PrudenceAllocator::cache_ref(CacheId id) const
+{
+    assert(id.valid() &&
+           id.index < cache_count_.load(std::memory_order_acquire));
+    return *caches_[id.index];
+}
+
+PrudenceAllocator::Cache*
+PrudenceAllocator::cache_of_object(const void* p) const
+{
+    SlabHeader* slab = owners_.lookup(p);
+    if (slab == nullptr)
+        return nullptr;
+    auto* pool = static_cast<SlabPool*>(slab->owner);
+    return static_cast<Cache*>(pool->context());
+}
+
+// ---------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------
+
+void*
+PrudenceAllocator::kmalloc(std::size_t size)
+{
+    std::size_t idx = size_class_index(size);
+    if (idx >= kNumSizeClasses)
+        return nullptr;
+    return alloc_impl(*caches_[idx]);
+}
+
+void
+PrudenceAllocator::kfree(void* p)
+{
+    if (p == nullptr)
+        return;
+    Cache* c = cache_of_object(p);
+    assert(c != nullptr && "kfree of a pointer this allocator does not own");
+    free_impl(*c, p);
+}
+
+void
+PrudenceAllocator::kfree_deferred(void* p)
+{
+    if (p == nullptr)
+        return;
+    Cache* c = cache_of_object(p);
+    assert(c != nullptr &&
+           "kfree_deferred of a pointer this allocator does not own");
+    free_deferred_impl(*c, p);
+}
+
+CacheId
+PrudenceAllocator::create_cache(const std::string& name,
+                                std::size_t object_size)
+{
+    std::lock_guard<std::mutex> lock(caches_mutex_);
+    std::size_t count = cache_count_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < count; ++i) {
+        if (caches_[i]->pool.name() == name &&
+            caches_[i]->pool.geometry().object_size == object_size) {
+            return CacheId{i};
+        }
+    }
+    if (count == kMaxCaches)
+        throw std::runtime_error("PrudenceAllocator: too many caches");
+    caches_[count] = std::make_unique<Cache>(
+        name, object_size, buddy_, owners_, cpu_registry_.max_cpus());
+    cache_count_.store(count + 1, std::memory_order_release);
+    return CacheId{count};
+}
+
+void*
+PrudenceAllocator::cache_alloc(CacheId cache)
+{
+    return alloc_impl(cache_ref(cache));
+}
+
+void
+PrudenceAllocator::cache_free(CacheId cache, void* p)
+{
+    if (p == nullptr)
+        return;
+    free_impl(cache_ref(cache), p);
+}
+
+void
+PrudenceAllocator::cache_free_deferred(CacheId cache, void* p)
+{
+    if (p == nullptr)
+        return;
+    free_deferred_impl(cache_ref(cache), p);
+}
+
+// ---------------------------------------------------------------------
+// Allocation (Algorithm 1: MALLOC / REFILL_OBJECT_CACHE)
+// ---------------------------------------------------------------------
+
+void*
+PrudenceAllocator::alloc_impl(Cache& c)
+{
+    CacheStats& stats = c.pool.stats();
+    stats.alloc_calls.add();
+
+    for (int attempt = 0; attempt <= config_.oom_retries; ++attempt) {
+        bool oom = false;
+        if (void* obj = alloc_attempt(c, &oom))
+            return obj;
+        if (!oom || !config_.oom_deferral)
+            break;
+        // Algorithm 1 lines 31-32: with deferred objects waiting for
+        // a grace period, waiting is cheaper than failing (or, in a
+        // kernel, than the OOM killer).
+        bool any_deferred = false;
+        std::size_t count = cache_count_.load(std::memory_order_acquire);
+        for (std::size_t i = 0; i < count && !any_deferred; ++i) {
+            any_deferred =
+                caches_[i]->pool.stats().deferred_outstanding.get() > 0;
+        }
+        if (!any_deferred)
+            break;
+        stats.oom_waits.add();
+        domain_.synchronize();
+        // Everything deferred before the wait is now reclaimable;
+        // pull it back so the retry can find memory.
+        for (std::size_t i = 0; i < count; ++i)
+            reclaim_cache(*caches_[i], /*fill_caches=*/true);
+    }
+    stats.oom_failures.add();
+    return nullptr;
+}
+
+void*
+PrudenceAllocator::alloc_attempt(Cache& c, bool* oom)
+{
+    *oom = false;
+    CacheStats& stats = c.pool.stats();
+    PerCpu& pc = *c.cpus[cpu_registry_.cpu_id()];
+    std::lock_guard<SpinLock> guard(pc.lock);
+    ++pc.alloc_events;
+
+    if (void* obj = pc.cache.pop()) {
+        stats.cache_hits.add();
+        stats.live_objects.add();
+        return obj;
+    }
+
+    if (config_.merge_on_alloc && merge_caches(c, pc) > 0) {
+        // Algorithm 1 lines 8-11: safe latent objects become the
+        // allocation — still served from the object cache.
+        void* obj = pc.cache.pop();
+        assert(obj != nullptr);
+        stats.cache_hits.add();
+        stats.latent_merge_hits.add();
+        stats.live_objects.add();
+        return obj;
+    }
+
+    if (!refill(c, pc)) {
+        *oom = true;
+        return nullptr;
+    }
+    void* obj = pc.cache.pop();
+    assert(obj != nullptr);
+    stats.live_objects.add();
+    return obj;
+}
+
+std::size_t
+PrudenceAllocator::merge_caches(Cache& c, PerCpu& pc)
+{
+    GpEpoch completed = domain_.completed_epoch();
+    std::size_t merged = 0;
+    // FIFO appends of a monotone epoch keep the ring mostly ordered;
+    // stopping at the first unsafe entry never merges an unsafe one
+    // and at worst delays later safe entries by one grace period.
+    while (!pc.latent.empty() && !pc.cache.full() &&
+           pc.latent.front().epoch <= completed) {
+        pc.cache.push(pc.latent.front().object);
+        pc.latent.pop_front();
+        ++merged;
+    }
+    if (merged > 0) {
+        c.pool.stats().deferred_outstanding.sub(
+            static_cast<std::int64_t>(merged));
+    }
+    return merged;
+}
+
+bool
+PrudenceAllocator::refill(Cache& c, PerCpu& pc)
+{
+    const SlabGeometry& g = c.pool.geometry();
+    std::size_t want = g.refill_target;
+    if (config_.partial_refill) {
+        // Algorithm 1 line 14: leave room for the deferred objects
+        // that will merge into this cache. We count only the latent
+        // entries whose grace period has completed — they are the
+        // ones that can merge before the next refill; subtracting
+        // entries still inside their grace period degenerates to
+        // one-object refills under high defer rates, putting the
+        // node lock on every allocation.
+        std::size_t safe =
+            pc.latent.count_safe(domain_.completed_epoch(), want);
+        want = safe >= want ? 1 : want - safe;
+    }
+
+    NodeLists& node = c.pool.node();
+    std::size_t moved = 0;
+    {
+        std::lock_guard<SpinLock> node_guard(node.lock);
+        GpEpoch completed = domain_.completed_epoch();
+        while (moved < want) {
+            SlabHeader* slab = select_slab(c, completed);
+            if (slab == nullptr) {
+                slab = c.pool.grow();
+                if (slab == nullptr)
+                    break;
+                node.move_to(slab, SlabListKind::kPartial);
+            }
+            while (moved < want) {
+                void* obj = slab->freelist_pop();
+                if (obj == nullptr)
+                    break;
+                pc.cache.push(obj);
+                ++moved;
+            }
+            node.move_to(slab, NodeLists::deferred_aware_kind(slab));
+        }
+    }
+    if (moved > 0)
+        c.pool.stats().refills.add();
+    return moved > 0;
+}
+
+SlabHeader*
+PrudenceAllocator::select_slab(Cache& c, GpEpoch completed)
+{
+    NodeLists& node = c.pool.node();
+
+    if (!config_.hinted_slab_selection) {
+        // Baseline rule: first usable partial slab, then a free slab.
+        SlabHeader* found = nullptr;
+        node.partial.for_each([&](SlabHeader* slab) {
+            merge_slab_latent(c, slab, completed);
+            if (slab->free_count > 0) {
+                found = slab;
+                return false;
+            }
+            return true;
+        });
+        if (found != nullptr)
+            return found;
+    } else {
+        // §4.2 "Reduces total fragmentation": scan a bounded prefix
+        // of the partial list; skip slabs whose allocated objects are
+        // mostly deferred (they are expected to become fully free);
+        // among the rest prefer the most-anchored slab so lightly
+        // used ones can drain empty.
+        SlabHeader* best = nullptr;
+        SlabHeader* fallback = nullptr;
+        long best_score = -1;
+        std::size_t scanned = 0;
+        node.partial.for_each([&](SlabHeader* slab) {
+            if (scanned++ >= config_.slab_scan_limit)
+                return false;
+            if (slab->deferred_count.load(std::memory_order_acquire) > 0)
+                merge_slab_latent(c, slab, completed);
+            if (slab->free_count == 0)
+                return true;
+            std::uint32_t in_use = slab->in_use();
+            std::uint32_t deferred =
+                slab->deferred_count.load(std::memory_order_acquire);
+            // The skip-and-hope bet (Figure 5) only pays when the
+            // slab is meaningfully occupied AND mostly deferred;
+            // skipping nearly-empty slabs just forces growth and
+            // disperses the live set.
+            if (in_use >= slab->total_objects / 4 &&
+                static_cast<double>(deferred) >=
+                    config_.skip_slab_deferred_ratio *
+                        static_cast<double>(in_use)) {
+                // Expected to become free after the grace period —
+                // usable only if nothing better exists (the paper's
+                // "unless it needs to grow the slab cache").
+                if (fallback == nullptr)
+                    fallback = slab;
+                return true;
+            }
+            long score = static_cast<long>(in_use) -
+                         static_cast<long>(deferred);
+            if (score > best_score) {
+                best_score = score;
+                best = slab;
+            }
+            return true;
+        });
+        if (best != nullptr)
+            return best;
+        if (fallback != nullptr)
+            return fallback;
+    }
+
+    // Free list: pre-moved slabs may still carry unsafe deferred
+    // objects and no free ones — skip those. FIFO ordering puts the
+    // longest-waiting (most likely grace-period-complete) slabs at
+    // the front, so a bounded scan finds a usable one when any
+    // exists.
+    SlabHeader* found = nullptr;
+    std::size_t scanned_free = 0;
+    node.free.for_each([&](SlabHeader* slab) {
+        if (scanned_free++ >= config_.slab_scan_limit)
+            return false;
+        if (slab->deferred_count.load(std::memory_order_acquire) > 0)
+            merge_slab_latent(c, slab, completed);
+        if (slab->free_count > 0) {
+            found = slab;
+            return false;
+        }
+        return true;
+    });
+    return found;
+}
+
+// ---------------------------------------------------------------------
+// Immediate free
+// ---------------------------------------------------------------------
+
+void
+PrudenceAllocator::free_impl(Cache& c, void* p)
+{
+    CacheStats& stats = c.pool.stats();
+    stats.free_calls.add();
+    stats.live_objects.sub();
+
+    PerCpu& pc = *c.cpus[cpu_registry_.cpu_id()];
+    std::lock_guard<SpinLock> guard(pc.lock);
+    ++pc.free_events;
+    if (pc.cache.full()) {
+        // §4.2 "Object cache flush": flush more when the latent cache
+        // is fuller — its objects will also land in this cache after
+        // their grace period.
+        std::size_t n = pc.cache.capacity() / 2 + 1;
+        if (config_.sized_flush)
+            n += pc.latent.count();
+        flush(c, pc, n);
+    }
+    pc.cache.push(p);
+}
+
+void
+PrudenceAllocator::flush(Cache& c, PerCpu& pc, std::size_t n)
+{
+    void* victims[256];
+    if (n > 256)
+        n = 256;
+    std::size_t k = pc.cache.take_oldest(n, victims);
+    if (k == 0)
+        return;
+    c.pool.stats().flushes.add();
+
+    NodeLists& node = c.pool.node();
+    bool maybe_shrink = false;
+    {
+        std::lock_guard<SpinLock> node_guard(node.lock);
+        for (std::size_t i = 0; i < k; ++i) {
+            SlabHeader* slab = c.pool.slab_of(victims[i]);
+            assert(slab->magic == SlabHeader::kMagicLive);
+            slab->freelist_push(victims[i]);
+            node.move_to(slab, NodeLists::deferred_aware_kind(slab));
+        }
+        maybe_shrink =
+            node.free.size() > free_retention_limit(c);
+    }
+    if (maybe_shrink)
+        shrink(c);
+}
+
+// ---------------------------------------------------------------------
+// Deferred free (Algorithm 1: FREE_DEFERRED / PRE_MOVE_SLAB)
+// ---------------------------------------------------------------------
+
+void
+PrudenceAllocator::free_deferred_impl(Cache& c, void* p)
+{
+    CacheStats& stats = c.pool.stats();
+    stats.deferred_free_calls.add();
+    stats.live_objects.sub();
+    stats.deferred_outstanding.add();
+
+    // Algorithm 1 line 35: stamp the grace-period state on the
+    // object's latent entry (out of band — readers may still be
+    // dereferencing the object itself).
+    GpEpoch epoch = domain_.defer_epoch();
+
+    PerCpu& pc = *c.cpus[cpu_registry_.cpu_id()];
+    LatentRing::Entry spill[128];
+    for (;;) {
+        std::size_t spilled = 0;
+        {
+            std::lock_guard<SpinLock> guard(pc.lock);
+            ++pc.defer_events;
+
+            if (!pc.latent.full()) {  // fast path (lines 39-44)
+                pc.latent.push(p, epoch);
+                if (pc.cache.count() + pc.latent.count() >
+                        pc.cache.capacity() &&
+                    config_.idle_preflush) {
+                    // SCHEDULE_IDLE_PREFLUSH
+                    pc.preflush_requested = true;
+                }
+                return;
+            }
+
+            // Slow path (lines 45-48): make room, merge, retry.
+            if (pc.cache.full())
+                flush(c, pc, pc.cache.capacity() / 2 + 1);
+            merge_caches(c, pc);
+            if (!pc.latent.full()) {
+                pc.latent.push(p, epoch);
+                return;
+            }
+
+            // Lines 49-51: saturated with objects still inside their
+            // grace period — move the oldest half to their latent
+            // slabs. Batching the spill amortizes the node lock over
+            // many deferrals (one acquisition per half-ring instead
+            // of one per object).
+            std::size_t batch = pc.latent.capacity() / 2 + 1;
+            if (batch > 128)
+                batch = 128;
+            while (spilled < batch && !pc.latent.empty()) {
+                spill[spilled++] = pc.latent.front();
+                pc.latent.pop_front();
+            }
+        }
+        spill_entries(c, spill, spilled);
+        // Loop: the latent cache now has room unless another thread
+        // on this virtual CPU refilled it; retry.
+    }
+}
+
+void
+PrudenceAllocator::push_to_latent_slab(Cache& c, void* obj, GpEpoch epoch)
+{
+    LatentRing::Entry e{obj, epoch};
+    spill_entries(c, &e, 1);
+}
+
+void
+PrudenceAllocator::spill_entries(Cache& c,
+                                 const LatentRing::Entry* entries,
+                                 std::size_t n)
+{
+    if (n == 0)
+        return;
+    NodeLists& node = c.pool.node();
+    bool want_shrink = false;
+    {
+        // The ring push and the pre-movement must share one node-lock
+        // critical section: the instant an entry is in the ring, a
+        // concurrent refill/shrink may merge it, find the slab fully
+        // free and release its pages — any later touch through `slab`
+        // would be use-after-free. Until the push, the live object
+        // itself pins the slab (free_count < total). This also
+        // matches Algorithm 1's LOCK(current.node) in PRE_MOVE_SLAB.
+        std::lock_guard<SpinLock> node_guard(node.lock);
+        // Group the batch by owning slab: one slab-lock acquisition
+        // and one pre-movement check per slab, not per object.
+        bool done[128] = {};
+        assert(n <= 128);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (done[i])
+                continue;
+            SlabHeader* slab = c.pool.slab_of(entries[i].object);
+            assert(slab->magic == SlabHeader::kMagicLive);
+            {
+                std::lock_guard<SpinLock> slab_guard(slab->slab_lock);
+                for (std::size_t j = i; j < n; ++j) {
+                    if (done[j] ||
+                        c.pool.slab_of(entries[j].object) != slab) {
+                        continue;
+                    }
+                    bool ok = slab->ring_push(
+                        slab->index_of(entries[j].object),
+                        entries[j].epoch);
+                    assert(ok && "latent slab overflow implies a "
+                                 "double defer");
+                    (void)ok;
+                    done[j] = true;
+                }
+            }
+            if (config_.slab_premove)
+                pre_move_slab(c, slab);
+        }
+        want_shrink =
+            node.free.size() > free_retention_limit(c);
+    }
+    if (want_shrink)
+        shrink(c);
+}
+
+void
+PrudenceAllocator::pre_move_slab(Cache& c, SlabHeader* slab)
+{
+    std::uint32_t deferred =
+        slab->deferred_count.load(std::memory_order_acquire);
+    if (slab->list_kind == SlabListKind::kFull && deferred > 0) {
+        // A full slab with a deferral will have space soon.
+        c.pool.node().move_to(slab, SlabListKind::kPartial);
+        c.pool.stats().premoves.add();
+    } else if (slab->list_kind != SlabListKind::kFree &&
+               slab->free_count + deferred == slab->total_objects) {
+        // Every allocated object is deferred: the slab will be
+        // entirely free after the grace period.
+        c.pool.node().move_to(slab, SlabListKind::kFree);
+        c.pool.stats().premoves.add();
+    }
+}
+
+void
+PrudenceAllocator::shrink(Cache& c)
+{
+    NodeLists& node = c.pool.node();
+    std::vector<SlabHeader*> victims;
+    {
+        std::lock_guard<SpinLock> node_guard(node.lock);
+        GpEpoch completed = domain_.completed_epoch();
+        node.free.for_each([&](SlabHeader* slab) {
+            if (node.free.size() <= free_retention_limit(c))
+                return false;
+            if (slab->deferred_count.load(std::memory_order_acquire) > 0)
+                merge_slab_latent(c, slab, completed);
+            if (slab->free_count == slab->total_objects) {
+                node.move_to(slab, SlabListKind::kNone);
+                victims.push_back(slab);
+            }
+            return true;
+        });
+    }
+    for (SlabHeader* slab : victims)
+        c.pool.release_slab(slab);
+}
+
+std::size_t
+PrudenceAllocator::free_retention_limit(Cache& c) const
+{
+    std::size_t limit = c.pool.geometry().free_slab_limit;
+    if (!config_.deferred_aware_shrink)
+        return limit;
+    // The hint about the future: outstanding deferred objects will
+    // vacate their memory within a grace period, and the sustained
+    // deferral flow implies matching allocation demand. Returning
+    // that many slabs' worth of pages to the page allocator now just
+    // buys a grow per shrink (the baseline's slab churn). The
+    // decaying high-water hint keeps retention through the momentary
+    // drain right after a grace period completes.
+    std::int64_t deferred = std::max(
+        c.pool.stats().deferred_outstanding.get(),
+        c.retention_hint.load(std::memory_order_relaxed));
+    if (deferred > 0) {
+        limit += (static_cast<std::size_t>(deferred) +
+                  c.pool.geometry().objects_per_slab - 1) /
+                 c.pool.geometry().objects_per_slab;
+    }
+    return limit;
+}
+
+std::size_t
+PrudenceAllocator::merge_slab_latent(Cache& c, SlabHeader* slab,
+                                     GpEpoch completed)
+{
+    std::size_t merged = merge_safe_latent(slab, completed);
+    if (merged > 0) {
+        c.pool.stats().deferred_outstanding.sub(
+            static_cast<std::int64_t>(merged));
+    }
+    return merged;
+}
+
+// ---------------------------------------------------------------------
+// Maintenance (idle-time pre-flush, §4.2)
+// ---------------------------------------------------------------------
+
+void
+PrudenceAllocator::preflush_cpu(Cache& c, PerCpu& pc)
+{
+    std::size_t cap = pc.cache.capacity();
+    std::size_t total = pc.cache.count() + pc.latent.count();
+    if (total <= cap) {
+        pc.preflush_requested = false;
+        return;
+    }
+    std::size_t excess = total - cap;
+
+    // Aggressiveness: when frees (+deferred frees) outpace
+    // allocations, the overflow will not drain by itself — move the
+    // full excess. When allocations dominate, the object cache is
+    // emptying anyway — move only half.
+    std::uint64_t da = pc.alloc_events - pc.seen_alloc_events;
+    std::uint64_t df = (pc.free_events - pc.seen_free_events) +
+                       (pc.defer_events - pc.seen_defer_events);
+    bool aggressive = df >= da;
+    std::size_t n = aggressive ? excess : (excess + 1) / 2;
+    if (n > pc.latent.count())
+        n = pc.latent.count();
+    if (n == 0)
+        return;
+
+    c.pool.stats().preflushes.add();
+    LatentRing::Entry batch[128];
+    while (n > 0) {
+        std::size_t k = n > 128 ? 128 : n;
+        for (std::size_t i = 0; i < k; ++i) {
+            batch[i] = pc.latent.front();
+            pc.latent.pop_front();
+        }
+        spill_entries(c, batch, k);
+        n -= k;
+    }
+    if (pc.cache.count() + pc.latent.count() <= cap)
+        pc.preflush_requested = false;
+}
+
+void
+PrudenceAllocator::maintenance_pass()
+{
+    std::size_t count = cache_count_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < count; ++i) {
+        Cache& c = *caches_[i];
+        // Decay the retention high-water mark by 25% per pass and
+        // raise it to the current backlog.
+        std::int64_t deferred =
+            c.pool.stats().deferred_outstanding.get();
+        std::int64_t hint =
+            c.retention_hint.load(std::memory_order_relaxed);
+        c.retention_hint.store(std::max(deferred, hint - hint / 4),
+                               std::memory_order_relaxed);
+        // Idle caches (no deferred objects anywhere) need no merging
+        // or pre-flushing; skipping that work keeps the sweep
+        // proportional to actual deferral activity. The shrink check
+        // below still runs so slabs retained for a now-drained
+        // backlog are eventually released.
+        if (deferred == 0) {
+            bool drain_excess;
+            {
+                std::lock_guard<SpinLock> node_guard(
+                    c.pool.node().lock);
+                drain_excess = c.pool.node().free.size() >
+                               free_retention_limit(c);
+            }
+            if (drain_excess)
+                shrink(c);
+            continue;
+        }
+        for (auto& pc_ptr : c.cpus) {
+            PerCpu& pc = *pc_ptr;
+            // Idle-time semantics: never contend with the owning
+            // CPU's own allocation work.
+            if (!pc.lock.try_lock())
+                continue;
+            // Merging first mirrors the paper: grace periods that
+            // completed during pre-flushing are harvested before the
+            // next allocation needs them.
+            merge_caches(c, pc);
+            if (pc.preflush_requested ||
+                pc.cache.count() + pc.latent.count() >
+                    pc.cache.capacity()) {
+                preflush_cpu(c, pc);
+            }
+            pc.seen_alloc_events = pc.alloc_events;
+            pc.seen_free_events = pc.free_events;
+            pc.seen_defer_events = pc.defer_events;
+            pc.lock.unlock();
+        }
+        // Reclaim sweep: merge grace-period-complete latent-slab
+        // entries on a bounded prefix of the partial and free lists
+        // (the paper merges eligible objects whenever pre-flushing
+        // notices a completed grace period). FIFO list order makes
+        // the prefix the oldest — most mergeable — slabs.
+        bool want_shrink;
+        {
+            NodeLists& node = c.pool.node();
+            std::lock_guard<SpinLock> node_guard(node.lock);
+            GpEpoch completed = domain_.completed_epoch();
+            // Merge budget counts only slabs that actually need
+            // merging — already-drained slabs at the list front must
+            // not starve deferred ones behind them. A separate visit
+            // cap bounds the walk itself.
+            std::size_t budget = config_.slab_scan_limit * 2;
+            std::size_t visits = 256;
+            auto sweep = [&](SlabHeader* slab) {
+                if (budget == 0 || visits == 0)
+                    return false;
+                --visits;
+                if (slab->deferred_count.load(
+                        std::memory_order_acquire) > 0) {
+                    --budget;
+                    merge_slab_latent(c, slab, completed);
+                    node.move_to(slab, NodeLists::deferred_aware_kind(slab));
+                }
+                return true;
+            };
+            node.partial.for_each(sweep);
+            node.free.for_each(sweep);
+            want_shrink = node.free.size() > free_retention_limit(c);
+        }
+        if (want_shrink)
+            shrink(c);
+    }
+}
+
+void
+PrudenceAllocator::maintenance_main()
+{
+    while (running_.load(std::memory_order_acquire)) {
+        maintenance_pass();
+        std::this_thread::sleep_for(config_.maintenance_interval);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reclaim / quiesce
+// ---------------------------------------------------------------------
+
+void
+PrudenceAllocator::reclaim_cache(Cache& c, bool fill_caches)
+{
+    // Full reclaim resets the retention hint: everything safe is
+    // coming back right now, so there is nothing left to retain for.
+    c.retention_hint.store(0, std::memory_order_relaxed);
+    GpEpoch completed = domain_.completed_epoch();
+
+    // Per-CPU latent caches: optionally merge what fits, then spill
+    // the rest of the safe prefix straight to slab freelists.
+    for (auto& pc_ptr : c.cpus) {
+        PerCpu& pc = *pc_ptr;
+        std::vector<LatentRing::Entry> spill;
+        {
+            std::lock_guard<SpinLock> guard(pc.lock);
+            if (fill_caches)
+                merge_caches(c, pc);
+            while (!pc.latent.empty() &&
+                   pc.latent.front().epoch <= completed) {
+                spill.push_back(pc.latent.front());
+                pc.latent.pop_front();
+            }
+        }
+        if (!spill.empty()) {
+            NodeLists& node = c.pool.node();
+            std::lock_guard<SpinLock> node_guard(node.lock);
+            for (const auto& e : spill) {
+                SlabHeader* slab = c.pool.slab_of(e.object);
+                slab->freelist_push(e.object);
+                node.move_to(slab, NodeLists::deferred_aware_kind(slab));
+            }
+            c.pool.stats().deferred_outstanding.sub(
+                static_cast<std::int64_t>(spill.size()));
+        }
+    }
+
+    // Latent slabs: merge every safe ring entry, restore natural list
+    // membership, then shrink the excess free slabs.
+    {
+        NodeLists& node = c.pool.node();
+        std::vector<SlabHeader*> all;
+        std::lock_guard<SpinLock> node_guard(node.lock);
+        auto collect = [&all](SlabHeader* s) {
+            all.push_back(s);
+            return true;
+        };
+        node.full.for_each(collect);
+        node.partial.for_each(collect);
+        node.free.for_each(collect);
+        for (SlabHeader* slab : all) {
+            if (slab->deferred_count.load(std::memory_order_acquire) > 0)
+                merge_slab_latent(c, slab, completed);
+            node.move_to(slab, NodeLists::deferred_aware_kind(slab));
+        }
+    }
+    shrink(c);
+}
+
+void
+PrudenceAllocator::quiesce()
+{
+    domain_.synchronize();
+    std::size_t count = cache_count_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < count; ++i)
+        reclaim_cache(*caches_[i], /*fill_caches=*/false);
+}
+
+std::string
+PrudenceAllocator::validate()
+{
+    std::size_t count = cache_count_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < count; ++i) {
+        Cache& c = *caches_[i];
+        PoolValidation v = validate_pool(c.pool);
+        if (!v.ok)
+            return v.error;
+        // Accounting (quiescent): slab-level outstanding objects are
+        // in per-CPU object caches, per-CPU latent caches, or held by
+        // the application; the deferred gauge equals latent caches
+        // plus latent-slab rings.
+        std::size_t cached = 0;
+        std::size_t latent = 0;
+        for (auto& pc : c.cpus) {
+            std::lock_guard<SpinLock> guard(pc->lock);
+            cached += pc->cache.count();
+            latent += pc->latent.count();
+        }
+        auto live = static_cast<std::size_t>(
+            c.pool.stats().live_objects.get());
+        auto deferred = static_cast<std::size_t>(
+            c.pool.stats().deferred_outstanding.get());
+        if (v.outstanding_objects != cached + latent + live) {
+            return c.pool.name() + ": object accounting mismatch (" +
+                   std::to_string(v.outstanding_objects) +
+                   " outstanding vs " +
+                   std::to_string(cached + latent + live) +
+                   " accounted)";
+        }
+        if (deferred != latent + v.ring_objects) {
+            return c.pool.name() + ": deferred gauge " +
+                   std::to_string(deferred) + " != latent caches " +
+                   std::to_string(latent) + " + latent slabs " +
+                   std::to_string(v.ring_objects);
+        }
+    }
+    return {};
+}
+
+CacheStatsSnapshot
+PrudenceAllocator::cache_snapshot(CacheId cache) const
+{
+    return cache_ref(cache).pool.snapshot();
+}
+
+std::vector<CacheStatsSnapshot>
+PrudenceAllocator::snapshots() const
+{
+    std::size_t count = cache_count_.load(std::memory_order_acquire);
+    std::vector<CacheStatsSnapshot> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(caches_[i]->pool.snapshot());
+    return out;
+}
+
+}  // namespace prudence

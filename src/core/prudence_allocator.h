@@ -1,0 +1,217 @@
+/**
+ * @file
+ * The Prudence dynamic memory allocator (the paper's contribution).
+ *
+ * Prudence is a slab allocator tightly integrated with the
+ * grace-period state of a procrastination-based synchronization
+ * mechanism. Deferred objects are *visible* to the allocator:
+ *
+ *  - free_deferred() places the object, tagged with the current
+ *    grace-period epoch, into the per-CPU latent cache (or, past the
+ *    latent-cache limit, into the owning slab's latent ring).
+ *  - The allocation slow path merges grace-period-complete latent
+ *    objects straight back into the object cache — no callback, no
+ *    external processing, no extended lifetime.
+ *  - Refill and flush sizes account for latent occupancy; a
+ *    maintenance thread pre-flushes latent caches during idle time;
+ *    slabs are pre-moved between node lists when deferrals foreshadow
+ *    the move; refill slab selection uses the deferred-object hints
+ *    to reduce total fragmentation; and OOM falls back to waiting for
+ *    a grace period while deferred memory is outstanding.
+ *
+ * This file implements Algorithm 1 of the paper; the function names
+ * mirror the pseudocode (malloc → alloc_impl, FREE_DEFERRED →
+ * free_deferred_impl, REFILL_OBJECT_CACHE → refill,
+ * MERGE_CACHES → merge_caches, PRE_MOVE_SLAB → pre_move_slab).
+ */
+#ifndef PRUDENCE_CORE_PRUDENCE_ALLOCATOR_H
+#define PRUDENCE_CORE_PRUDENCE_ALLOCATOR_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/allocator.h"
+#include "core/prudence_config.h"
+#include "page/buddy_allocator.h"
+#include "rcu/grace_period.h"
+#include "slab/latent_ring.h"
+#include "slab/object_cache.h"
+#include "slab/page_owner.h"
+#include "slab/slab_pool.h"
+#include "sync/cacheline.h"
+#include "sync/cpu_registry.h"
+#include "sync/spinlock.h"
+
+namespace prudence {
+
+/// The Prudence allocator.
+class PrudenceAllocator final : public Allocator
+{
+  public:
+    PrudenceAllocator(GracePeriodDomain& domain,
+                      const PrudenceConfig& config);
+    ~PrudenceAllocator() override;
+
+    const char* kind() const override { return "prudence"; }
+
+    void* kmalloc(std::size_t size) override;
+    void kfree(void* p) override;
+    void kfree_deferred(void* p) override;
+
+    CacheId create_cache(const std::string& name,
+                         std::size_t object_size) override;
+    void* cache_alloc(CacheId cache) override;
+    void cache_free(CacheId cache, void* p) override;
+    void cache_free_deferred(CacheId cache, void* p) override;
+
+    CacheStatsSnapshot cache_snapshot(CacheId cache) const override;
+    std::vector<CacheStatsSnapshot> snapshots() const override;
+    BuddyAllocator& page_allocator() override { return buddy_; }
+    void quiesce() override;
+    std::string validate() override;
+
+    /**
+     * Run one maintenance sweep (latent merging + pre-flush) over
+     * every cache and CPU. The background thread calls this
+     * periodically; tests call it directly for determinism.
+     */
+    void maintenance_pass();
+
+    /// The active configuration (ablation benches report it).
+    const PrudenceConfig& config() const { return config_; }
+
+  private:
+    /// Per-CPU state: object cache + latent cache + rate estimators.
+    struct alignas(kCacheLineSize) PerCpu
+    {
+        SpinLock lock;
+        ObjectCache cache;
+        /// Deferred objects awaiting their grace period; capacity ==
+        /// object-cache capacity (the paper's latent-cache limit).
+        LatentRing latent;
+
+        /// Event counters for the pre-flush aggressiveness decision
+        /// (owner-updated under lock; maintenance reads deltas).
+        std::uint64_t alloc_events = 0;
+        std::uint64_t free_events = 0;
+        std::uint64_t defer_events = 0;
+        std::uint64_t seen_alloc_events = 0;
+        std::uint64_t seen_free_events = 0;
+        std::uint64_t seen_defer_events = 0;
+
+        /// Set when a future object-cache overflow is foreseen
+        /// (Algorithm 1 line 43: SCHEDULE_IDLE_PREFLUSH).
+        bool preflush_requested = false;
+
+        explicit PerCpu(std::size_t capacity)
+            : cache(capacity), latent(capacity)
+        {
+        }
+    };
+
+    /// One slab cache: node-level pool + per-CPU layer.
+    struct Cache
+    {
+        SlabPool pool;
+        std::vector<std::unique_ptr<PerCpu>> cpus;
+        /// Decaying high-water mark of deferred_outstanding, updated
+        /// by maintenance. Smooths the deferred-aware shrink
+        /// retention so a momentary drain between grace periods does
+        /// not trigger a shrink storm followed by regrowth.
+        std::atomic<std::int64_t> retention_hint{0};
+
+        Cache(std::string name, std::size_t object_size,
+              BuddyAllocator& buddy, PageOwnerTable& owners,
+              unsigned ncpus);
+    };
+
+    static constexpr std::size_t kMaxCaches = 256;
+
+    Cache& cache_ref(CacheId id) const;
+    Cache* cache_of_object(const void* p) const;
+
+    void* alloc_impl(Cache& c);
+    /// One allocation attempt; sets *oom when memory was exhausted.
+    void* alloc_attempt(Cache& c, bool* oom);
+    void free_impl(Cache& c, void* p);
+    void free_deferred_impl(Cache& c, void* p);
+
+    /// MERGE_CACHES: move grace-period-complete latent objects into
+    /// the object cache. Caller holds pc.lock. @return merged count.
+    std::size_t merge_caches(Cache& c, PerCpu& pc);
+
+    /// REFILL_OBJECT_CACHE body: move objects from node slabs into
+    /// the cache (grow if necessary). Caller holds pc.lock.
+    /// @return true when at least one object was added.
+    bool refill(Cache& c, PerCpu& pc);
+
+    /// Select the refill source slab using deferred-object hints
+    /// (node lock held). May merge safe latent-slab entries.
+    SlabHeader* select_slab(Cache& c, GpEpoch completed);
+
+    /// Spill @p n cold objects to their slabs. Caller holds pc.lock.
+    void flush(Cache& c, PerCpu& pc, std::size_t n);
+
+    /// Record a batch of deferred objects in their slabs' latent
+    /// rings under a single node-lock acquisition (with pre-movement
+    /// inline). The entries must be exclusively owned by the caller
+    /// (popped from a latent ring); holding a per-CPU lock is
+    /// permitted (lock order pc -> node -> slab) but not required.
+    void spill_entries(Cache& c, const LatentRing::Entry* entries,
+                       std::size_t n);
+
+    /// PRE_MOVE_SLAB: adjust list membership after a deferral.
+    /// Caller holds the node lock.
+    void pre_move_slab(Cache& c, SlabHeader* slab);
+
+    /// Release free slabs beyond the retention limit (merging safe
+    /// latent entries first; slabs with unsafe deferrals stay).
+    void shrink(Cache& c);
+
+    /// Free slabs to retain right now: the baseline threshold plus —
+    /// with deferred_aware_shrink — enough slabs to rehouse the
+    /// outstanding deferred objects.
+    std::size_t free_retention_limit(Cache& c) const;
+
+    /// Move a deferred object into its slab's latent ring.
+    void push_to_latent_slab(Cache& c, void* obj, GpEpoch epoch);
+
+    /// merge_safe_latent + deferred accounting.
+    std::size_t merge_slab_latent(Cache& c, SlabHeader* slab,
+                                  GpEpoch completed);
+
+    /// Pre-flush one CPU's latent cache toward its latent slabs.
+    void preflush_cpu(Cache& c, PerCpu& pc);
+
+    /// Pull every currently-safe deferred object of @p c back into
+    /// circulation and shrink excess free slabs. With @p fill_caches
+    /// the per-CPU object caches are topped up from the latent caches
+    /// (OOM recovery: the retry wants hits); without it everything
+    /// returns to slab freelists (quiesce: minimal footprint).
+    void reclaim_cache(Cache& c, bool fill_caches);
+
+    void maintenance_main();
+
+    GracePeriodDomain& domain_;
+    PrudenceConfig config_;
+    BuddyAllocator buddy_;
+    PageOwnerTable owners_;
+    CpuRegistry cpu_registry_;
+
+    mutable std::mutex caches_mutex_;  ///< guards cache creation only
+    std::array<std::unique_ptr<Cache>, kMaxCaches> caches_;
+    std::atomic<std::size_t> cache_count_{0};
+
+    std::atomic<bool> running_{false};
+    std::thread maintenance_thread_;
+};
+
+}  // namespace prudence
+
+#endif  // PRUDENCE_CORE_PRUDENCE_ALLOCATOR_H

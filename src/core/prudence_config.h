@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tuning and feature switches for the Prudence allocator.
+ *
+ * Every boolean corresponds to one optimization the paper claims
+ * (§4.1/§4.2); each can be disabled independently so the ablation
+ * benchmark can measure its individual contribution.
+ */
+#ifndef PRUDENCE_CORE_PRUDENCE_CONFIG_H
+#define PRUDENCE_CORE_PRUDENCE_CONFIG_H
+
+#include <chrono>
+#include <cstddef>
+
+namespace prudence {
+
+/// Construction parameters for PrudenceAllocator.
+struct PrudenceConfig
+{
+    /// Simulated physical memory (hard OOM boundary).
+    std::size_t arena_bytes = std::size_t{1} << 30;
+    /// Virtual CPUs (per-CPU object + latent caches).
+    unsigned cpus = 8;
+
+    // ---- paper optimizations (ablation switches) ----
+
+    /// Merge safe latent-cache objects into the object cache on the
+    /// allocation slow path (Algorithm 1 lines 8-11).
+    bool merge_on_alloc = true;
+
+    /// Partial object-cache refill: refill_target minus the latent
+    /// occupancy (Algorithm 1 line 14, §4.2 "Object cache refill").
+    bool partial_refill = true;
+
+    /// Flush more objects when the latent cache is fuller
+    /// (§4.2 "Object cache flush").
+    bool sized_flush = true;
+
+    /// Background (idle-time) pre-flush of latent caches into latent
+    /// slabs (§4.2 "Latent cache pre-flush").
+    bool idle_preflush = true;
+
+    /// Move slabs between node lists when deferrals foreshadow the
+    /// move (§4.2 "Slab pre-movement", Algorithm 1 lines 52-59).
+    bool slab_premove = true;
+
+    /// Deferred-aware slab selection at refill (§4.2 "Reduces total
+    /// fragmentation", Algorithm 1 lines 17-21).
+    bool hinted_slab_selection = true;
+
+    /// On OOM, wait a grace period and retry before failing when
+    /// deferred objects are outstanding (§4.2 "Handling memory
+    /// pressure", Algorithm 1 lines 31-32).
+    bool oom_deferral = true;
+
+    /// Retain extra free slabs proportional to the outstanding
+    /// deferred objects (the §1 "properly time the reclamation"
+    /// claim): memory that deferred objects will vacate — and that
+    /// allocations will immediately want back — is not returned to
+    /// the page allocator mid-flight, eliminating the baseline's
+    /// grow/shrink churn under sustained deferral.
+    bool deferred_aware_shrink = true;
+
+    // ---- tuning ----
+
+    /// Partial-list slabs examined when selecting a refill source
+    /// (§5.4: "Prudence traverses the first 10 slabs").
+    std::size_t slab_scan_limit = 10;
+
+    /// Skip a slab at selection when deferred/in-use reaches this
+    /// ratio (it is expected to become fully free).
+    double skip_slab_deferred_ratio = 0.75;
+
+    /// Maintenance (pre-flush) thread period; zero disables the
+    /// thread entirely (tests drive maintenance_pass() directly).
+    /// A few grace periods' cadence suffices — merges and pre-flushes
+    /// only have new work once epochs complete.
+    std::chrono::microseconds maintenance_interval{250};
+
+    /// OOM-deferral retries before giving up.
+    int oom_retries = 3;
+};
+
+}  // namespace prudence
+
+#endif  // PRUDENCE_CORE_PRUDENCE_CONFIG_H

@@ -1,0 +1,15 @@
+// The data structures are header-only templates; this translation
+// unit anchors the library target and type-checks the templates.
+#include "ds/rcu_bst.h"
+#include "ds/rcu_hash_table.h"
+#include "ds/rcu_list.h"
+
+namespace prudence {
+
+// Explicit instantiations for the common payloads used by tests,
+// benchmarks and examples.
+template class RcuList<std::uint64_t>;
+template class RcuHashTable<std::uint64_t>;
+template class RcuBst<std::uint64_t>;
+
+}  // namespace prudence

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * RCU-protected binary search tree with copy-based updates.
+ *
+ * Readers traverse lock-free inside RCU read-side critical sections;
+ * a single writer mutex serializes updates. No node reachable by
+ * readers is ever modified in place (keys/values are written only
+ * before publication; child pointers are the single exception and
+ * follow RCU publish semantics) — structural changes build new nodes
+ * and defer-free the replaced ones through the allocator.
+ *
+ * Deleting a node with two children replaces the whole path from the
+ * node to its in-order successor with freshly built copies and
+ * defer-frees every original — one erase can retire many objects at
+ * once, which is exactly the paper's §3.1 observation that "tree
+ * re-balancing results in multiple deferred objects" (citing the
+ * RCU-balanced trees of Clements et al.).
+ */
+#ifndef PRUDENCE_DS_RCU_BST_H
+#define PRUDENCE_DS_RCU_BST_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "api/allocator.h"
+#include "rcu/rcu_domain.h"
+
+namespace prudence {
+
+/// RCU binary search tree keyed by uint64.
+template <typename T>
+class RcuBst
+{
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "RCU nodes are reclaimed without running destructors");
+
+  public:
+    RcuBst(RcuDomain& rcu, Allocator& alloc,
+           const std::string& cache_name = "rcu_bst_node")
+        : rcu_(rcu),
+          alloc_(alloc),
+          cache_(alloc.create_cache(cache_name, sizeof(Node)))
+    {
+        root_.store(nullptr, std::memory_order_relaxed);
+    }
+
+    ~RcuBst()
+    {
+        // Single-threaded teardown.
+        destroy(root_.load(std::memory_order_relaxed));
+    }
+
+    RcuBst(const RcuBst&) = delete;
+    RcuBst& operator=(const RcuBst&) = delete;
+
+    /// Read-side lookup (takes an RCU read guard internally).
+    bool
+    lookup(std::uint64_t key, T* out) const
+    {
+        RcuReadGuard guard(rcu_);
+        const Node* n = root_.load(std::memory_order_acquire);
+        while (n != nullptr) {
+            if (key == n->key) {
+                if (out != nullptr)
+                    *out = n->value;
+                return true;
+            }
+            n = (key < n->key ? n->left : n->right)
+                    .load(std::memory_order_acquire);
+        }
+        return false;
+    }
+
+    /// Insert; fails on duplicate key or OOM.
+    bool
+    insert(std::uint64_t key, const T& value)
+    {
+        std::lock_guard<std::mutex> writer(writer_mutex_);
+        std::atomic<Node*>* link = &root_;
+        Node* n = link->load(std::memory_order_relaxed);
+        while (n != nullptr) {
+            if (key == n->key)
+                return false;
+            link = key < n->key ? &n->left : &n->right;
+            n = link->load(std::memory_order_relaxed);
+        }
+        Node* fresh = make_node(key, value, nullptr, nullptr);
+        if (fresh == nullptr)
+            return false;
+        link->store(fresh, std::memory_order_release);
+        ++size_;
+        return true;
+    }
+
+    /// Copy-update the value at @p key; the old node is defer-freed.
+    bool
+    update(std::uint64_t key, const T& value)
+    {
+        std::lock_guard<std::mutex> writer(writer_mutex_);
+        std::atomic<Node*>* link = &root_;
+        Node* n = link->load(std::memory_order_relaxed);
+        while (n != nullptr && n->key != key) {
+            link = key < n->key ? &n->left : &n->right;
+            n = link->load(std::memory_order_relaxed);
+        }
+        if (n == nullptr)
+            return false;
+        Node* fresh =
+            make_node(key, value,
+                      n->left.load(std::memory_order_relaxed),
+                      n->right.load(std::memory_order_relaxed));
+        if (fresh == nullptr)
+            return false;
+        link->store(fresh, std::memory_order_release);
+        alloc_.cache_free_deferred(cache_, n);
+        return true;
+    }
+
+    /**
+     * Remove @p key. A two-child victim is replaced by a rebuilt
+     * copy of the path to its in-order successor; every replaced
+     * original is defer-freed (multiple deferrals per erase).
+     */
+    bool
+    erase(std::uint64_t key)
+    {
+        std::lock_guard<std::mutex> writer(writer_mutex_);
+        std::atomic<Node*>* link = &root_;
+        Node* n = link->load(std::memory_order_relaxed);
+        while (n != nullptr && n->key != key) {
+            link = key < n->key ? &n->left : &n->right;
+            n = link->load(std::memory_order_relaxed);
+        }
+        if (n == nullptr)
+            return false;
+
+        Node* left = n->left.load(std::memory_order_relaxed);
+        Node* right = n->right.load(std::memory_order_relaxed);
+        if (left == nullptr || right == nullptr) {
+            // Zero or one child: splice.
+            link->store(left != nullptr ? left : right,
+                        std::memory_order_release);
+            alloc_.cache_free_deferred(cache_, n);
+        } else {
+            // Two children: rebuild the right-spine path down to the
+            // minimum, excluding the minimum itself, then publish a
+            // replacement carrying the successor's key/value.
+            const Node* succ = right;
+            while (const Node* l =
+                       succ->left.load(std::memory_order_relaxed)) {
+                succ = l;
+            }
+            bool failed = false;
+            std::vector<Node*> copies;
+            Node* new_right =
+                clone_without_min(right, &failed, copies);
+            Node* replacement =
+                failed ? nullptr
+                       : make_node(succ->key, succ->value, left,
+                                   new_right);
+            if (replacement == nullptr) {
+                // OOM mid-rebuild: nothing was published; release the
+                // partial copies immediately (no reader saw them).
+                for (Node* c : copies)
+                    alloc_.cache_free(cache_, c);
+                return false;
+            }
+            link->store(replacement, std::memory_order_release);
+            // Retire the victim, the successor, and every original
+            // node on the cloned path (they were all replaced).
+            alloc_.cache_free_deferred(cache_, n);
+            retire_path(right);
+        }
+        --size_;
+        return true;
+    }
+
+    /// Elements currently linked (writer-side count).
+    std::size_t size() const { return size_; }
+
+  private:
+    struct Node
+    {
+        std::uint64_t key;
+        T value;
+        std::atomic<Node*> left;
+        std::atomic<Node*> right;
+    };
+
+    Node*
+    make_node(std::uint64_t key, const T& value, Node* left,
+              Node* right)
+    {
+        void* mem = alloc_.cache_alloc(cache_);
+        if (mem == nullptr)
+            return nullptr;
+        auto* node = new (mem) Node();
+        node->key = key;
+        node->value = value;
+        node->left.store(left, std::memory_order_relaxed);
+        node->right.store(right, std::memory_order_relaxed);
+        return node;
+    }
+
+    /**
+     * Clone the left-spine of @p subtree with its minimum removed.
+     * Originals along the spine stay published until the caller's
+     * single root swap; they are retired afterwards by retire_path().
+     * @return the new subtree (nullptr is a valid result).
+     */
+    Node*
+    clone_without_min(Node* subtree, bool* failed,
+                      std::vector<Node*>& copies)
+    {
+        Node* left = subtree->left.load(std::memory_order_relaxed);
+        if (left == nullptr) {
+            // subtree IS the minimum (the successor): its right child
+            // takes its place; the node itself is retired by the
+            // caller via retire_path.
+            return subtree->right.load(std::memory_order_relaxed);
+        }
+        Node* new_left = clone_without_min(left, failed, copies);
+        if (*failed)
+            return nullptr;
+        Node* copy =
+            make_node(subtree->key, subtree->value, new_left,
+                      subtree->right.load(std::memory_order_relaxed));
+        if (copy == nullptr) {
+            *failed = true;
+            return nullptr;
+        }
+        copies.push_back(copy);
+        return copy;
+    }
+
+    /// Defer-free every original node on the left-spine of @p n,
+    /// including the minimum.
+    void
+    retire_path(Node* n)
+    {
+        while (n != nullptr) {
+            Node* next = n->left.load(std::memory_order_relaxed);
+            alloc_.cache_free_deferred(cache_, n);
+            n = next;
+        }
+    }
+
+    void
+    destroy(Node* n)
+    {
+        if (n == nullptr)
+            return;
+        destroy(n->left.load(std::memory_order_relaxed));
+        destroy(n->right.load(std::memory_order_relaxed));
+        alloc_.cache_free(cache_, n);
+    }
+
+    RcuDomain& rcu_;
+    Allocator& alloc_;
+    CacheId cache_;
+    std::atomic<Node*> root_;
+    std::mutex writer_mutex_;
+    std::size_t size_ = 0;
+};
+
+}  // namespace prudence
+
+#endif  // PRUDENCE_DS_RCU_BST_H

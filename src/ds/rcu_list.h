@@ -1,0 +1,198 @@
+/**
+ * @file
+ * RCU-protected singly-linked list — the paper's Figure 1 structure.
+ *
+ * Readers traverse concurrently with writers, without locks, inside an
+ * RCU read-side critical section. A writer updating an element does
+ * NOT modify it in place: it allocates a new node, copies, swaps it
+ * into the chain and defer-frees the old node through the allocator's
+ * free_deferred API (paper Listing 2). The old node stays readable by
+ * pre-existing readers until its grace period completes.
+ *
+ * The value type must be trivially copyable and destructible: the node
+ * memory is reclaimed by the allocator after the grace period without
+ * running destructors (exactly as kernel RCU users free raw objects).
+ */
+#ifndef PRUDENCE_DS_RCU_LIST_H
+#define PRUDENCE_DS_RCU_LIST_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <new>
+#include <type_traits>
+
+#include "api/allocator.h"
+#include "rcu/rcu_domain.h"
+
+namespace prudence {
+
+/// Sorted RCU list keyed by uint64.
+template <typename T>
+class RcuList
+{
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "RCU nodes are reclaimed without running destructors");
+
+  public:
+    /**
+     * @param rcu        read-side domain.
+     * @param alloc      backing allocator (either implementation).
+     * @param cache_name slab cache for the nodes (shared across lists
+     *                   using the same name, like a kernel kmem_cache).
+     */
+    RcuList(RcuDomain& rcu, Allocator& alloc,
+            const std::string& cache_name = "rcu_list_node")
+        : rcu_(rcu),
+          alloc_(alloc),
+          cache_(alloc.create_cache(cache_name, sizeof(Node)))
+    {
+        head_.store(nullptr, std::memory_order_relaxed);
+    }
+
+    ~RcuList()
+    {
+        // Single-threaded teardown: immediate frees.
+        Node* n = head_.load(std::memory_order_relaxed);
+        while (n != nullptr) {
+            Node* next = n->next.load(std::memory_order_relaxed);
+            alloc_.cache_free(cache_, n);
+            n = next;
+        }
+    }
+
+    RcuList(const RcuList&) = delete;
+    RcuList& operator=(const RcuList&) = delete;
+
+    /**
+     * Read-side lookup. Must be called inside an RCU read-side
+     * critical section (RcuReadGuard) — or pass take_guard = true to
+     * take one internally.
+     * @return true and *out when found.
+     */
+    bool
+    lookup(std::uint64_t key, T* out) const
+    {
+        RcuReadGuard guard(rcu_);
+        const Node* n = head_.load(std::memory_order_acquire);
+        while (n != nullptr && n->key < key)
+            n = n->next.load(std::memory_order_acquire);
+        if (n != nullptr && n->key == key) {
+            if (out != nullptr)
+                *out = n->value;
+            return true;
+        }
+        return false;
+    }
+
+    /// Insert (key, value); fails if the key exists.
+    /// @return false on duplicate key or allocation failure.
+    bool
+    insert(std::uint64_t key, const T& value)
+    {
+        std::lock_guard<std::mutex> writer(writer_mutex_);
+        std::atomic<Node*>* link;
+        Node* succ = find_link(key, &link);
+        if (succ != nullptr && succ->key == key)
+            return false;
+        Node* node = make_node(key, value, succ);
+        if (node == nullptr)
+            return false;
+        link->store(node, std::memory_order_release);
+        ++size_;
+        return true;
+    }
+
+    /**
+     * Copy-update the value at @p key (the paper's Figure 1 flow):
+     * new node, copy, swap, defer-free the old node.
+     * @return false when the key is absent or allocation fails.
+     */
+    bool
+    update(std::uint64_t key, const T& value)
+    {
+        std::lock_guard<std::mutex> writer(writer_mutex_);
+        std::atomic<Node*>* link;
+        Node* old = find_link(key, &link);
+        if (old == nullptr || old->key != key)
+            return false;
+        Node* fresh = make_node(
+            key, value, old->next.load(std::memory_order_acquire));
+        if (fresh == nullptr)
+            return false;
+        link->store(fresh, std::memory_order_release);
+        // Pre-existing readers may still be on `old`; the allocator
+        // must not reuse it until the grace period completes.
+        alloc_.cache_free_deferred(cache_, old);
+        return true;
+    }
+
+    /// Unlink @p key and defer-free its node.
+    bool
+    erase(std::uint64_t key)
+    {
+        std::lock_guard<std::mutex> writer(writer_mutex_);
+        std::atomic<Node*>* link;
+        Node* victim = find_link(key, &link);
+        if (victim == nullptr || victim->key != key)
+            return false;
+        link->store(victim->next.load(std::memory_order_acquire),
+                    std::memory_order_release);
+        --size_;
+        alloc_.cache_free_deferred(cache_, victim);
+        return true;
+    }
+
+    /// Elements currently linked (writer-side count).
+    std::size_t size() const { return size_; }
+
+  private:
+    struct Node
+    {
+        std::atomic<Node*> next;
+        std::uint64_t key;
+        T value;
+    };
+
+    /**
+     * Writer-side search: the first node with node->key >= key, and
+     * the link pointing at it. Caller holds writer_mutex_.
+     */
+    Node*
+    find_link(std::uint64_t key, std::atomic<Node*>** link)
+    {
+        std::atomic<Node*>* l = &head_;
+        Node* n = l->load(std::memory_order_acquire);
+        while (n != nullptr && n->key < key) {
+            l = &n->next;
+            n = l->load(std::memory_order_acquire);
+        }
+        *link = l;
+        return n;
+    }
+
+    Node*
+    make_node(std::uint64_t key, const T& value, Node* next)
+    {
+        void* mem = alloc_.cache_alloc(cache_);
+        if (mem == nullptr)
+            return nullptr;
+        auto* node = new (mem) Node();
+        node->key = key;
+        node->value = value;
+        node->next.store(next, std::memory_order_relaxed);
+        return node;
+    }
+
+    RcuDomain& rcu_;
+    Allocator& alloc_;
+    CacheId cache_;
+    std::atomic<Node*> head_;
+    std::mutex writer_mutex_;
+    std::size_t size_ = 0;
+};
+
+}  // namespace prudence
+
+#endif  // PRUDENCE_DS_RCU_LIST_H

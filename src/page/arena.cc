@@ -1,0 +1,36 @@
+#include "page/arena.h"
+
+#include <sys/mman.h>
+
+#include <stdexcept>
+
+#include "sync/cacheline.h"
+
+namespace prudence {
+
+Arena::Arena(std::size_t capacity_bytes, std::size_t alignment)
+{
+    if (capacity_bytes == 0 || !is_pow2(alignment))
+        throw std::runtime_error("Arena: bad capacity or alignment");
+
+    // Over-map by the alignment so we can trim to an aligned base.
+    raw_size_ = capacity_bytes + alignment;
+    raw_ = ::mmap(nullptr, raw_size_, PROT_READ | PROT_WRITE,
+                  MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    if (raw_ == MAP_FAILED) {
+        raw_ = nullptr;
+        throw std::runtime_error("Arena: mmap failed");
+    }
+    auto addr = reinterpret_cast<std::uintptr_t>(raw_);
+    std::uintptr_t aligned = align_up(addr, alignment);
+    base_ = reinterpret_cast<std::byte*>(aligned);
+    capacity_ = capacity_bytes;
+}
+
+Arena::~Arena()
+{
+    if (raw_ != nullptr)
+        ::munmap(raw_, raw_size_);
+}
+
+}  // namespace prudence

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * A contiguous, bounded virtual-memory arena backing the buddy
+ * allocator.
+ *
+ * The arena reserves (mmap, MAP_NORESERVE) a fixed capacity so that
+ * "physical memory" in the simulation is a hard boundary: when the
+ * buddy allocator has handed out every page, the system is out of
+ * memory — exactly the condition the paper's Figure 3 drives SLUB+RCU
+ * into.
+ */
+#ifndef PRUDENCE_PAGE_ARENA_H
+#define PRUDENCE_PAGE_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace prudence {
+
+/// RAII owner of one mmap'd region, base-aligned to @c alignment.
+class Arena
+{
+  public:
+    /**
+     * Reserve @p capacity_bytes of address space whose base is
+     * aligned to @p alignment (a power of two).
+     * @throws std::runtime_error if the mapping fails.
+     */
+    Arena(std::size_t capacity_bytes, std::size_t alignment);
+    ~Arena();
+
+    Arena(const Arena&) = delete;
+    Arena& operator=(const Arena&) = delete;
+
+    /// First byte of the region.
+    std::byte* base() const { return base_; }
+    /// Region size in bytes.
+    std::size_t capacity() const { return capacity_; }
+
+    /// True iff @p p points inside the arena.
+    bool
+    contains(const void* p) const
+    {
+        auto* b = static_cast<const std::byte*>(p);
+        return b >= base_ && b < base_ + capacity_;
+    }
+
+  private:
+    std::byte* base_ = nullptr;
+    std::size_t capacity_ = 0;
+    void* raw_ = nullptr;
+    std::size_t raw_size_ = 0;
+};
+
+}  // namespace prudence
+
+#endif  // PRUDENCE_PAGE_ARENA_H

@@ -1,0 +1,255 @@
+#include "page/buddy_allocator.h"
+
+#include <cassert>
+#include <cstdio>
+#include <mutex>
+#include <stdexcept>
+
+namespace prudence {
+
+namespace {
+constexpr std::size_t kNoBlock = static_cast<std::size_t>(-1);
+}  // namespace
+
+BuddyAllocator::BuddyAllocator(std::size_t capacity_bytes)
+    : arena_(capacity_bytes < kPageSize ? kPageSize : capacity_bytes,
+             order_bytes(kMaxPageOrder))
+{
+    total_pages_ = arena_.capacity() / kPageSize;
+    page_state_.assign(total_pages_, kStateAllocated);
+
+    for (auto& head : free_heads_) {
+        head.prev = &head;
+        head.next = &head;
+    }
+
+    // Carve the arena into the largest aligned blocks that fit.
+    std::size_t pfn = 0;
+    while (pfn < total_pages_) {
+        unsigned order = kMaxPageOrder;
+        while (order > 0 &&
+               ((pfn & (order_pages(order) - 1)) != 0 ||
+                pfn + order_pages(order) > total_pages_)) {
+            --order;
+        }
+        push_free(pfn, order);
+        pfn += order_pages(order);
+    }
+}
+
+BuddyAllocator::~BuddyAllocator() = default;
+
+std::size_t
+BuddyAllocator::pfn_of(const void* p) const
+{
+    auto* b = static_cast<const std::byte*>(p);
+    return static_cast<std::size_t>(b - arena_.base()) / kPageSize;
+}
+
+void*
+BuddyAllocator::addr_of(std::size_t pfn) const
+{
+    return arena_.base() + pfn * kPageSize;
+}
+
+void
+BuddyAllocator::push_free(std::size_t pfn, unsigned order)
+{
+    page_state_[pfn] = static_cast<std::uint8_t>(order);
+    for (std::size_t i = 1; i < order_pages(order); ++i)
+        page_state_[pfn + i] = kStateTail;
+
+    auto* node = static_cast<FreeBlock*>(addr_of(pfn));
+    FreeBlock& head = free_heads_[order];
+    node->next = head.next;
+    node->prev = &head;
+    head.next->prev = node;
+    head.next = node;
+    ++free_counts_[order];
+}
+
+void
+BuddyAllocator::remove_free(std::size_t pfn, unsigned order)
+{
+    auto* node = static_cast<FreeBlock*>(addr_of(pfn));
+    node->prev->next = node->next;
+    node->next->prev = node->prev;
+    --free_counts_[order];
+}
+
+std::size_t
+BuddyAllocator::pop_free(unsigned order)
+{
+    FreeBlock& head = free_heads_[order];
+    if (head.next == &head)
+        return kNoBlock;
+    FreeBlock* node = head.next;
+    std::size_t pfn = pfn_of(node);
+    remove_free(pfn, order);
+    return pfn;
+}
+
+void*
+BuddyAllocator::alloc_pages(unsigned order)
+{
+    if (order > kMaxPageOrder)
+        return nullptr;
+    alloc_calls_.add();
+
+    std::size_t pfn;
+    {
+        std::lock_guard<SpinLock> guard(lock_);
+        unsigned have = order;
+        while (have <= kMaxPageOrder && free_counts_[have] == 0)
+            ++have;
+        if (have > kMaxPageOrder) {
+            failed_allocs_.add();
+            return nullptr;
+        }
+        pfn = pop_free(have);
+        assert(pfn != kNoBlock);
+        // Split down, returning the upper buddy at each level.
+        while (have > order) {
+            --have;
+            split_ops_.add();
+            push_free(pfn + order_pages(have), have);
+        }
+        for (std::size_t i = 0; i < order_pages(order); ++i)
+            page_state_[pfn + i] = kStateAllocated;
+    }
+    pages_in_use_.add(static_cast<std::int64_t>(order_pages(order)));
+    return addr_of(pfn);
+}
+
+void
+BuddyAllocator::free_pages(void* block, unsigned order)
+{
+    assert(block != nullptr && order <= kMaxPageOrder);
+    assert(arena_.contains(block));
+    free_calls_.add();
+
+    std::size_t pfn = pfn_of(block);
+    assert((pfn & (order_pages(order) - 1)) == 0);
+    const unsigned caller_order = order;
+
+    {
+        std::lock_guard<SpinLock> guard(lock_);
+#ifndef NDEBUG
+        if (page_state_[pfn] != kStateAllocated) {
+            std::fprintf(stderr,
+                         "buddy double free: pfn=%zu order=%u state=%u "
+                         "block=%p\n",
+                         pfn, order, page_state_[pfn], block);
+        }
+#endif
+        assert(page_state_[pfn] == kStateAllocated);
+        while (order < kMaxPageOrder) {
+            std::size_t buddy = pfn ^ order_pages(order);
+            if (buddy + order_pages(order) > total_pages_)
+                break;
+            if (page_state_[buddy] != static_cast<std::uint8_t>(order))
+                break;
+            remove_free(buddy, order);
+            merge_ops_.add();
+            pfn = pfn < buddy ? pfn : buddy;
+            ++order;
+        }
+        push_free(pfn, order);
+    }
+    // Merged buddies were already counted free; only the caller's own
+    // pages leave the in-use gauge.
+    pages_in_use_.sub(
+        static_cast<std::int64_t>(order_pages(caller_order)));
+}
+
+std::uint64_t
+BuddyAllocator::bytes_in_use() const
+{
+    return static_cast<std::uint64_t>(pages_in_use_.get()) * kPageSize;
+}
+
+double
+BuddyAllocator::usage_fraction() const
+{
+    if (total_pages_ == 0)
+        return 0.0;
+    return static_cast<double>(pages_in_use_.get()) /
+           static_cast<double>(total_pages_);
+}
+
+BuddyStatsSnapshot
+BuddyAllocator::stats() const
+{
+    BuddyStatsSnapshot s;
+    s.alloc_calls = alloc_calls_.get();
+    s.free_calls = free_calls_.get();
+    s.failed_allocs = failed_allocs_.get();
+    s.split_ops = split_ops_.get();
+    s.merge_ops = merge_ops_.get();
+    s.pages_in_use = pages_in_use_.get();
+    s.peak_pages_in_use = pages_in_use_.peak();
+    s.capacity_pages = total_pages_;
+    return s;
+}
+
+std::size_t
+BuddyAllocator::free_blocks(unsigned order) const
+{
+    std::lock_guard<SpinLock> guard(lock_);
+    return free_counts_[order];
+}
+
+bool
+BuddyAllocator::check_integrity() const
+{
+    std::lock_guard<SpinLock> guard(lock_);
+
+    // Walk free lists: heads must be aligned and marked with their
+    // order; list lengths must match counters.
+    for (unsigned order = 0; order <= kMaxPageOrder; ++order) {
+        std::size_t n = 0;
+        const FreeBlock& head = free_heads_[order];
+        for (FreeBlock* node = head.next; node != &head;
+             node = node->next) {
+            std::size_t pfn = pfn_of(node);
+            if ((pfn & (order_pages(order) - 1)) != 0)
+                return false;
+            if (page_state_[pfn] != static_cast<std::uint8_t>(order))
+                return false;
+            ++n;
+        }
+        if (n != free_counts_[order])
+            return false;
+    }
+
+    // Walk the page-state array: free heads followed by the right
+    // number of tails, no stray tails, and the free/used page totals
+    // must add up to capacity.
+    std::size_t free_pages_total = 0;
+    std::size_t pfn = 0;
+    while (pfn < total_pages_) {
+        std::uint8_t st = page_state_[pfn];
+        if (st == kStateAllocated) {
+            ++pfn;
+        } else if (st == kStateTail) {
+            return false;  // tail without a preceding head
+        } else {
+            unsigned order = st;
+            if (order > kMaxPageOrder)
+                return false;
+            for (std::size_t i = 1; i < order_pages(order); ++i) {
+                if (pfn + i >= total_pages_ ||
+                    page_state_[pfn + i] != kStateTail) {
+                    return false;
+                }
+            }
+            free_pages_total += order_pages(order);
+            pfn += order_pages(order);
+        }
+    }
+    std::size_t used =
+        static_cast<std::size_t>(pages_in_use_.get());
+    return free_pages_total + used == total_pages_;
+}
+
+}  // namespace prudence

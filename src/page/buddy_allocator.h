@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Binary-buddy page allocator over a bounded arena.
+ *
+ * This stands in for the Linux page allocator beneath the slab layer:
+ * slab-cache grow takes pages from here, slab-cache shrink returns
+ * them, and the Figure 3 memory timeline is this allocator's
+ * bytes-in-use probe.
+ *
+ * Properties the slab layer relies on:
+ *  - An order-k block starts at an arena offset that is a multiple of
+ *    2^k pages, so an object pointer can be masked down to its slab
+ *    header.
+ *  - Capacity is hard: when every page is handed out, alloc_pages()
+ *    returns nullptr (the simulated OOM).
+ */
+#ifndef PRUDENCE_PAGE_BUDDY_ALLOCATOR_H
+#define PRUDENCE_PAGE_BUDDY_ALLOCATOR_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "page/arena.h"
+#include "page/page_types.h"
+#include "stats/counters.h"
+#include "sync/spinlock.h"
+
+namespace prudence {
+
+/// Aggregate usage statistics for a buddy allocator instance.
+struct BuddyStatsSnapshot
+{
+    std::uint64_t alloc_calls = 0;
+    std::uint64_t free_calls = 0;
+    std::uint64_t failed_allocs = 0;
+    std::uint64_t split_ops = 0;
+    std::uint64_t merge_ops = 0;
+    std::int64_t pages_in_use = 0;
+    std::int64_t peak_pages_in_use = 0;
+    std::size_t capacity_pages = 0;
+};
+
+/// Binary-buddy allocator with per-order free lists.
+class BuddyAllocator
+{
+  public:
+    /**
+     * @param capacity_bytes arena size; rounded down to a whole
+     *        number of pages. Must hold at least one page.
+     */
+    explicit BuddyAllocator(std::size_t capacity_bytes);
+    ~BuddyAllocator();
+
+    BuddyAllocator(const BuddyAllocator&) = delete;
+    BuddyAllocator& operator=(const BuddyAllocator&) = delete;
+
+    /**
+     * Allocate a block of 2^order contiguous pages.
+     * @return block base, or nullptr when no block of that order can
+     *         be assembled (out of memory).
+     */
+    void* alloc_pages(unsigned order);
+
+    /**
+     * Return a block previously obtained from alloc_pages() with the
+     * same @p order.
+     */
+    void free_pages(void* block, unsigned order);
+
+    /// Arena base (slab-mask arithmetic is relative to this).
+    std::byte* base() const { return arena_.base(); }
+    /// Total pages managed.
+    std::size_t capacity_pages() const { return total_pages_; }
+    /// Bytes currently handed out (Fig. 3 probe).
+    std::uint64_t bytes_in_use() const;
+    /// Fraction of capacity in use, in [0, 1] (RCU pressure probe).
+    double usage_fraction() const;
+    /// True iff @p p lies inside the managed arena.
+    bool contains(const void* p) const { return arena_.contains(p); }
+
+    /// Usage counters snapshot.
+    BuddyStatsSnapshot stats() const;
+
+    /// Free blocks currently on the free list of @p order.
+    std::size_t free_blocks(unsigned order) const;
+
+    /**
+     * Exhaustively verify internal invariants (test support): free
+     * blocks aligned, non-overlapping, marked consistently, and
+     * used + free == capacity.
+     * @return true iff every invariant holds.
+     */
+    bool check_integrity() const;
+
+  private:
+    /// Intrusive free-list node living inside free block memory.
+    struct FreeBlock
+    {
+        FreeBlock* prev;
+        FreeBlock* next;
+    };
+
+    /// Per-page state: kStateAllocated, or the order of the free
+    /// block whose head this page is, or kStateTail for non-head
+    /// pages of free blocks.
+    static constexpr std::uint8_t kStateAllocated = 0xFF;
+    static constexpr std::uint8_t kStateTail = 0xFE;
+
+    std::size_t pfn_of(const void* p) const;
+    void* addr_of(std::size_t pfn) const;
+    void push_free(std::size_t pfn, unsigned order);
+    void remove_free(std::size_t pfn, unsigned order);
+    std::size_t pop_free(unsigned order);
+
+    Arena arena_;
+    std::size_t total_pages_ = 0;
+
+    mutable SpinLock lock_;
+    std::array<FreeBlock, kMaxPageOrder + 1> free_heads_;
+    std::array<std::size_t, kMaxPageOrder + 1> free_counts_{};
+    std::vector<std::uint8_t> page_state_;
+
+    Counter alloc_calls_;
+    Counter free_calls_;
+    Counter failed_allocs_;
+    Counter split_ops_;
+    Counter merge_ops_;
+    PeakGauge pages_in_use_;
+};
+
+}  // namespace prudence
+
+#endif  // PRUDENCE_PAGE_BUDDY_ALLOCATOR_H

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Page-level constants shared by the page allocator and the slab
+ * layer.
+ */
+#ifndef PRUDENCE_PAGE_PAGE_TYPES_H
+#define PRUDENCE_PAGE_PAGE_TYPES_H
+
+#include <cstddef>
+
+namespace prudence {
+
+/// Fixed simulated page size (matches Linux x86-64).
+inline constexpr std::size_t kPageSize = 4096;
+
+/// Highest buddy order: blocks of 2^kMaxOrder pages (4 MiB).
+inline constexpr unsigned kMaxPageOrder = 10;
+
+/// Bytes in a block of the given order.
+constexpr std::size_t
+order_bytes(unsigned order)
+{
+    return kPageSize << order;
+}
+
+/// Pages in a block of the given order.
+constexpr std::size_t
+order_pages(unsigned order)
+{
+    return std::size_t{1} << order;
+}
+
+}  // namespace prudence
+
+#endif  // PRUDENCE_PAGE_PAGE_TYPES_H

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The grace-period state interface shared between the synchronization
+ * mechanism and the memory allocator.
+ *
+ * This is the paper's requirement (ii): "we modify the synchronization
+ * mechanism to provide information on the grace period state to the
+ * memory allocator". The synchronization mechanism remains responsible
+ * for *computing* grace periods; the allocator only consumes two
+ * monotone counters:
+ *
+ *  - defer_epoch(): the tag stamped on an object at free_deferred
+ *    time (Algorithm 1: object.gp_state ← GET_GRACE_PERIOD_STATE()).
+ *  - completed_epoch(): the newest tag value whose grace period has
+ *    completed. An object with tag t is safe to reuse iff
+ *    completed_epoch() >= t (Algorithm 1: GRACE_PERIOD_COMPLETE).
+ */
+#ifndef PRUDENCE_RCU_GRACE_PERIOD_H
+#define PRUDENCE_RCU_GRACE_PERIOD_H
+
+#include <cstdint>
+
+namespace prudence {
+
+/// Epoch tag type stamped on deferred objects.
+using GpEpoch = std::uint64_t;
+
+/// Abstract grace-period state provider.
+class GracePeriodDomain
+{
+  public:
+    virtual ~GracePeriodDomain() = default;
+
+    /**
+     * Tag to stamp on an object being deferred *now*. Any reader that
+     * currently holds a reference to the object is guaranteed to have
+     * finished once completed_epoch() >= this value.
+     */
+    virtual GpEpoch defer_epoch() = 0;
+
+    /// Newest tag whose grace period has completed.
+    virtual GpEpoch completed_epoch() const = 0;
+
+    /// True iff an object tagged @p tag is safe to reuse.
+    bool is_safe(GpEpoch tag) const { return completed_epoch() >= tag; }
+
+    /**
+     * Block until every object deferred before this call is safe,
+     * i.e., until completed_epoch() >= the defer_epoch() observed at
+     * entry. Must not be called from inside a read-side critical
+     * section.
+     */
+    virtual void synchronize() = 0;
+};
+
+}  // namespace prudence
+
+#endif  // PRUDENCE_RCU_GRACE_PERIOD_H

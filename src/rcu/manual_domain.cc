@@ -1,0 +1,3 @@
+// ManualRcuDomain is header-only; this translation unit anchors the
+// library target.
+#include "rcu/manual_domain.h"

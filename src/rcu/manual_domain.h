@@ -1,0 +1,55 @@
+/**
+ * @file
+ * A grace-period domain whose epochs advance only on explicit request.
+ *
+ * Unit tests for the allocators need deterministic control over "has
+ * the grace period completed?" — ManualRcuDomain provides exactly the
+ * GracePeriodDomain counters with no reader machinery and no threads.
+ */
+#ifndef PRUDENCE_RCU_MANUAL_DOMAIN_H
+#define PRUDENCE_RCU_MANUAL_DOMAIN_H
+
+#include <atomic>
+
+#include "rcu/grace_period.h"
+
+namespace prudence {
+
+/// Deterministic grace-period domain for tests and single-threaded use.
+class ManualRcuDomain : public GracePeriodDomain
+{
+  public:
+    GpEpoch
+    defer_epoch() override
+    {
+        return gp_ctr_.load(std::memory_order_acquire);
+    }
+
+    GpEpoch
+    completed_epoch() const override
+    {
+        return completed_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Complete one grace period: everything deferred up to now
+     * becomes safe; subsequent deferrals get a fresh epoch.
+     */
+    void
+    advance()
+    {
+        GpEpoch cur = gp_ctr_.fetch_add(1, std::memory_order_acq_rel);
+        completed_.store(cur, std::memory_order_release);
+    }
+
+    /// With no real readers, synchronize is a single advance.
+    void synchronize() override { advance(); }
+
+  private:
+    std::atomic<GpEpoch> gp_ctr_{1};
+    std::atomic<GpEpoch> completed_{0};
+};
+
+}  // namespace prudence
+
+#endif  // PRUDENCE_RCU_MANUAL_DOMAIN_H

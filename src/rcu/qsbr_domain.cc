@@ -1,0 +1,136 @@
+#include "rcu/qsbr_domain.h"
+
+#include <cassert>
+
+#include "sync/backoff.h"
+
+namespace prudence {
+
+QsbrDomain::QsbrDomain(const QsbrConfig& config)
+    : threads_(config.max_threads), gp_interval_(config.gp_interval)
+{
+    if (config.background_gp_thread) {
+        running_.store(true, std::memory_order_release);
+        gp_thread_ = std::thread([this] { gp_thread_main(); });
+    }
+}
+
+QsbrDomain::~QsbrDomain()
+{
+    running_.store(false, std::memory_order_release);
+    if (gp_thread_.joinable())
+        gp_thread_.join();
+}
+
+void
+QsbrDomain::online()
+{
+    ThreadSlot& slot = threads_.slot();
+    // Coming online counts as an immediate quiescent state.
+    slot.value.store(gp_ctr_.load(std::memory_order_seq_cst),
+                     std::memory_order_seq_cst);
+}
+
+void
+QsbrDomain::offline()
+{
+    // 0 = not participating; grace periods skip this thread.
+    threads_.slot().value.store(0, std::memory_order_release);
+}
+
+bool
+QsbrDomain::is_online()
+{
+    return threads_.slot().value.load(std::memory_order_relaxed) != 0;
+}
+
+void
+QsbrDomain::quiescent_state()
+{
+    ThreadSlot& slot = threads_.slot();
+    assert(slot.value.load(std::memory_order_relaxed) != 0 &&
+           "quiescent_state() from an offline thread");
+    // Order: everything this thread read before the announcement
+    // happens-before the detector observing it (it may free objects
+    // the thread was using until now).
+    GpEpoch now = gp_ctr_.load(std::memory_order_seq_cst);
+    slot.value.store(now, std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+GpEpoch
+QsbrDomain::defer_epoch()
+{
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    return gp_ctr_.load(std::memory_order_seq_cst);
+}
+
+GpEpoch
+QsbrDomain::completed_epoch() const
+{
+    return completed_.load(std::memory_order_acquire);
+}
+
+void
+QsbrDomain::advance()
+{
+    std::lock_guard<std::mutex> gp_lock(gp_mutex_);
+    GpEpoch target =
+        gp_ctr_.fetch_add(1, std::memory_order_seq_cst) + 1;
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+
+    // Wait until every online thread has announced a quiescent state
+    // observed at or after the increment (offline threads vacuously
+    // qualify).
+    Backoff backoff;
+    threads_.for_each_slot([&](const ThreadSlot& slot) {
+        backoff.reset();
+        for (;;) {
+            GpEpoch v = slot.value.load(std::memory_order_seq_cst);
+            if (v == 0 || v >= target)
+                return;
+            backoff.pause();
+        }
+    });
+
+    grace_periods_.add();
+    {
+        std::lock_guard<std::mutex> lock(waiter_mutex_);
+        completed_.store(target - 1, std::memory_order_release);
+    }
+    waiter_cv_.notify_all();
+}
+
+void
+QsbrDomain::synchronize()
+{
+    GpEpoch tag = defer_epoch();
+    if (is_safe(tag))
+        return;
+    // A registered caller must not stall its own grace period: count
+    // as quiescent for the duration of the wait.
+    bool was_online = is_online();
+    if (was_online)
+        offline();
+    if (!running_.load(std::memory_order_acquire)) {
+        while (!is_safe(tag))
+            advance();
+    } else {
+        std::unique_lock<std::mutex> lock(waiter_mutex_);
+        waiter_cv_.wait(lock, [&] { return is_safe(tag); });
+    }
+    if (was_online)
+        online();
+}
+
+void
+QsbrDomain::gp_thread_main()
+{
+    while (running_.load(std::memory_order_acquire)) {
+        advance();
+        if (gp_interval_.count() > 0)
+            std::this_thread::sleep_for(gp_interval_);
+    }
+}
+
+}  // namespace prudence

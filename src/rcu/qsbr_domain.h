@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Quiescent-state-based reclamation (QSBR) grace-period domain.
+ *
+ * This is the flavor closest to the kernel mechanism the paper builds
+ * on: the Linux kernel infers quiescence from context switches (§2.1
+ * "a context switch on a CPU implies the completion of all prior
+ * read-side critical sections on that CPU"). In user space the
+ * application announces the equivalent explicitly: each participating
+ * thread periodically calls quiescent_state() at a point where it
+ * holds no references to RCU-protected objects.
+ *
+ * Readers need no per-access bookkeeping at all — read-side cost is
+ * exactly zero — which is why QSBR is the fastest reclamation scheme
+ * (Hart et al., the paper's [22]). The price: every registered thread
+ * MUST pass through quiescent states regularly or grace periods stall.
+ *
+ * QsbrDomain implements GracePeriodDomain, so either allocator can
+ * run on it unchanged — demonstrating that Prudence's integration
+ * contract is just the two monotone counters.
+ */
+#ifndef PRUDENCE_RCU_QSBR_DOMAIN_H
+#define PRUDENCE_RCU_QSBR_DOMAIN_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "rcu/grace_period.h"
+#include "stats/counters.h"
+#include "sync/thread_registry.h"
+
+namespace prudence {
+
+/// Tuning for a QsbrDomain.
+struct QsbrConfig
+{
+    /// Start a background grace-period detector thread.
+    bool background_gp_thread = true;
+    /// Pause between background grace periods.
+    std::chrono::microseconds gp_interval{200};
+    /// Maximum concurrently registered participant threads.
+    std::size_t max_threads = 1024;
+};
+
+/// QSBR grace-period domain.
+class QsbrDomain : public GracePeriodDomain
+{
+  public:
+    explicit QsbrDomain(const QsbrConfig& config = {});
+    ~QsbrDomain() override;
+
+    QsbrDomain(const QsbrDomain&) = delete;
+    QsbrDomain& operator=(const QsbrDomain&) = delete;
+
+    /**
+     * Register the calling thread as a participant. From this point
+     * until offline(), grace periods wait for it to announce
+     * quiescent states.
+     */
+    void online();
+
+    /**
+     * Deregister the calling thread (e.g., before blocking): grace
+     * periods no longer wait for it. Must not hold references to
+     * RCU-protected objects afterwards.
+     */
+    void offline();
+
+    /**
+     * Announce a quiescent state: the calling thread currently holds
+     * no references to any RCU-protected object.
+     */
+    void quiescent_state();
+
+    /// True iff the calling thread is registered.
+    bool is_online();
+
+    // GracePeriodDomain interface.
+    GpEpoch defer_epoch() override;
+    GpEpoch completed_epoch() const override;
+    void synchronize() override;
+
+    /// Run one grace period inline.
+    void advance();
+
+    /// Completed grace periods so far.
+    std::uint64_t grace_periods() const { return grace_periods_.get(); }
+
+  private:
+    void gp_thread_main();
+
+    ThreadRegistry threads_;
+    std::atomic<GpEpoch> gp_ctr_{1};
+    std::atomic<GpEpoch> completed_{0};
+    Counter grace_periods_;
+
+    std::mutex gp_mutex_;
+    std::mutex waiter_mutex_;
+    std::condition_variable waiter_cv_;
+
+    std::atomic<bool> running_{false};
+    std::chrono::microseconds gp_interval_;
+    std::thread gp_thread_;
+};
+
+/// RAII participant registration: online on construction, offline on
+/// destruction.
+class QsbrThreadGuard
+{
+  public:
+    explicit QsbrThreadGuard(QsbrDomain& domain) : domain_(domain)
+    {
+        domain_.online();
+    }
+    ~QsbrThreadGuard() { domain_.offline(); }
+
+    QsbrThreadGuard(const QsbrThreadGuard&) = delete;
+    QsbrThreadGuard& operator=(const QsbrThreadGuard&) = delete;
+
+  private:
+    QsbrDomain& domain_;
+};
+
+}  // namespace prudence
+
+#endif  // PRUDENCE_RCU_QSBR_DOMAIN_H

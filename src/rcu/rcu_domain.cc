@@ -1,0 +1,153 @@
+#include "rcu/rcu_domain.h"
+
+#include <cassert>
+
+#include "sync/backoff.h"
+
+namespace prudence {
+
+RcuDomain::RcuDomain(const RcuConfig& config)
+    : readers_(config.max_reader_threads),
+      gp_interval_(config.gp_interval)
+{
+    if (config.background_gp_thread) {
+        running_.store(true, std::memory_order_release);
+        gp_thread_ = std::thread([this] { gp_thread_main(); });
+    }
+}
+
+RcuDomain::~RcuDomain()
+{
+    running_.store(false, std::memory_order_release);
+    if (gp_thread_.joinable())
+        gp_thread_.join();
+}
+
+void
+RcuDomain::read_lock()
+{
+    ThreadSlot& slot = readers_.slot();
+    if (slot.nesting++ == 0) {
+        GpEpoch snapshot = gp_ctr_.load(std::memory_order_seq_cst);
+        slot.value.store(snapshot, std::memory_order_seq_cst);
+        // Order the slot publication before every read the critical
+        // section performs; pairs with the detector's fence between
+        // its counter increment and its slot scan.
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+    }
+}
+
+void
+RcuDomain::read_unlock()
+{
+    ThreadSlot& slot = readers_.slot();
+    assert(slot.nesting > 0 && "read_unlock without read_lock");
+    if (--slot.nesting == 0) {
+        // Release ordering: everything read inside the section
+        // happens-before the detector observing us quiescent.
+        slot.value.store(0, std::memory_order_release);
+    }
+}
+
+bool
+RcuDomain::in_reader_section() const
+{
+    return const_cast<RcuDomain*>(this)->readers_.slot().nesting > 0;
+}
+
+GpEpoch
+RcuDomain::defer_epoch()
+{
+    // Order the caller's removal stores before the counter read, so a
+    // grace period that begins after this read also begins after the
+    // removal became visible.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    return gp_ctr_.load(std::memory_order_seq_cst);
+}
+
+GpEpoch
+RcuDomain::completed_epoch() const
+{
+    return completed_.load(std::memory_order_acquire);
+}
+
+void
+RcuDomain::wait_for_readers(GpEpoch target)
+{
+    Backoff backoff;
+    readers_.for_each_slot([&](const ThreadSlot& slot) {
+        backoff.reset();
+        for (;;) {
+            GpEpoch v = slot.value.load(std::memory_order_seq_cst);
+            if (v == 0 || v >= target)
+                return;
+            backoff.pause();
+        }
+    });
+}
+
+void
+RcuDomain::advance()
+{
+    std::lock_guard<std::mutex> gp_lock(gp_mutex_);
+
+    // Phase 1: everything deferred before this increment has target
+    // tags <= t1 - 1.
+    GpEpoch t1 = gp_ctr_.fetch_add(1, std::memory_order_seq_cst) + 1;
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    wait_for_readers(t1);
+
+    // Phase 2: closes the delayed-reader window (a thread that read
+    // the counter before phase 1's increment but had not yet
+    // published its slot when phase 1 scanned).
+    GpEpoch t2 = gp_ctr_.fetch_add(1, std::memory_order_seq_cst) + 1;
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    wait_for_readers(t2);
+
+    grace_periods_.add();
+    {
+        std::lock_guard<std::mutex> lock(waiter_mutex_);
+        completed_.store(t1 - 1, std::memory_order_release);
+    }
+    waiter_cv_.notify_all();
+}
+
+void
+RcuDomain::synchronize()
+{
+    assert(!in_reader_section() &&
+           "synchronize() inside a read-side critical section deadlocks");
+    GpEpoch tag = defer_epoch();
+    if (is_safe(tag))
+        return;
+    if (!running_.load(std::memory_order_acquire)) {
+        // No background detector: compute the grace period inline.
+        while (!is_safe(tag))
+            advance();
+        return;
+    }
+    std::unique_lock<std::mutex> lock(waiter_mutex_);
+    waiter_cv_.wait(lock, [&] { return is_safe(tag); });
+}
+
+void
+RcuDomain::gp_thread_main()
+{
+    while (running_.load(std::memory_order_acquire)) {
+        advance();
+        if (gp_interval_.count() > 0)
+            std::this_thread::sleep_for(gp_interval_);
+    }
+}
+
+RcuStatsSnapshot
+RcuDomain::stats() const
+{
+    RcuStatsSnapshot s;
+    s.grace_periods = grace_periods_.get();
+    s.current_epoch = gp_ctr_.load(std::memory_order_relaxed);
+    s.completed_epoch = completed_.load(std::memory_order_relaxed);
+    return s;
+}
+
+}  // namespace prudence

@@ -1,0 +1,110 @@
+#include "slab/geometry.h"
+
+#include <stdexcept>
+
+#include "page/page_types.h"
+#include "slab/slab_header.h"
+#include "sync/cacheline.h"
+
+namespace prudence {
+
+namespace {
+
+/// Usable objects in a slab of @p order for stride @p stride, after
+/// the header and one latent-ring entry per object.
+std::size_t
+objects_for_order(unsigned order, std::size_t stride)
+{
+    std::size_t bytes = order_bytes(order);
+    std::size_t header = align_up(sizeof(SlabHeader),
+                                  alignof(LatentSlabEntry));
+    if (bytes <= header + kCacheLineSize)
+        return 0;
+    // n objects need: header + n * sizeof(LatentSlabEntry) (+ pad to
+    // a cache line) + n * stride bytes.
+    std::size_t avail = bytes - header - kCacheLineSize;
+    std::size_t n = avail / (stride + sizeof(LatentSlabEntry));
+    // Validate against exact layout (padding may cost one object).
+    while (n > 0) {
+        std::size_t offset =
+            align_up(header + n * sizeof(LatentSlabEntry),
+                     kCacheLineSize);
+        if (offset + n * stride <= bytes)
+            break;
+        --n;
+    }
+    return n;
+}
+
+/// First-object offset for @p n objects (mirrors objects_for_order).
+std::size_t
+offset_for(std::size_t n)
+{
+    std::size_t header = align_up(sizeof(SlabHeader),
+                                  alignof(LatentSlabEntry));
+    return align_up(header + n * sizeof(LatentSlabEntry),
+                    kCacheLineSize);
+}
+
+/// Per-CPU object-cache capacity by object size — the Linux SLAB
+/// limit ladder (small objects get deep caches, large ones shallow);
+/// the refill batch is limit/2, SLAB's batchcount.
+std::size_t
+cache_capacity_for(std::size_t aligned_size)
+{
+    if (aligned_size <= 256)
+        return 120;
+    if (aligned_size <= 1024)
+        return 54;
+    if (aligned_size <= 4096)
+        return 24;
+    return 8;
+}
+
+}  // namespace
+
+SlabGeometry
+compute_slab_geometry(std::size_t object_size)
+{
+    if (object_size == 0)
+        throw std::invalid_argument("slab geometry: zero object size");
+
+    SlabGeometry g;
+    g.object_size = object_size;
+    g.aligned_size = align_up(object_size < 8 ? 8 : object_size, 8);
+
+    // Smallest order (up to 3, like SLUB's default ceiling) that fits
+    // at least kMinObjects; very large objects escalate past order 3
+    // until at least one object fits.
+    constexpr std::size_t kMinObjects = 8;
+    constexpr unsigned kPreferredMaxOrder = 3;
+    unsigned order = 0;
+    while (order < kPreferredMaxOrder &&
+           objects_for_order(order, g.aligned_size) < kMinObjects) {
+        ++order;
+    }
+    while (order < kMaxPageOrder &&
+           objects_for_order(order, g.aligned_size) == 0) {
+        ++order;
+    }
+    std::size_t n = objects_for_order(order, g.aligned_size);
+    if (n == 0)
+        throw std::invalid_argument(
+            "slab geometry: object too large for any slab order");
+
+    g.slab_order = order;
+    g.slab_bytes = order_bytes(order);
+    g.objects_per_slab = n;
+    g.objects_offset = offset_for(n);
+    std::size_t slack =
+        g.slab_bytes - g.objects_offset - n * g.aligned_size;
+    g.color_slots = slack / kCacheLineSize + 1;
+    g.cache_capacity = cache_capacity_for(g.aligned_size);
+    g.refill_target = g.cache_capacity / 2;
+    if (g.refill_target == 0)
+        g.refill_target = 1;
+    g.free_slab_limit = 5;
+    return g;
+}
+
+}  // namespace prudence

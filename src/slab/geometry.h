@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Slab-cache sizing heuristics shared by SLUB and Prudence.
+ *
+ * The paper (§4.3) stresses that Prudence *reuses* the baseline's
+ * sizing heuristics — object-cache size, slab order, free-slab
+ * threshold — so every geometry decision lives here and is consumed
+ * identically by both allocators. Differences in measured behaviour
+ * therefore isolate the contribution (latent structures + hints),
+ * not incidental sizing choices.
+ */
+#ifndef PRUDENCE_SLAB_GEOMETRY_H
+#define PRUDENCE_SLAB_GEOMETRY_H
+
+#include <cstddef>
+
+namespace prudence {
+
+/// Complete sizing for one slab cache.
+struct SlabGeometry
+{
+    /// User-visible object size.
+    std::size_t object_size = 0;
+    /// Rounded allocation stride (>= 8, 8-byte aligned).
+    std::size_t aligned_size = 0;
+    /// Buddy order of one slab.
+    unsigned slab_order = 0;
+    /// Bytes per slab (order_bytes(slab_order)).
+    std::size_t slab_bytes = 0;
+    /// Usable objects per slab (after header + latent-ring metadata).
+    std::size_t objects_per_slab = 0;
+    /// Byte offset of the first object within the slab.
+    std::size_t objects_offset = 0;
+    /**
+     * Number of distinct cache-line color offsets that fit in the
+     * slab's slack space (Bonwick-style slab coloring, which §4.3
+     * notes Prudence reuses). Successive slabs start their objects at
+     * rotating offsets of color * cache line so equal-index objects
+     * of different slabs do not collide on the same cache sets.
+     */
+    std::size_t color_slots = 1;
+
+    /// Per-CPU object-cache capacity (and the latent-cache limit,
+    /// paper §4.1: "the limit is set to the size of the object cache").
+    std::size_t cache_capacity = 0;
+    /// Object-cache refill batch when no hints apply (the classic
+    /// batchcount = capacity / 2).
+    std::size_t refill_target = 0;
+    /// Free slabs retained per node before shrinking.
+    std::size_t free_slab_limit = 0;
+};
+
+/**
+ * Compute geometry for objects of @p object_size bytes.
+ * @throws std::invalid_argument if the size cannot fit any slab.
+ */
+SlabGeometry compute_slab_geometry(std::size_t object_size);
+
+}  // namespace prudence
+
+#endif  // PRUDENCE_SLAB_GEOMETRY_H

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The latent cache ring: epoch-tagged deferred objects held at the
+ * per-CPU level (paper §4.1).
+ *
+ * Entries are appended in defer order, so epochs are monotone and the
+ * safe-to-merge entries always form a prefix. Capacity equals the
+ * object-cache capacity (the paper's latent-cache limit). Out-of-band
+ * storage — the deferred objects themselves are never written.
+ */
+#ifndef PRUDENCE_SLAB_LATENT_RING_H
+#define PRUDENCE_SLAB_LATENT_RING_H
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+
+#include "rcu/grace_period.h"
+
+namespace prudence {
+
+/// Fixed-capacity FIFO of {object, defer epoch} pairs.
+class LatentRing
+{
+  public:
+    /// One deferred object awaiting its grace period.
+    struct Entry
+    {
+        void* object;
+        GpEpoch epoch;
+    };
+
+    explicit LatentRing(std::size_t capacity)
+        : capacity_(capacity),
+          entries_(std::make_unique<Entry[]>(capacity))
+    {
+    }
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t count() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    bool full() const { return count_ == capacity_; }
+
+    /// Append a deferred object; caller must ensure !full().
+    void
+    push(void* obj, GpEpoch epoch)
+    {
+        assert(count_ < capacity_);
+        entries_[(head_ + count_) % capacity_] = {obj, epoch};
+        ++count_;
+    }
+
+    /// Oldest entry (valid only when !empty()).
+    const Entry& front() const { return entries_[head_]; }
+
+    /// Drop the oldest entry.
+    void
+    pop_front()
+    {
+        assert(count_ > 0);
+        head_ = (head_ + 1) % capacity_;
+        --count_;
+    }
+
+    /**
+     * Number of leading entries whose epoch is <= @p completed,
+     * scanning at most @p limit entries. With FIFO appends of a
+     * monotone epoch this is (a lower bound on) the count of
+     * grace-period-complete objects.
+     */
+    std::size_t
+    count_safe(GpEpoch completed, std::size_t limit) const
+    {
+        std::size_t n = 0;
+        std::size_t max = count_ < limit ? count_ : limit;
+        while (n < max &&
+               entries_[(head_ + n) % capacity_].epoch <= completed) {
+            ++n;
+        }
+        return n;
+    }
+
+    /// Newest entry (valid only when !empty()).
+    const Entry&
+    back() const
+    {
+        return entries_[(head_ + count_ - 1) % capacity_];
+    }
+
+    /// Drop the newest entry (used by pre-flush, which evicts the
+    /// entries farthest from becoming safe).
+    void
+    pop_back()
+    {
+        assert(count_ > 0);
+        --count_;
+    }
+
+  private:
+    std::size_t capacity_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+    std::unique_ptr<Entry[]> entries_;
+};
+
+}  // namespace prudence
+
+#endif  // PRUDENCE_SLAB_LATENT_RING_H

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Page → owning-slab lookup table (the user-space analogue of the
+ * kernel's struct page back-pointer).
+ *
+ * kfree()/kfree_deferred() receive a bare pointer; the allocator finds
+ * the owning slab (and through it the cache) by indexing this table
+ * with the pointer's page frame number.
+ */
+#ifndef PRUDENCE_SLAB_PAGE_OWNER_H
+#define PRUDENCE_SLAB_PAGE_OWNER_H
+
+#include <atomic>
+#include <cassert>
+#include <memory>
+
+#include "page/buddy_allocator.h"
+#include "page/page_types.h"
+
+namespace prudence {
+
+struct SlabHeader;
+
+/// Maps every arena page to the slab occupying it (or nullptr).
+class PageOwnerTable
+{
+  public:
+    explicit PageOwnerTable(const BuddyAllocator& buddy)
+        : base_(buddy.base()),
+          pages_(buddy.capacity_pages()),
+          owners_(std::make_unique<std::atomic<SlabHeader*>[]>(
+              buddy.capacity_pages()))
+    {
+        for (std::size_t i = 0; i < pages_; ++i)
+            owners_[i].store(nullptr, std::memory_order_relaxed);
+    }
+
+    /// Record @p slab as owner of the pages in [block, block+bytes).
+    void
+    set_range(const void* block, std::size_t bytes, SlabHeader* slab)
+    {
+        std::size_t first = pfn(block);
+        std::size_t n = bytes / kPageSize;
+        for (std::size_t i = 0; i < n; ++i)
+            owners_[first + i].store(slab, std::memory_order_release);
+    }
+
+    /// Clear ownership of the pages in [block, block+bytes).
+    void
+    clear_range(const void* block, std::size_t bytes)
+    {
+        std::size_t first = pfn(block);
+        std::size_t n = bytes / kPageSize;
+        for (std::size_t i = 0; i < n; ++i)
+            owners_[first + i].store(nullptr, std::memory_order_release);
+    }
+
+    /// Slab owning the page containing @p p (nullptr if none).
+    SlabHeader*
+    lookup(const void* p) const
+    {
+        std::size_t i = pfn(p);
+        if (i >= pages_)
+            return nullptr;
+        return owners_[i].load(std::memory_order_acquire);
+    }
+
+  private:
+    std::size_t
+    pfn(const void* p) const
+    {
+        return static_cast<std::size_t>(
+                   static_cast<const std::byte*>(p) - base_) /
+               kPageSize;
+    }
+
+    std::byte* base_;
+    std::size_t pages_;
+    std::unique_ptr<std::atomic<SlabHeader*>[]> owners_;
+};
+
+}  // namespace prudence
+
+#endif  // PRUDENCE_SLAB_PAGE_OWNER_H

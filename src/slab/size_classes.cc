@@ -1,0 +1,21 @@
+#include "slab/size_classes.h"
+
+namespace prudence {
+
+std::size_t
+size_class_index(std::size_t size)
+{
+    for (std::size_t i = 0; i < kNumSizeClasses; ++i) {
+        if (size <= kSizeClasses[i])
+            return i;
+    }
+    return kNumSizeClasses;
+}
+
+std::string
+size_class_name(std::size_t index)
+{
+    return "kmalloc-" + std::to_string(kSizeClasses[index]);
+}
+
+}  // namespace prudence

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * kmalloc size classes: the fixed ladder of general-purpose caches
+ * (kmalloc-8 ... kmalloc-8192) backing untyped kmalloc() requests.
+ */
+#ifndef PRUDENCE_SLAB_SIZE_CLASSES_H
+#define PRUDENCE_SLAB_SIZE_CLASSES_H
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace prudence {
+
+/// Number of kmalloc size classes.
+inline constexpr std::size_t kNumSizeClasses = 11;
+
+/// Ascending object sizes of the kmalloc ladder.
+inline constexpr std::array<std::size_t, kNumSizeClasses> kSizeClasses = {
+    8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192,
+};
+
+/// Largest size servable by kmalloc().
+inline constexpr std::size_t kMaxKmallocSize =
+    kSizeClasses[kNumSizeClasses - 1];
+
+/**
+ * Index of the smallest class holding @p size bytes.
+ * @return kNumSizeClasses when @p size exceeds kMaxKmallocSize.
+ */
+std::size_t size_class_index(std::size_t size);
+
+/// Conventional cache name for class @p index ("kmalloc-64" etc.).
+std::string size_class_name(std::size_t index);
+
+}  // namespace prudence
+
+#endif  // PRUDENCE_SLAB_SIZE_CLASSES_H

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * On-slab metadata: header, intrusive freelist, and the latent-slab
+ * ring (Prudence, paper §4.1).
+ *
+ * Slab memory layout:
+ * @verbatim
+ *   +--------------+----------------------------+---------+---------
+ *   | SlabHeader   | latent ring entries        | padding | objects
+ *   |              | (objects_per_slab entries) | to 64 B | ...
+ *   +--------------+----------------------------+---------+---------
+ * @endverbatim
+ *
+ * The latent ring is out-of-band on purpose: a deferred object may
+ * still be referenced by pre-existing readers, so — unlike an ordinary
+ * freelist push — nothing may be written *into* the object until its
+ * grace period completes. Ring entries carry the object index and the
+ * epoch tag; merging a safe entry is the moment the freelist link is
+ * finally written into the object.
+ *
+ * Locking: the freelist and list membership are guarded by the node
+ * lock of the owning cache; the latent ring is guarded by the per-slab
+ * slab_lock. The node lock may be held while taking the slab lock,
+ * never the reverse. deferred_count is atomic so pre-movement
+ * decisions can read it under the node lock alone.
+ */
+#ifndef PRUDENCE_SLAB_SLAB_HEADER_H
+#define PRUDENCE_SLAB_SLAB_HEADER_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "rcu/grace_period.h"
+#include "slab/geometry.h"
+#include "sync/spinlock.h"
+
+namespace prudence {
+
+/// Which node list a slab is currently on.
+enum class SlabListKind : std::uint8_t { kNone, kFull, kPartial, kFree };
+
+/// One deferred object recorded in a slab's latent ring.
+struct LatentSlabEntry
+{
+    GpEpoch epoch;
+    std::uint32_t index;
+    std::uint32_t pad_;
+};
+
+/// Metadata at the base of every slab.
+struct SlabHeader
+{
+    /// Intrusive links for the node full/partial/free lists.
+    SlabHeader* prev;
+    SlabHeader* next;
+    /// Opaque owner (the SlabPool that grew this slab).
+    void* owner;
+    /// First object.
+    std::byte* objects_base;
+    /// Singly-linked list of free objects threaded through their
+    /// first word (guarded by the node lock).
+    void* freelist;
+    /// Latent ring storage (within the slab, after this header).
+    LatentSlabEntry* ring;
+
+    /// Liveness stamp: kMagicLive from init_slab until the pages are
+    /// released. Catches use-after-release and double release.
+    static constexpr std::uint32_t kMagicLive = 0x51AB51AB;
+    static constexpr std::uint32_t kMagicDead = 0xDEAD51AB;
+    std::uint32_t magic;
+
+    std::uint32_t total_objects;
+    std::uint32_t aligned_size;
+    std::uint32_t free_count;
+
+    /// Ring cursor state (guarded by slab_lock).
+    std::uint32_t ring_capacity;
+    std::uint32_t ring_head;
+    std::uint32_t ring_count;
+
+    /// Deferred objects currently in this slab's ring.
+    std::atomic<std::uint32_t> deferred_count;
+
+    SlabListKind list_kind;
+
+    /// Guards the latent ring.
+    SpinLock slab_lock;
+
+    // ---- freelist / object helpers (node lock held) ----
+
+    /// Objects handed out of the slab (to caches or users).
+    std::uint32_t in_use() const { return total_objects - free_count; }
+
+    /// Address of object @p index.
+    void*
+    object_at(std::uint32_t index) const
+    {
+        return objects_base +
+               static_cast<std::size_t>(index) * aligned_size;
+    }
+
+    /// Index of object at @p obj (must belong to this slab).
+    std::uint32_t
+    index_of(const void* obj) const
+    {
+        auto off = static_cast<std::size_t>(
+            static_cast<const std::byte*>(obj) - objects_base);
+        return static_cast<std::uint32_t>(off / aligned_size);
+    }
+
+    /// Pop one object from the freelist; nullptr when empty.
+    void*
+    freelist_pop()
+    {
+        void* obj = freelist;
+        if (obj != nullptr) {
+            freelist = *static_cast<void**>(obj);
+            --free_count;
+        }
+        return obj;
+    }
+
+    /// Push @p obj onto the freelist (writes the link word into it).
+    void
+    freelist_push(void* obj)
+    {
+        *static_cast<void**>(obj) = freelist;
+        freelist = obj;
+        ++free_count;
+    }
+
+    // ---- latent ring helpers (slab_lock held) ----
+
+    /// Append a deferred object; @return false when the ring is full
+    /// (cannot happen if callers only defer objects of this slab,
+    /// since capacity == total_objects).
+    bool
+    ring_push(std::uint32_t index, GpEpoch epoch)
+    {
+        if (ring_count == ring_capacity)
+            return false;
+        std::uint32_t tail = (ring_head + ring_count) % ring_capacity;
+        ring[tail] = {epoch, index, 0};
+        ++ring_count;
+        deferred_count.store(ring_count, std::memory_order_release);
+        return true;
+    }
+
+    /// Oldest entry (valid only when ring_count > 0).
+    const LatentSlabEntry& ring_front() const { return ring[ring_head]; }
+
+    /// Drop the oldest entry.
+    void
+    ring_pop_front()
+    {
+        ring_head = (ring_head + 1) % ring_capacity;
+        --ring_count;
+        deferred_count.store(ring_count, std::memory_order_release);
+    }
+};
+
+static_assert(sizeof(SlabHeader) <= 192,
+              "SlabHeader grew past the layout budget");
+
+/**
+ * Initialize slab metadata inside freshly grown pages.
+ * @param memory   slab base (geometry.slab_bytes bytes).
+ * @param geometry cache geometry.
+ * @param owner    opaque owner pointer stored in the header.
+ * @param color    cache color in [0, geometry.color_slots): objects
+ *                 start color cache lines into the slack space.
+ * @return the initialized header (== memory), with every object on
+ *         the freelist.
+ */
+SlabHeader* init_slab(void* memory, const SlabGeometry& geometry,
+                      void* owner, std::size_t color = 0);
+
+/**
+ * Merge latent-ring entries whose epoch is <= @p completed into the
+ * freelist. Caller holds the node lock; the slab lock is taken
+ * internally.
+ * @return number of objects merged.
+ */
+std::size_t merge_safe_latent(SlabHeader* slab, GpEpoch completed);
+
+}  // namespace prudence
+
+#endif  // PRUDENCE_SLAB_SLAB_HEADER_H

@@ -1,0 +1,164 @@
+#include "slab/validate.h"
+
+#include <mutex>
+#include <set>
+#include <sstream>
+
+namespace prudence {
+
+namespace {
+
+/// Validate one slab; extends @p v and returns false on the first
+/// inconsistency. Caller holds the node lock.
+bool
+check_slab(SlabPool& pool, SlabHeader* slab, SlabListKind expected,
+           PoolValidation& v)
+{
+    std::ostringstream err;
+    const SlabGeometry& g = pool.geometry();
+
+    if (slab->magic != SlabHeader::kMagicLive) {
+        err << pool.name() << ": slab " << slab << " has dead magic";
+        v.error = err.str();
+        return false;
+    }
+    if (slab->owner != &pool) {
+        err << pool.name() << ": slab " << slab << " owner mismatch";
+        v.error = err.str();
+        return false;
+    }
+    if (slab->list_kind != expected) {
+        err << pool.name() << ": slab " << slab << " on list "
+            << static_cast<int>(expected) << " but marked "
+            << static_cast<int>(slab->list_kind);
+        v.error = err.str();
+        return false;
+    }
+    if (slab->total_objects != g.objects_per_slab) {
+        err << pool.name() << ": slab " << slab
+            << " wrong object count";
+        v.error = err.str();
+        return false;
+    }
+
+    // Freelist: length matches free_count; links in bounds, aligned,
+    // unique.
+    std::set<const void*> seen;
+    std::uint32_t n = 0;
+    for (void* obj = slab->freelist; obj != nullptr;
+         obj = *static_cast<void**>(obj)) {
+        auto* b = static_cast<const std::byte*>(obj);
+        if (b < slab->objects_base ||
+            b >= slab->objects_base +
+                     static_cast<std::size_t>(slab->total_objects) *
+                         slab->aligned_size) {
+            err << pool.name() << ": freelist link out of bounds";
+            v.error = err.str();
+            return false;
+        }
+        if ((static_cast<std::size_t>(b - slab->objects_base) %
+             slab->aligned_size) != 0) {
+            err << pool.name() << ": misaligned freelist link";
+            v.error = err.str();
+            return false;
+        }
+        if (!seen.insert(obj).second) {
+            err << pool.name() << ": freelist cycle/duplicate";
+            v.error = err.str();
+            return false;
+        }
+        if (++n > slab->total_objects) {
+            err << pool.name() << ": freelist longer than slab";
+            v.error = err.str();
+            return false;
+        }
+    }
+    if (n != slab->free_count) {
+        err << pool.name() << ": freelist length " << n
+            << " != free_count " << slab->free_count;
+        v.error = err.str();
+        return false;
+    }
+
+    // Latent ring: occupancy matches deferred_count; indexes valid;
+    // no object both free and deferred.
+    std::lock_guard<SpinLock> slab_guard(slab->slab_lock);
+    if (slab->ring_count !=
+        slab->deferred_count.load(std::memory_order_acquire)) {
+        err << pool.name() << ": ring_count != deferred_count";
+        v.error = err.str();
+        return false;
+    }
+    for (std::uint32_t i = 0; i < slab->ring_count; ++i) {
+        const LatentSlabEntry& e =
+            slab->ring[(slab->ring_head + i) % slab->ring_capacity];
+        if (e.index >= slab->total_objects) {
+            err << pool.name() << ": ring index out of bounds";
+            v.error = err.str();
+            return false;
+        }
+        if (seen.count(slab->object_at(e.index)) != 0) {
+            err << pool.name()
+                << ": object simultaneously free and deferred";
+            v.error = err.str();
+            return false;
+        }
+    }
+    if (slab->free_count + slab->ring_count > slab->total_objects) {
+        err << pool.name() << ": free + deferred exceeds capacity";
+        v.error = err.str();
+        return false;
+    }
+
+    ++v.slabs;
+    v.total_objects += slab->total_objects;
+    v.free_objects += slab->free_count;
+    v.ring_objects += slab->ring_count;
+    v.outstanding_objects +=
+        slab->total_objects - slab->free_count - slab->ring_count;
+    return true;
+}
+
+}  // namespace
+
+PoolValidation
+validate_pool(SlabPool& pool)
+{
+    PoolValidation v;
+    NodeLists& node = pool.node();
+    std::lock_guard<SpinLock> node_guard(node.lock);
+
+    auto walk = [&](const SlabList& list, SlabListKind kind) {
+        list.for_each([&](SlabHeader* slab) {
+            if (!check_slab(pool, slab, kind, v)) {
+                v.ok = false;
+                return false;
+            }
+            return true;
+        });
+    };
+    walk(node.full, SlabListKind::kFull);
+    if (v.ok)
+        walk(node.partial, SlabListKind::kPartial);
+    if (v.ok)
+        walk(node.free, SlabListKind::kFree);
+
+    // Baseline invariant: full slabs have no free objects. (Prudence
+    // pre-movement may place not-yet-free slabs on the free list and
+    // deferred-full slabs on the partial list, so those kinds admit
+    // any occupancy.)
+    if (v.ok) {
+        node.full.for_each([&](SlabHeader* slab) {
+            if (slab->free_count != 0) {
+                v.ok = false;
+                v.error = pool.name() +
+                          ": slab on full list has free objects";
+                return false;
+            }
+            return true;
+        });
+    }
+    return v;
+}
+
+}  // namespace prudence

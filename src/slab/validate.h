@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Deep structural validation of a slab pool: walks every slab on
+ * every node list and cross-checks freelists, latent rings, counters
+ * and list membership. Used by the allocators' validate() entry
+ * points and by the property-based tests.
+ *
+ * Validation takes the node lock and the slab locks; call it at
+ * quiescent points (no concurrent allocator traffic) when exact
+ * object accounting is asserted.
+ */
+#ifndef PRUDENCE_SLAB_VALIDATE_H
+#define PRUDENCE_SLAB_VALIDATE_H
+
+#include <cstddef>
+#include <string>
+
+#include "slab/slab_pool.h"
+
+namespace prudence {
+
+/// Outcome of a pool walk.
+struct PoolValidation
+{
+    bool ok = true;
+    /// First inconsistency found (empty when ok).
+    std::string error;
+
+    std::size_t slabs = 0;
+    std::size_t total_objects = 0;
+    std::size_t free_objects = 0;
+    std::size_t ring_objects = 0;
+    /// Objects neither on a freelist nor in a latent ring: held by
+    /// per-CPU caches, latent caches, or the application.
+    std::size_t outstanding_objects = 0;
+};
+
+/**
+ * Walk @p pool and verify, per slab:
+ *  - the liveness magic and owner back-pointer;
+ *  - list membership matches SlabHeader::list_kind;
+ *  - freelist length equals free_count, every link in bounds,
+ *    aligned and unique;
+ *  - latent-ring occupancy equals deferred_count, indexes in bounds,
+ *    and no object is simultaneously free and deferred;
+ *  - free + deferred never exceeds the slab's capacity.
+ */
+PoolValidation validate_pool(SlabPool& pool);
+
+}  // namespace prudence
+
+#endif  // PRUDENCE_SLAB_VALIDATE_H

@@ -1,0 +1,349 @@
+#include "slub/slub_allocator.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "slab/size_classes.h"
+#include "slab/validate.h"
+
+namespace prudence {
+
+SlubAllocator::Cache::Cache(std::string name, std::size_t object_size,
+                            BuddyAllocator& buddy, PageOwnerTable& owners,
+                            unsigned ncpus)
+    : pool(std::move(name), object_size, buddy, owners)
+{
+    pool.set_context(this);
+    cpus.reserve(ncpus);
+    for (unsigned i = 0; i < ncpus; ++i) {
+        cpus.push_back(
+            std::make_unique<PerCpu>(pool.geometry().cache_capacity));
+    }
+}
+
+SlubAllocator::SlubAllocator(GracePeriodDomain& domain,
+                             const SlubConfig& config)
+    : domain_(domain),
+      buddy_(config.arena_bytes),
+      owners_(buddy_),
+      cpu_registry_(config.cpus)
+{
+    // The kmalloc ladder occupies cache indexes [0, kNumSizeClasses).
+    for (std::size_t i = 0; i < kNumSizeClasses; ++i) {
+        caches_[i] = std::make_unique<Cache>(
+            size_class_name(i), kSizeClasses[i], buddy_, owners_,
+            cpu_registry_.max_cpus());
+    }
+    cache_count_.store(kNumSizeClasses, std::memory_order_release);
+
+    CallbackEngineConfig cb = config.callback;
+    cb.cpus = cpu_registry_.max_cpus();
+    if (!cb.pressure_probe) {
+        cb.pressure_probe = [this] { return buddy_.usage_fraction(); };
+    }
+    engine_ = std::make_unique<CallbackEngine>(domain_, cb);
+}
+
+SlubAllocator::~SlubAllocator()
+{
+    // engine_ is destroyed first (declaration order), draining every
+    // queued deferred free while caches_ still exists.
+}
+
+SlubAllocator::Cache&
+SlubAllocator::cache_ref(CacheId id) const
+{
+    assert(id.valid() &&
+           id.index < cache_count_.load(std::memory_order_acquire));
+    return *caches_[id.index];
+}
+
+SlubAllocator::Cache*
+SlubAllocator::cache_of_object(const void* p) const
+{
+    SlabHeader* slab = owners_.lookup(p);
+    if (slab == nullptr)
+        return nullptr;
+    auto* pool = static_cast<SlabPool*>(slab->owner);
+    return static_cast<Cache*>(pool->context());
+}
+
+void*
+SlubAllocator::kmalloc(std::size_t size)
+{
+    std::size_t idx = size_class_index(size);
+    if (idx >= kNumSizeClasses)
+        return nullptr;
+    return cache_alloc(CacheId{idx});
+}
+
+void
+SlubAllocator::kfree(void* p)
+{
+    if (p == nullptr)
+        return;
+    Cache* c = cache_of_object(p);
+    assert(c != nullptr && "kfree of a pointer this allocator does not own");
+    free_impl(*c, p, /*from_callback=*/false);
+}
+
+void
+SlubAllocator::kfree_deferred(void* p)
+{
+    if (p == nullptr)
+        return;
+    Cache* c = cache_of_object(p);
+    assert(c != nullptr &&
+           "kfree_deferred of a pointer this allocator does not own");
+    // Conventional RCU deferral (paper Listing 1): the allocator is
+    // oblivious of this object until the callback fires.
+    c->pool.stats().deferred_free_calls.add();
+    c->pool.stats().live_objects.sub();
+    c->pool.stats().deferred_outstanding.add();
+    engine_->call(&SlubAllocator::deferred_free_cb, this, p);
+}
+
+void
+SlubAllocator::deferred_free_cb(void* ctx, void* obj)
+{
+    auto* self = static_cast<SlubAllocator*>(ctx);
+    Cache* c = self->cache_of_object(obj);
+    assert(c != nullptr);
+    c->pool.stats().deferred_outstanding.sub();
+    self->free_impl(*c, obj, /*from_callback=*/true);
+}
+
+CacheId
+SlubAllocator::create_cache(const std::string& name,
+                            std::size_t object_size)
+{
+    std::lock_guard<std::mutex> lock(caches_mutex_);
+    std::size_t count = cache_count_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < count; ++i) {
+        if (caches_[i]->pool.name() == name &&
+            caches_[i]->pool.geometry().object_size == object_size) {
+            return CacheId{i};
+        }
+    }
+    if (count == kMaxCaches)
+        throw std::runtime_error("SlubAllocator: too many caches");
+    caches_[count] = std::make_unique<Cache>(
+        name, object_size, buddy_, owners_, cpu_registry_.max_cpus());
+    cache_count_.store(count + 1, std::memory_order_release);
+    return CacheId{count};
+}
+
+void*
+SlubAllocator::cache_alloc(CacheId cache)
+{
+    return alloc_impl(cache_ref(cache));
+}
+
+void
+SlubAllocator::cache_free(CacheId cache, void* p)
+{
+    if (p == nullptr)
+        return;
+    free_impl(cache_ref(cache), p, /*from_callback=*/false);
+}
+
+void
+SlubAllocator::cache_free_deferred(CacheId cache, void* p)
+{
+    if (p == nullptr)
+        return;
+    Cache& c = cache_ref(cache);
+    c.pool.stats().deferred_free_calls.add();
+    c.pool.stats().live_objects.sub();
+    c.pool.stats().deferred_outstanding.add();
+    engine_->call(&SlubAllocator::deferred_free_cb, this, p);
+}
+
+void*
+SlubAllocator::alloc_impl(Cache& c)
+{
+    CacheStats& stats = c.pool.stats();
+    stats.alloc_calls.add();
+
+    PerCpu& pc = *c.cpus[cpu_registry_.cpu_id()];
+    std::lock_guard<SpinLock> guard(pc.lock);
+
+    if (void* obj = pc.cache.pop()) {
+        stats.cache_hits.add();
+        stats.live_objects.add();
+        return obj;
+    }
+
+    if (!refill(c, pc.cache))
+        return nullptr;  // out of memory
+
+    void* obj = pc.cache.pop();
+    assert(obj != nullptr);
+    stats.live_objects.add();
+    return obj;
+}
+
+bool
+SlubAllocator::refill(Cache& c, ObjectCache& cache)
+{
+    NodeLists& node = c.pool.node();
+    std::size_t want = c.pool.geometry().refill_target;
+    std::size_t moved = 0;
+
+    std::lock_guard<SpinLock> node_guard(node.lock);
+    while (moved < want) {
+        SlabHeader* slab = node.partial.front();
+        if (slab == nullptr)
+            slab = node.free.front();
+        if (slab == nullptr) {
+            // Grow the slab cache. Dropping the node lock for the
+            // page allocation is unnecessary here: the buddy has its
+            // own lock and this keeps the refill atomic.
+            slab = c.pool.grow();
+            if (slab == nullptr)
+                break;
+            node.move_to(slab, SlabListKind::kPartial);
+        }
+        while (moved < want) {
+            void* obj = slab->freelist_pop();
+            if (obj == nullptr)
+                break;
+            cache.push(obj);
+            ++moved;
+        }
+        node.move_to(slab, NodeLists::natural_kind(slab));
+    }
+    if (moved > 0)
+        c.pool.stats().refills.add();
+    return moved > 0;
+}
+
+void
+SlubAllocator::free_impl(Cache& c, void* p, bool from_callback)
+{
+    CacheStats& stats = c.pool.stats();
+    if (!from_callback) {
+        stats.free_calls.add();
+        stats.live_objects.sub();
+    }
+
+    PerCpu& pc = *c.cpus[cpu_registry_.cpu_id()];
+    std::lock_guard<SpinLock> guard(pc.lock);
+    if (pc.cache.full()) {
+        // Overflow: spill half the cache (the conventional policy the
+        // paper cites: "normally half of the object cache is flushed
+        // during the overflow").
+        flush(c, pc.cache, pc.cache.capacity() / 2 + 1);
+    }
+    pc.cache.push(p);
+}
+
+void
+SlubAllocator::flush(Cache& c, ObjectCache& cache, std::size_t n)
+{
+    void* victims[256];
+    assert(n <= 256);
+    std::size_t k = cache.take_oldest(n, victims);
+    if (k == 0)
+        return;
+    c.pool.stats().flushes.add();
+
+    NodeLists& node = c.pool.node();
+    bool maybe_shrink = false;
+    {
+        std::lock_guard<SpinLock> node_guard(node.lock);
+        for (std::size_t i = 0; i < k; ++i) {
+            SlabHeader* slab = c.pool.slab_of(victims[i]);
+            slab->freelist_push(victims[i]);
+            node.move_to(slab, NodeLists::natural_kind(slab));
+        }
+        maybe_shrink =
+            node.free.size() > c.pool.geometry().free_slab_limit;
+    }
+    if (maybe_shrink)
+        shrink(c);
+}
+
+void
+SlubAllocator::shrink(Cache& c)
+{
+    NodeLists& node = c.pool.node();
+    std::vector<SlabHeader*> victims;
+    {
+        std::lock_guard<SpinLock> node_guard(node.lock);
+        while (node.free.size() > c.pool.geometry().free_slab_limit) {
+            SlabHeader* slab = node.free.front();
+            node.move_to(slab, SlabListKind::kNone);
+            victims.push_back(slab);
+        }
+    }
+    for (SlabHeader* slab : victims)
+        c.pool.release_slab(slab);
+}
+
+CacheStatsSnapshot
+SlubAllocator::cache_snapshot(CacheId cache) const
+{
+    return cache_ref(cache).pool.snapshot();
+}
+
+std::vector<CacheStatsSnapshot>
+SlubAllocator::snapshots() const
+{
+    std::size_t count = cache_count_.load(std::memory_order_acquire);
+    std::vector<CacheStatsSnapshot> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(caches_[i]->pool.snapshot());
+    return out;
+}
+
+void
+SlubAllocator::quiesce()
+{
+    engine_->drain_all();
+}
+
+std::string
+SlubAllocator::validate()
+{
+    std::size_t count = cache_count_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < count; ++i) {
+        Cache& c = *caches_[i];
+        PoolValidation v = validate_pool(c.pool);
+        if (!v.ok)
+            return v.error;
+        if (v.ring_objects != 0) {
+            return c.pool.name() +
+                   ": baseline slabs must not carry latent entries";
+        }
+        // Accounting (quiescent): every object the slabs consider
+        // outstanding is either parked in a per-CPU cache, queued as
+        // a callback, or held by the application.
+        std::size_t cached = 0;
+        for (auto& pc : c.cpus) {
+            std::lock_guard<SpinLock> guard(pc->lock);
+            cached += pc->cache.count();
+        }
+        auto live = static_cast<std::size_t>(
+            c.pool.stats().live_objects.get());
+        auto deferred = static_cast<std::size_t>(
+            c.pool.stats().deferred_outstanding.get());
+        if (v.outstanding_objects != cached + live + deferred) {
+            return c.pool.name() + ": object accounting mismatch (" +
+                   std::to_string(v.outstanding_objects) +
+                   " outstanding vs " +
+                   std::to_string(cached + live + deferred) +
+                   " accounted)";
+        }
+    }
+    return {};
+}
+
+CallbackEngineStats
+SlubAllocator::callback_stats() const
+{
+    return engine_->stats();
+}
+
+}  // namespace prudence

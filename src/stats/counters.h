@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Lightweight statistic counter primitives.
+ *
+ * All counters use relaxed atomics: they are monotonic event counts
+ * whose exact interleaving is irrelevant; only totals are reported.
+ */
+#ifndef PRUDENCE_STATS_COUNTERS_H
+#define PRUDENCE_STATS_COUNTERS_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace prudence {
+
+/// Monotonic event counter.
+class Counter
+{
+  public:
+    /// Increment by @p n (default 1).
+    void add(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /// Current value.
+    std::uint64_t get() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    /// Reset to zero (between benchmark phases).
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// A level gauge that also tracks its high-water mark.
+class PeakGauge
+{
+  public:
+    /// Raise the level by @p n, updating the peak.
+    void
+    add(std::int64_t n = 1)
+    {
+        std::int64_t now =
+            value_.fetch_add(n, std::memory_order_relaxed) + n;
+        std::int64_t peak = peak_.load(std::memory_order_relaxed);
+        while (now > peak &&
+               !peak_.compare_exchange_weak(peak, now,
+                                            std::memory_order_relaxed)) {
+        }
+    }
+
+    /// Lower the level by @p n.
+    void sub(std::int64_t n = 1) { add(-n); }
+
+    /// Current level.
+    std::int64_t get() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    /// Highest level ever observed.
+    std::int64_t peak() const
+    {
+        return peak_.load(std::memory_order_relaxed);
+    }
+
+    /// Reset both level and peak to zero.
+    void
+    reset()
+    {
+        value_.store(0, std::memory_order_relaxed);
+        peak_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::int64_t> value_{0};
+    std::atomic<std::int64_t> peak_{0};
+};
+
+}  // namespace prudence
+
+#endif  // PRUDENCE_STATS_COUNTERS_H

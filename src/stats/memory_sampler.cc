@@ -1,0 +1,63 @@
+#include "stats/memory_sampler.h"
+
+#include <utility>
+
+namespace prudence {
+
+MemorySampler::MemorySampler(Probe probe, std::chrono::milliseconds period)
+    : probe_(std::move(probe)), period_(period)
+{
+}
+
+MemorySampler::~MemorySampler()
+{
+    stop();
+}
+
+void
+MemorySampler::start()
+{
+    bool expected = false;
+    if (!running_.compare_exchange_strong(expected, true))
+        return;
+    start_time_ = std::chrono::steady_clock::now();
+    thread_ = std::thread([this] { run(); });
+}
+
+void
+MemorySampler::stop()
+{
+    bool expected = true;
+    if (!running_.compare_exchange_strong(expected, false))
+        return;
+    if (thread_.joinable())
+        thread_.join();
+}
+
+std::vector<MemorySample>
+MemorySampler::samples() const
+{
+    std::lock_guard<std::mutex> lock(samples_mutex_);
+    return samples_;
+}
+
+void
+MemorySampler::run()
+{
+    auto next = start_time_;
+    while (running_.load(std::memory_order_acquire)) {
+        auto now = std::chrono::steady_clock::now();
+        double elapsed_ms =
+            std::chrono::duration<double, std::milli>(now - start_time_)
+                .count();
+        std::uint64_t value = probe_();
+        {
+            std::lock_guard<std::mutex> lock(samples_mutex_);
+            samples_.push_back({elapsed_ms, value});
+        }
+        next += period_;
+        std::this_thread::sleep_until(next);
+    }
+}
+
+}  // namespace prudence

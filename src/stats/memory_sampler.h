@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Periodic memory-usage sampler producing the Figure 3 timeline.
+ *
+ * The paper samples total used memory every 10 ms while a workload
+ * runs. MemorySampler polls a user-supplied probe (here: buddy
+ * allocator bytes in use) on a background thread and records
+ * (elapsed, value) points.
+ */
+#ifndef PRUDENCE_STATS_MEMORY_SAMPLER_H
+#define PRUDENCE_STATS_MEMORY_SAMPLER_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace prudence {
+
+/// One timeline point.
+struct MemorySample
+{
+    /// Milliseconds since sampling started.
+    double elapsed_ms;
+    /// Probe value (bytes in use).
+    std::uint64_t value;
+};
+
+/// Background sampler of a numeric probe.
+class MemorySampler
+{
+  public:
+    using Probe = std::function<std::uint64_t()>;
+
+    /**
+     * @param probe    called on the sampler thread each period.
+     * @param period   sampling period (paper: 10 ms).
+     */
+    MemorySampler(Probe probe, std::chrono::milliseconds period);
+    ~MemorySampler();
+
+    MemorySampler(const MemorySampler&) = delete;
+    MemorySampler& operator=(const MemorySampler&) = delete;
+
+    /// Begin sampling (idempotent).
+    void start();
+    /// Stop sampling and join the thread (idempotent).
+    void stop();
+
+    /// Copy of all samples collected so far.
+    std::vector<MemorySample> samples() const;
+
+  private:
+    void run();
+
+    Probe probe_;
+    std::chrono::milliseconds period_;
+    std::atomic<bool> running_{false};
+    std::thread thread_;
+    mutable std::mutex samples_mutex_;
+    std::vector<MemorySample> samples_;
+    std::chrono::steady_clock::time_point start_time_;
+};
+
+}  // namespace prudence
+
+#endif  // PRUDENCE_STATS_MEMORY_SAMPLER_H

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Exponential backoff helper for spin loops.
+ */
+#ifndef PRUDENCE_SYNC_BACKOFF_H
+#define PRUDENCE_SYNC_BACKOFF_H
+
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace prudence {
+
+/// Emit a CPU pause/yield hint appropriate for busy-wait loops.
+inline void
+cpu_relax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    _mm_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::this_thread::yield();
+#endif
+}
+
+/**
+ * Exponential backoff: spin with pause hints, escalating to
+ * std::this_thread::yield() once the spin budget is exhausted.
+ */
+class Backoff
+{
+  public:
+    /// Perform one backoff step.
+    void
+    pause()
+    {
+        if (spins_ < kMaxSpins) {
+            for (unsigned i = 0; i < spins_; ++i)
+                cpu_relax();
+            spins_ <<= 1;
+        } else {
+            std::this_thread::yield();
+        }
+    }
+
+    /// Reset to the initial (shortest) backoff.
+    void reset() { spins_ = 1; }
+
+  private:
+    static constexpr unsigned kMaxSpins = 1024;
+    unsigned spins_ = 1;
+};
+
+}  // namespace prudence
+
+#endif  // PRUDENCE_SYNC_BACKOFF_H

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Cache-line size constants and alignment helpers.
+ *
+ * Per-CPU structures in the allocators are padded to a cache line so
+ * that one virtual CPU's hot path never false-shares with another's.
+ */
+#ifndef PRUDENCE_SYNC_CACHELINE_H
+#define PRUDENCE_SYNC_CACHELINE_H
+
+#include <cstddef>
+
+namespace prudence {
+
+/// Assumed cache line size in bytes. 64 is correct for every x86 and
+/// most AArch64 parts; over-alignment is harmless where it is larger.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Round @p n up to the next multiple of @p align (align must be a
+/// power of two).
+constexpr std::size_t
+align_up(std::size_t n, std::size_t align)
+{
+    return (n + align - 1) & ~(align - 1);
+}
+
+/// True iff @p n is a power of two (and non-zero).
+constexpr bool
+is_pow2(std::size_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// Smallest power of two >= @p n (n must be >= 1).
+constexpr std::size_t
+next_pow2(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+/// Integer log2 for powers of two.
+constexpr unsigned
+log2_pow2(std::size_t n)
+{
+    unsigned l = 0;
+    while ((std::size_t{1} << l) < n)
+        ++l;
+    return l;
+}
+
+}  // namespace prudence
+
+#endif  // PRUDENCE_SYNC_CACHELINE_H

@@ -1,0 +1,44 @@
+#include "sync/cpu_registry.h"
+
+#include <utility>
+#include <vector>
+
+namespace prudence {
+
+namespace {
+
+/// Global source of registry serial numbers.
+std::atomic<std::uint64_t> g_registry_serial{1};
+
+/// Per-thread cache of (registry serial → cpu id) assignments. The
+/// list is tiny (one entry per allocator instance the thread touches),
+/// so linear search beats a hash map.
+thread_local std::vector<std::pair<std::uint64_t, unsigned>> t_cpu_ids;
+
+}  // namespace
+
+CpuRegistry::CpuRegistry(unsigned max_cpus)
+    : max_cpus_(max_cpus == 0 ? 1 : max_cpus),
+      serial_(g_registry_serial.fetch_add(1, std::memory_order_relaxed))
+{
+}
+
+unsigned
+CpuRegistry::cpu_id()
+{
+    for (const auto& [serial, id] : t_cpu_ids) {
+        if (serial == serial_)
+            return id;
+    }
+    unsigned id = assign_id();
+    t_cpu_ids.emplace_back(serial_, id);
+    return id;
+}
+
+unsigned
+CpuRegistry::assign_id()
+{
+    return next_.fetch_add(1, std::memory_order_relaxed) % max_cpus_;
+}
+
+}  // namespace prudence

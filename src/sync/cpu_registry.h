@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Thread → virtual CPU mapping.
+ *
+ * The paper's allocators are organized around per-CPU object caches.
+ * In user space we emulate "per CPU" with a registry that assigns each
+ * thread a stable virtual CPU id in [0, max_cpus). Several threads may
+ * share a virtual CPU (ids are handed out round-robin), which is why
+ * per-CPU structures carry a tiny, almost-always-uncontended spinlock.
+ *
+ * Multiple registries may coexist (one per allocator instance); the
+ * thread-local id cache is keyed by a process-unique registry serial
+ * so a registry reallocated at the same address can never alias a
+ * stale cached id.
+ */
+#ifndef PRUDENCE_SYNC_CPU_REGISTRY_H
+#define PRUDENCE_SYNC_CPU_REGISTRY_H
+
+#include <atomic>
+#include <cstdint>
+#include <cstddef>
+
+namespace prudence {
+
+/// Assigns virtual CPU ids to threads, round-robin.
+class CpuRegistry
+{
+  public:
+    /// @param max_cpus number of virtual CPUs (>= 1).
+    explicit CpuRegistry(unsigned max_cpus);
+
+    /// Number of virtual CPUs this registry maps onto.
+    unsigned max_cpus() const { return max_cpus_; }
+
+    /**
+     * Virtual CPU id of the calling thread for this registry.
+     * First call from a thread assigns the id; later calls are a
+     * thread-local cache hit.
+     */
+    unsigned cpu_id();
+
+    /// Process-unique serial of this registry instance.
+    std::uint64_t serial() const { return serial_; }
+
+  private:
+    unsigned assign_id();
+
+    const unsigned max_cpus_;
+    const std::uint64_t serial_;
+    std::atomic<unsigned> next_{0};
+};
+
+}  // namespace prudence
+
+#endif  // PRUDENCE_SYNC_CPU_REGISTRY_H

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Test-and-test-and-set spinlock with exponential backoff.
+ *
+ * Used for per-CPU structures (virtually always uncontended: the
+ * owning thread vs. the occasional maintenance-thread visit) and for
+ * node-list / slab-level critical sections, where the paper's whole
+ * point is that Prudence *spreads* the contention over time.
+ */
+#ifndef PRUDENCE_SYNC_SPINLOCK_H
+#define PRUDENCE_SYNC_SPINLOCK_H
+
+#include <atomic>
+
+#include "sync/backoff.h"
+
+namespace prudence {
+
+/// A small TTAS spinlock satisfying the Lockable named requirement, so
+/// it composes with std::lock_guard / std::scoped_lock.
+class SpinLock
+{
+  public:
+    SpinLock() = default;
+    SpinLock(const SpinLock&) = delete;
+    SpinLock& operator=(const SpinLock&) = delete;
+
+    /// Acquire the lock, spinning with backoff until available.
+    void
+    lock()
+    {
+        Backoff backoff;
+        for (;;) {
+            if (!locked_.exchange(true, std::memory_order_acquire))
+                return;
+            while (locked_.load(std::memory_order_relaxed))
+                backoff.pause();
+        }
+    }
+
+    /// Try to acquire without blocking. @return true on success.
+    bool
+    try_lock()
+    {
+        return !locked_.load(std::memory_order_relaxed) &&
+               !locked_.exchange(true, std::memory_order_acquire);
+    }
+
+    /// Release the lock.
+    void unlock() { locked_.store(false, std::memory_order_release); }
+
+  private:
+    std::atomic<bool> locked_{false};
+};
+
+}  // namespace prudence
+
+#endif  // PRUDENCE_SYNC_SPINLOCK_H

@@ -1,0 +1,185 @@
+#include "workload/benchmarks.h"
+
+namespace prudence {
+
+namespace {
+
+using Kind = OpAction::Kind;
+
+void
+apply_scale(WorkloadSpec& spec, double scale)
+{
+    spec.ops_per_thread =
+        static_cast<std::uint64_t>(spec.ops_per_thread * scale);
+    if (spec.ops_per_thread == 0)
+        spec.ops_per_thread = 1;
+    spec.warmup_ops_per_thread =
+        static_cast<std::uint64_t>(spec.warmup_ops_per_thread * scale);
+}
+
+}  // namespace
+
+WorkloadSpec
+postmark_spec(double scale)
+{
+    WorkloadSpec spec;
+    spec.name = "postmark";
+    spec.caches = {
+        {"filp", 256, 100},         // 0: struct file
+        {"dentry", 192, 800},       // 1: directory entries
+        {"ext4_inode", 1024, 500},  // 2: ext4 in-memory inodes
+        {"selinux", 96, 500},       // 3: inode security blobs
+        {"kmalloc-64", 64, 100},    // 4: path/lookup scratch
+        {"kmalloc-512", 512, 50},   // 5: I/O buffers
+    };
+    // File creation allocates dentry+inode+security; deletion defers
+    // them through RCU (dcache/inode teardown). Reads and appends
+    // open/close the file (filp defer-freed at fput) and move I/O
+    // buffers with plain alloc/free pairs.
+    spec.ops = {
+        {"create", 0.22,
+         {{Kind::kAlloc, 1, 1},
+          {Kind::kAlloc, 2, 1},
+          {Kind::kAlloc, 3, 1},
+          {Kind::kPair, 4, 3}}},
+        {"delete", 0.22,
+         {{Kind::kFreeDeferred, 1, 1},
+          {Kind::kFreeDeferred, 2, 1},
+          {Kind::kFreeDeferred, 3, 1},
+          {Kind::kPair, 4, 3}}},
+        {"read", 0.28,
+         {{Kind::kAlloc, 0, 1},
+          {Kind::kFreeDeferred, 0, 1},
+          {Kind::kPair, 5, 2},
+          {Kind::kPair, 4, 2}}},
+        {"append", 0.28,
+         {{Kind::kAlloc, 0, 1},
+          {Kind::kFreeDeferred, 0, 1},
+          {Kind::kPair, 5, 2},
+          {Kind::kPair, 4, 2}}},
+    };
+    spec.threads = 8;
+    spec.ops_per_thread = 150000;
+    spec.warmup_ops_per_thread = 15000;
+    spec.app_work_ns = 1500;
+    apply_scale(spec, scale);
+    return spec;
+}
+
+WorkloadSpec
+netperf_spec(double scale)
+{
+    WorkloadSpec spec;
+    spec.name = "netperf";
+    spec.caches = {
+        {"filp", 256, 200},        // 0: socket files
+        {"selinux", 96, 200},      // 1: socket security
+        {"kmalloc-256", 256, 100}, // 2: sk_buff-sized scratch
+        {"kmalloc-512", 512, 50},  // 3: payload buffers
+        {"kmalloc-64", 64, 100},   // 4: small control allocations
+    };
+    // TCP_CRR: every operation is a full connect/request/response/
+    // close cycle; the socket's filp and security blob are deferred
+    // at teardown, everything else is transient.
+    spec.ops = {
+        {"conn_rr", 1.0,
+         {{Kind::kAlloc, 0, 1},
+          {Kind::kAlloc, 1, 1},
+          {Kind::kPair, 2, 5},
+          {Kind::kPair, 3, 3},
+          {Kind::kPair, 4, 4},
+          {Kind::kFreeDeferred, 0, 1},
+          {Kind::kFreeDeferred, 1, 1}}},
+    };
+    spec.threads = 8;
+    spec.ops_per_thread = 150000;
+    spec.warmup_ops_per_thread = 15000;
+    spec.app_work_ns = 1200;
+    apply_scale(spec, scale);
+    return spec;
+}
+
+WorkloadSpec
+apache_spec(double scale)
+{
+    WorkloadSpec spec;
+    spec.name = "apache";
+    spec.caches = {
+        {"filp", 256, 200},           // 0: accepted sockets
+        {"eventpoll_epi", 128, 200},  // 1: epoll items
+        {"dentry", 192, 600},         // 2: served-file dentries
+        {"selinux", 96, 300},         // 3: socket security
+        {"kmalloc-64", 64, 100},      // 4: header scratch
+        {"kmalloc-2048", 2048, 30},   // 5: response buffers
+    };
+    // Per request: accept (filp+selinux), epoll add/remove (epi,
+    // defer-freed on removal — the paper calls this path out),
+    // response buffers, close (filp/selinux deferred). A slice of
+    // requests miss the dcache and churn dentries.
+    spec.ops = {
+        {"request", 0.9,
+         {{Kind::kAlloc, 0, 1},
+          {Kind::kAlloc, 1, 1},
+          {Kind::kAlloc, 3, 1},
+          {Kind::kPair, 5, 3},
+          {Kind::kPair, 4, 12},
+          {Kind::kFreeDeferred, 1, 1},
+          {Kind::kFreeDeferred, 0, 1},
+          {Kind::kFreeDeferred, 3, 1}}},
+        {"dcache_miss", 0.1,
+         {{Kind::kAlloc, 2, 2},
+          {Kind::kFreeDeferred, 2, 2},
+          {Kind::kPair, 4, 2}}},
+    };
+    spec.threads = 8;
+    spec.ops_per_thread = 120000;
+    spec.warmup_ops_per_thread = 12000;
+    spec.app_work_ns = 2000;
+    apply_scale(spec, scale);
+    return spec;
+}
+
+WorkloadSpec
+postgresql_spec(double scale)
+{
+    WorkloadSpec spec;
+    spec.name = "postgresql";
+    spec.caches = {
+        {"kmalloc-64", 64, 400},     // 0: dominated by NON-deferred traffic
+        {"selinux", 96, 200},        // 1
+        {"filp", 256, 200},          // 2
+        {"kmalloc-1024", 1024, 60},  // 3: row/buffer scratch
+    };
+    // Transactions are allocator-heavy on kmalloc-64 but almost never
+    // defer; only occasional resource (file/socket) turnover defers.
+    // The paper: these independent kmalloc-64 frees interfere with
+    // Prudence's decisions, producing its one churn regression.
+    spec.ops = {
+        {"transaction", 0.75,
+         {{Kind::kAlloc, 0, 2},
+          {Kind::kFree, 0, 2},
+          {Kind::kPair, 0, 8},
+          {Kind::kPair, 3, 3}}},
+        {"resource_cycle", 0.25,
+         {{Kind::kAlloc, 2, 1},
+          {Kind::kAlloc, 1, 1},
+          {Kind::kFreeDeferred, 2, 1},
+          {Kind::kFreeDeferred, 1, 1},
+          {Kind::kPair, 0, 2}}},
+    };
+    spec.threads = 8;
+    spec.ops_per_thread = 150000;
+    spec.warmup_ops_per_thread = 15000;
+    spec.app_work_ns = 2500;
+    apply_scale(spec, scale);
+    return spec;
+}
+
+std::vector<WorkloadSpec>
+all_benchmark_specs(double scale)
+{
+    return {postmark_spec(scale), netperf_spec(scale),
+            apache_spec(scale), postgresql_spec(scale)};
+}
+
+}  // namespace prudence

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The four benchmark traffic models of the paper's §5.3, expressed as
+ * WorkloadSpecs.
+ *
+ * Each model reproduces the slab-level behaviour the paper reports
+ * for its benchmark: which caches it stresses (§5.3/§5.4), its
+ * deferred-free share of all frees (Fig. 12: Postmark 24.4%, Netperf
+ * 14%, Apache 18%, PostgreSQL 4.4%) and its characteristic pattern
+ * (file create/delete churn; connection setup/teardown; request +
+ * epoll add/remove; transactions with many non-deferred kmalloc-64
+ * frees — the source of the paper's one churn regression).
+ */
+#ifndef PRUDENCE_WORKLOAD_BENCHMARKS_H
+#define PRUDENCE_WORKLOAD_BENCHMARKS_H
+
+#include <vector>
+
+#include "workload/op_spec.h"
+
+namespace prudence {
+
+/// Postmark: mail-server file create/read/append/delete (ext4).
+WorkloadSpec postmark_spec(double scale = 1.0);
+
+/// Netperf TCP_CRR: connect/request/response/close per operation.
+WorkloadSpec netperf_spec(double scale = 1.0);
+
+/// ApacheBench: HTTP request handling with epoll add/remove.
+WorkloadSpec apache_spec(double scale = 1.0);
+
+/// pgbench: TPC-B-ish transactions, mostly non-deferred kmalloc-64.
+WorkloadSpec postgresql_spec(double scale = 1.0);
+
+/// All four, in the paper's order.
+std::vector<WorkloadSpec> all_benchmark_specs(double scale = 1.0);
+
+}  // namespace prudence
+
+#endif  // PRUDENCE_WORKLOAD_BENCHMARKS_H

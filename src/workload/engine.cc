@@ -1,0 +1,271 @@
+#include "workload/engine.h"
+
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <random>
+#include <thread>
+
+namespace prudence {
+
+namespace {
+
+/// Loops of the spin body per nanosecond, measured once.
+double
+calibrate_spin()
+{
+    using clock = std::chrono::steady_clock;
+    volatile std::uint64_t sink = 0;
+    constexpr std::uint64_t kIters = 20'000'000;
+    auto t0 = clock::now();
+    for (std::uint64_t i = 0; i < kIters; ++i)
+        sink = sink + i;
+    auto t1 = clock::now();
+    double ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count();
+    if (ns <= 0.0)
+        return 1.0;
+    return static_cast<double>(kIters) / ns;
+}
+
+double
+loops_per_ns()
+{
+    static const double value = calibrate_spin();
+    return value;
+}
+
+/// Per-thread pool of live objects for one cache.
+struct Pool
+{
+    std::vector<void*> objects;
+
+    void*
+    take_random(std::mt19937_64& rng)
+    {
+        if (objects.empty())
+            return nullptr;
+        std::size_t i = rng() % objects.size();
+        void* obj = objects[i];
+        objects[i] = objects.back();
+        objects.pop_back();
+        return obj;
+    }
+};
+
+/// One worker thread's run over the spec.
+struct Worker
+{
+    Allocator* alloc;
+    const WorkloadSpec* spec;
+    std::vector<CacheId> cache_ids;
+    std::uint64_t seed;
+    std::uint64_t failures = 0;
+
+    std::mt19937_64 rng{0};
+    std::vector<Pool> pools;
+    std::discrete_distribution<std::size_t> pick;
+
+    void
+    prepare()
+    {
+        rng.seed(seed);
+        pools.assign(spec->caches.size(), Pool{});
+        std::vector<double> weights;
+        weights.reserve(spec->ops.size());
+        for (const OpType& op : spec->ops)
+            weights.push_back(op.weight);
+        pick = std::discrete_distribution<std::size_t>(weights.begin(),
+                                                       weights.end());
+    }
+
+    void
+    warmup()
+    {
+        prepare();
+        // Seed each cache's standing population.
+        for (std::size_t ci = 0; ci < spec->caches.size(); ++ci) {
+            for (std::size_t i = 0; i < spec->caches[ci].standing_pool;
+                 ++i) {
+                void* obj = alloc->cache_alloc(cache_ids[ci]);
+                if (obj == nullptr) {
+                    ++failures;
+                    continue;
+                }
+                pools[ci].objects.push_back(obj);
+            }
+        }
+        for (std::uint64_t i = 0; i < spec->warmup_ops_per_thread; ++i)
+            run_op(spec->ops[pick(rng)], pools, rng);
+    }
+
+    void
+    timed()
+    {
+        for (std::uint64_t i = 0; i < spec->ops_per_thread; ++i)
+            run_op(spec->ops[pick(rng)], pools, rng);
+    }
+
+    /// Drain the pools so end-of-run metrics reflect the workload,
+    /// not leaked objects (benchmarks delete their files /
+    /// connections / sessions at exit too).
+    void
+    drain()
+    {
+        for (std::size_t ci = 0; ci < pools.size(); ++ci) {
+            for (void* obj : pools[ci].objects)
+                alloc->cache_free(cache_ids[ci], obj);
+            pools[ci].objects.clear();
+        }
+    }
+
+    void
+    run_op(const OpType& op, std::vector<Pool>& pools,
+           std::mt19937_64& rng)
+    {
+        for (const OpAction& a : op.actions) {
+            CacheId id = cache_ids[a.cache];
+            Pool& pool = pools[a.cache];
+            switch (a.kind) {
+              case OpAction::Kind::kAlloc:
+                for (std::size_t i = 0; i < a.count; ++i) {
+                    void* obj = alloc->cache_alloc(id);
+                    if (obj == nullptr) {
+                        ++failures;
+                        continue;
+                    }
+                    pool.objects.push_back(obj);
+                }
+                break;
+              case OpAction::Kind::kFree:
+                for (std::size_t i = 0; i < a.count; ++i) {
+                    if (void* obj = pool.take_random(rng))
+                        alloc->cache_free(id, obj);
+                }
+                break;
+              case OpAction::Kind::kFreeDeferred:
+                for (std::size_t i = 0; i < a.count; ++i) {
+                    if (void* obj = pool.take_random(rng))
+                        alloc->cache_free_deferred(id, obj);
+                }
+                break;
+              case OpAction::Kind::kPair:
+                for (std::size_t i = 0; i < a.count; ++i) {
+                    void* obj = alloc->cache_alloc(id);
+                    if (obj == nullptr) {
+                        ++failures;
+                        continue;
+                    }
+                    alloc->cache_free(id, obj);
+                }
+                break;
+            }
+        }
+        if (spec->app_work_ns > 0)
+            spin_for_ns(spec->app_work_ns);
+    }
+};
+
+}  // namespace
+
+void
+spin_for_ns(std::uint32_t ns)
+{
+    volatile std::uint64_t sink = 0;
+    auto loops =
+        static_cast<std::uint64_t>(loops_per_ns() * ns);
+    for (std::uint64_t i = 0; i < loops; ++i)
+        sink = sink + i;
+}
+
+double
+WorkloadResult::deferred_free_percent() const
+{
+    std::uint64_t frees = 0;
+    std::uint64_t deferred = 0;
+    for (const CacheStatsSnapshot& s : caches) {
+        frees += s.free_calls + s.deferred_free_calls;
+        deferred += s.deferred_free_calls;
+    }
+    if (frees == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(deferred) /
+           static_cast<double>(frees);
+}
+
+WorkloadResult
+run_workload(Allocator& alloc, const WorkloadSpec& spec,
+             std::uint64_t seed)
+{
+    // Force spin calibration outside the timed region.
+    loops_per_ns();
+
+    std::vector<CacheId> cache_ids;
+    cache_ids.reserve(spec.caches.size());
+    for (const CacheSpec& cs : spec.caches)
+        cache_ids.push_back(alloc.create_cache(cs.name, cs.object_size));
+
+    std::vector<Worker> workers(spec.threads);
+    for (unsigned t = 0; t < spec.threads; ++t) {
+        workers[t].alloc = &alloc;
+        workers[t].spec = &spec;
+        workers[t].cache_ids = cache_ids;
+        workers[t].seed = seed * 7919 + t;
+    }
+
+    // Barriers bracket the timed phase: warmup runs before it, and
+    // the quiesced live-state snapshot plus the pool drain run after
+    // it, outside the measurement window.
+    std::barrier start_line(spec.threads + 1);
+    std::barrier finish_line(spec.threads + 1);
+    std::barrier drain_line(spec.threads + 1);
+    std::vector<std::thread> threads;
+    threads.reserve(spec.threads);
+    for (unsigned t = 0; t < spec.threads; ++t) {
+        threads.emplace_back([&, t] {
+            workers[t].warmup();
+            start_line.arrive_and_wait();
+            workers[t].timed();
+            finish_line.arrive_and_wait();
+            drain_line.arrive_and_wait();
+            workers[t].drain();
+        });
+    }
+    start_line.arrive_and_wait();
+    auto t0 = std::chrono::steady_clock::now();
+    finish_line.arrive_and_wait();
+    auto t1 = std::chrono::steady_clock::now();
+
+    // Workers are parked at drain_line: reclaim every deferred object
+    // and snapshot the paper's end-of-run state (live objects still
+    // allocated).
+    alloc.quiesce();
+    std::vector<CacheStatsSnapshot> live_snaps;
+    for (CacheId id : cache_ids)
+        live_snaps.push_back(alloc.cache_snapshot(id));
+
+    drain_line.arrive_and_wait();
+    for (std::thread& th : threads)
+        th.join();
+
+    alloc.quiesce();
+
+    WorkloadResult result;
+    result.caches_live = std::move(live_snaps);
+    result.workload = spec.name;
+    result.allocator_kind = alloc.kind();
+    result.wall_seconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    result.total_ops =
+        static_cast<std::uint64_t>(spec.threads) * spec.ops_per_thread;
+    result.ops_per_second = result.wall_seconds > 0.0
+        ? static_cast<double>(result.total_ops) / result.wall_seconds
+        : 0.0;
+    for (const Worker& w : workers)
+        result.alloc_failures += w.failures;
+    for (CacheId id : cache_ids)
+        result.caches.push_back(alloc.cache_snapshot(id));
+    return result;
+}
+
+}  // namespace prudence

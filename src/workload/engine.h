@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Workload execution engine: replays a WorkloadSpec against an
+ * Allocator with per-thread object pools and measures throughput and
+ * per-cache allocator statistics.
+ */
+#ifndef PRUDENCE_WORKLOAD_ENGINE_H
+#define PRUDENCE_WORKLOAD_ENGINE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/allocator.h"
+#include "workload/op_spec.h"
+
+namespace prudence {
+
+/// Outcome of one workload run on one allocator.
+struct WorkloadResult
+{
+    std::string workload;
+    std::string allocator_kind;
+    double wall_seconds = 0.0;
+    std::uint64_t total_ops = 0;
+    double ops_per_second = 0.0;
+    std::uint64_t alloc_failures = 0;
+    /// Snapshots of the spec's caches, in spec order, taken after the
+    /// run completed, the allocator quiesced and the thread pools
+    /// drained.
+    std::vector<CacheStatsSnapshot> caches;
+
+    /// Snapshots taken after quiescing but with the workload's live
+    /// objects still allocated — the paper's "measured after the
+    /// completion of each run" state used for total fragmentation
+    /// (Fig. 11), where the kernel's caches are still populated.
+    std::vector<CacheStatsSnapshot> caches_live;
+
+    /// Deferred frees as % of all frees across the spec's caches
+    /// (paper Fig. 12).
+    double deferred_free_percent() const;
+};
+
+/**
+ * Run @p spec against @p alloc.
+ *
+ * Creates the spec's caches, warms per-thread pools, executes the
+ * timed phase on spec.threads threads, releases pooled objects,
+ * quiesces the allocator and snapshots the caches.
+ *
+ * @param seed RNG seed (runs with equal seeds make identical
+ *        decisions up to thread interleaving).
+ */
+WorkloadResult run_workload(Allocator& alloc, const WorkloadSpec& spec,
+                            std::uint64_t seed = 1);
+
+/**
+ * Busy-spin for approximately @p ns nanoseconds (calibrated once per
+ * process). Exposed for benchmarks that model application work.
+ */
+void spin_for_ns(std::uint32_t ns);
+
+}  // namespace prudence
+
+#endif  // PRUDENCE_WORKLOAD_ENGINE_H

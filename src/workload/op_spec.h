@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Data-driven workload specification.
+ *
+ * The paper's evaluation drives the allocators with four system
+ * benchmarks (Postmark, Netperf TCP_CRR, ApacheBench, pgbench).
+ * What those benchmarks impose on the slab layer is a *traffic
+ * pattern*: which caches are stressed, how many transient
+ * allocate/free pairs accompany each operation, and which frees are
+ * deferred through RCU. A WorkloadSpec captures exactly that pattern
+ * so the engine can replay it against either allocator.
+ */
+#ifndef PRUDENCE_WORKLOAD_OP_SPEC_H
+#define PRUDENCE_WORKLOAD_OP_SPEC_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prudence {
+
+/// One slab cache a workload touches.
+struct CacheSpec
+{
+    std::string name;
+    std::size_t object_size;
+    /**
+     * Objects allocated per thread before warmup and kept live for
+     * the whole run (the benchmark's standing population — open
+     * files, cached dentries, session state). Ensures end-of-run
+     * metrics such as total fragmentation are measured against a
+     * realistic live set, as in the paper.
+     */
+    std::size_t standing_pool = 0;
+};
+
+/// One allocator interaction within an operation.
+struct OpAction
+{
+    enum class Kind : std::uint8_t
+    {
+        /// Allocate @c count objects into the thread's pool.
+        kAlloc,
+        /// Immediately free @c count pooled objects.
+        kFree,
+        /// Defer-free @c count pooled objects (RCU removal).
+        kFreeDeferred,
+        /// @c count transient allocate+free pairs (scratch buffers).
+        kPair,
+    };
+
+    Kind kind;
+    /// Index into WorkloadSpec::caches.
+    std::size_t cache;
+    std::size_t count = 1;
+};
+
+/// One operation type with its selection weight.
+struct OpType
+{
+    std::string name;
+    double weight;
+    std::vector<OpAction> actions;
+};
+
+/// A complete benchmark model.
+struct WorkloadSpec
+{
+    std::string name;
+    std::vector<CacheSpec> caches;
+    std::vector<OpType> ops;
+
+    /// Worker threads.
+    unsigned threads = 4;
+    /// Timed operations per thread.
+    std::uint64_t ops_per_thread = 200000;
+    /// Untimed operations per thread to reach a steady state.
+    std::uint64_t warmup_ops_per_thread = 20000;
+    /// Simulated application work per operation (keeps the allocator
+    /// a minority of op cost, as in the real benchmarks).
+    std::uint32_t app_work_ns = 1500;
+};
+
+}  // namespace prudence
+
+#endif  // PRUDENCE_WORKLOAD_OP_SPEC_H

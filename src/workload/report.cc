@@ -1,0 +1,209 @@
+#include "workload/report.h"
+
+#include <iomanip>
+#include <ostream>
+
+namespace prudence {
+
+namespace {
+
+/// Visit (cache name, slub snapshot, prudence snapshot) triples for
+/// every reportable cache of every comparison. @p live selects the
+/// quiesced pre-drain snapshots (Fig. 11) instead of the final ones.
+template <typename Fn>
+void
+for_each_cache(const std::vector<BenchmarkComparison>& cmps,
+               const ReportOptions& opts, bool live, Fn&& fn)
+{
+    for (const BenchmarkComparison& cmp : cmps) {
+        const auto& slub_caches =
+            live ? cmp.slub.caches_live : cmp.slub.caches;
+        const auto& prud_caches =
+            live ? cmp.prudence.caches_live : cmp.prudence.caches;
+        for (std::size_t i = 0; i < slub_caches.size(); ++i) {
+            const CacheStatsSnapshot& s = slub_caches[i];
+            const CacheStatsSnapshot& p = prud_caches[i];
+            std::uint64_t traffic =
+                s.alloc_calls + s.deferred_free_calls;
+            if (traffic < opts.min_cache_traffic)
+                continue;
+            fn(cmp.slub.workload, s, p);
+        }
+    }
+}
+
+void
+header(std::ostream& os, const char* title, const char* metric)
+{
+    os << "\n=== " << title << " ===\n";
+    os << std::left << std::setw(12) << "benchmark" << std::setw(16)
+       << "cache" << std::right << std::setw(14) << ("slub " + std::string())
+       << std::setw(14) << "prudence" << std::setw(14) << metric << "\n";
+}
+
+double
+reduction_percent(double slub, double prudence)
+{
+    if (slub <= 0.0)
+        return 0.0;
+    return 100.0 * (slub - prudence) / slub;
+}
+
+}  // namespace
+
+void
+print_fig7_cache_hits(std::ostream& os,
+                      const std::vector<BenchmarkComparison>& cmps,
+                      const ReportOptions& opts)
+{
+    header(os, "Figure 7: object-cache hit rate (%)", "delta(pp)");
+    for_each_cache(cmps, opts, false, [&os](const std::string& wl,
+                                     const CacheStatsSnapshot& s,
+                                     const CacheStatsSnapshot& p) {
+        os << std::left << std::setw(12) << wl << std::setw(16)
+           << s.cache_name << std::right << std::fixed
+           << std::setprecision(2) << std::setw(14)
+           << s.cache_hit_percent() << std::setw(14)
+           << p.cache_hit_percent() << std::setw(14)
+           << (p.cache_hit_percent() - s.cache_hit_percent()) << "\n";
+    });
+}
+
+void
+print_fig8_object_churns(std::ostream& os,
+                         const std::vector<BenchmarkComparison>& cmps,
+                         const ReportOptions& opts)
+{
+    header(os, "Figure 8: object-cache churns (refill/flush pairs)",
+           "reduction%");
+    for_each_cache(cmps, opts, false, [&os](const std::string& wl,
+                                     const CacheStatsSnapshot& s,
+                                     const CacheStatsSnapshot& p) {
+        os << std::left << std::setw(12) << wl << std::setw(16)
+           << s.cache_name << std::right << std::setw(14)
+           << s.object_cache_churns() << std::setw(14)
+           << p.object_cache_churns() << std::fixed
+           << std::setprecision(2) << std::setw(14)
+           << reduction_percent(
+                  static_cast<double>(s.object_cache_churns()),
+                  static_cast<double>(p.object_cache_churns()))
+           << "\n";
+    });
+}
+
+void
+print_fig9_slab_churns(std::ostream& os,
+                       const std::vector<BenchmarkComparison>& cmps,
+                       const ReportOptions& opts)
+{
+    header(os, "Figure 9: slab churns (grow/shrink pairs)",
+           "reduction%");
+    for_each_cache(cmps, opts, false, [&os](const std::string& wl,
+                                     const CacheStatsSnapshot& s,
+                                     const CacheStatsSnapshot& p) {
+        os << std::left << std::setw(12) << wl << std::setw(16)
+           << s.cache_name << std::right << std::setw(14)
+           << s.slab_churns() << std::setw(14) << p.slab_churns()
+           << std::fixed << std::setprecision(2) << std::setw(14)
+           << reduction_percent(static_cast<double>(s.slab_churns()),
+                                static_cast<double>(p.slab_churns()))
+           << "\n";
+    });
+}
+
+void
+print_fig10_peak_slabs(std::ostream& os,
+                       const std::vector<BenchmarkComparison>& cmps,
+                       const ReportOptions& opts)
+{
+    header(os, "Figure 10: peak slab usage", "reduction%");
+    for_each_cache(cmps, opts, false, [&os](const std::string& wl,
+                                     const CacheStatsSnapshot& s,
+                                     const CacheStatsSnapshot& p) {
+        os << std::left << std::setw(12) << wl << std::setw(16)
+           << s.cache_name << std::right << std::setw(14)
+           << s.peak_slabs << std::setw(14) << p.peak_slabs
+           << std::fixed << std::setprecision(2) << std::setw(14)
+           << reduction_percent(static_cast<double>(s.peak_slabs),
+                                static_cast<double>(p.peak_slabs))
+           << "\n";
+    });
+}
+
+void
+print_fig11_fragmentation(std::ostream& os,
+                          const std::vector<BenchmarkComparison>& cmps,
+                          const ReportOptions& opts)
+{
+    header(os, "Figure 11: total fragmentation (allocated/requested)",
+           "reduction%");
+    for_each_cache(cmps, opts, true, [&os](const std::string& wl,
+                                     const CacheStatsSnapshot& s,
+                                     const CacheStatsSnapshot& p) {
+        os << std::left << std::setw(12) << wl << std::setw(16)
+           << s.cache_name << std::right << std::fixed
+           << std::setprecision(3) << std::setw(14)
+           << s.total_fragmentation() << std::setw(14)
+           << p.total_fragmentation() << std::setprecision(2)
+           << std::setw(14)
+           << reduction_percent(s.total_fragmentation(),
+                                p.total_fragmentation())
+           << "\n";
+    });
+}
+
+void
+print_fig12_deferred_ratio(std::ostream& os,
+                           const std::vector<BenchmarkComparison>& cmps)
+{
+    os << "\n=== Figure 12: deferred frees as % of all frees ===\n";
+    os << std::left << std::setw(12) << "benchmark" << std::right
+       << std::setw(14) << "measured%" << std::setw(12) << "paper%"
+       << "\n";
+    for (const BenchmarkComparison& cmp : cmps) {
+        double paper = 0.0;
+        if (cmp.slub.workload == "postmark")
+            paper = 24.4;
+        else if (cmp.slub.workload == "netperf")
+            paper = 14.0;
+        else if (cmp.slub.workload == "apache")
+            paper = 18.0;
+        else if (cmp.slub.workload == "postgresql")
+            paper = 4.4;
+        os << std::left << std::setw(12) << cmp.slub.workload
+           << std::right << std::fixed << std::setprecision(2)
+           << std::setw(14) << cmp.slub.deferred_free_percent()
+           << std::setprecision(1) << std::setw(12) << paper << "\n";
+    }
+}
+
+void
+print_fig13_throughput(std::ostream& os,
+                       const std::vector<BenchmarkComparison>& cmps)
+{
+    os << "\n=== Figure 13: throughput improvement over SLUB ===\n";
+    os << std::left << std::setw(12) << "benchmark" << std::right
+       << std::setw(16) << "slub ops/s" << std::setw(16)
+       << "prudence ops/s" << std::setw(14) << "improve%"
+       << std::setw(12) << "paper%" << "\n";
+    for (const BenchmarkComparison& cmp : cmps) {
+        double paper = 0.0;
+        if (cmp.slub.workload == "postmark")
+            paper = 18.0;
+        else if (cmp.slub.workload == "netperf")
+            paper = 4.2;
+        else if (cmp.slub.workload == "apache")
+            paper = 5.6;
+        else if (cmp.slub.workload == "postgresql")
+            paper = 4.6;
+        os << std::left << std::setw(12) << cmp.slub.workload
+           << std::right << std::fixed << std::setprecision(0)
+           << std::setw(16) << cmp.mean_slub_throughput()
+           << std::setw(16) << cmp.mean_prudence_throughput()
+           << std::setprecision(2) << std::setw(14)
+           << cmp.throughput_improvement_percent()
+           << std::setprecision(1) << std::setw(12) << paper << "\n";
+    }
+}
+
+}  // namespace prudence

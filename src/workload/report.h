@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure printers: turn paired workload results into the rows the
+ * paper's Figures 7-13 plot, one printer per figure.
+ */
+#ifndef PRUDENCE_WORKLOAD_REPORT_H
+#define PRUDENCE_WORKLOAD_REPORT_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "workload/suite.h"
+
+namespace prudence {
+
+/// Caches with fewer combined alloc+deferred-free events are omitted
+/// from per-cache figures (paper §5.3 reports caches with more than a
+/// million such events; scaled runs use a proportional threshold).
+struct ReportOptions
+{
+    std::uint64_t min_cache_traffic = 10000;
+};
+
+/// Fig. 7: % of allocations served from the object cache.
+void print_fig7_cache_hits(std::ostream& os,
+                           const std::vector<BenchmarkComparison>& cmps,
+                           const ReportOptions& opts = {});
+
+/// Fig. 8: object-cache churns (refill/flush pairs).
+void print_fig8_object_churns(
+    std::ostream& os, const std::vector<BenchmarkComparison>& cmps,
+    const ReportOptions& opts = {});
+
+/// Fig. 9: slab churns (grow/shrink pairs).
+void print_fig9_slab_churns(
+    std::ostream& os, const std::vector<BenchmarkComparison>& cmps,
+    const ReportOptions& opts = {});
+
+/// Fig. 10: peak slab usage.
+void print_fig10_peak_slabs(
+    std::ostream& os, const std::vector<BenchmarkComparison>& cmps,
+    const ReportOptions& opts = {});
+
+/// Fig. 11: total fragmentation after the run.
+void print_fig11_fragmentation(
+    std::ostream& os, const std::vector<BenchmarkComparison>& cmps,
+    const ReportOptions& opts = {});
+
+/// Fig. 12: deferred frees as % of all frees per benchmark.
+void print_fig12_deferred_ratio(
+    std::ostream& os, const std::vector<BenchmarkComparison>& cmps);
+
+/// Fig. 13: overall throughput improvement per benchmark.
+void print_fig13_throughput(
+    std::ostream& os, const std::vector<BenchmarkComparison>& cmps);
+
+}  // namespace prudence
+
+#endif  // PRUDENCE_WORKLOAD_REPORT_H

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Tests for the baseline deferred-callback engine: epoch gating,
+ * batch throttling, expediting, inline assistance and draining.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "rcu/callback_engine.h"
+#include "rcu/manual_domain.h"
+#include "rcu/rcu_domain.h"
+
+namespace prudence {
+namespace {
+
+CallbackEngineConfig
+manual_config()
+{
+    CallbackEngineConfig cfg;
+    cfg.cpus = 2;
+    cfg.background_drainer = false;
+    cfg.inline_batch_limit = 0;
+    return cfg;
+}
+
+void
+bump(void* ctx, void* arg)
+{
+    (void)arg;
+    static_cast<std::atomic<int>*>(ctx)->fetch_add(1);
+}
+
+TEST(CallbackEngine, CallbacksWaitForGracePeriod)
+{
+    ManualRcuDomain domain;
+    CallbackEngine engine(domain, manual_config());
+    std::atomic<int> fired{0};
+
+    engine.call(&bump, &fired, nullptr);
+    engine.call(&bump, &fired, nullptr);
+    EXPECT_EQ(engine.backlog(), 2);
+
+    // Not safe yet: processing must invoke nothing.
+    engine.process_ready(100);
+    EXPECT_EQ(fired.load(), 0);
+
+    domain.advance();
+    engine.process_ready(100);
+    EXPECT_EQ(fired.load(), 2);
+    EXPECT_EQ(engine.backlog(), 0);
+}
+
+TEST(CallbackEngine, BatchLimitThrottlesProcessing)
+{
+    ManualRcuDomain domain;
+    CallbackEngine engine(domain, manual_config());
+    std::atomic<int> fired{0};
+    for (int i = 0; i < 50; ++i)
+        engine.call(&bump, &fired, nullptr);
+    domain.advance();
+
+    engine.process_ready(10);  // 10 per CPU; all on this thread's CPU
+    EXPECT_EQ(fired.load(), 10);
+    engine.process_ready(10);
+    EXPECT_EQ(fired.load(), 20);
+    engine.process_ready(1000);
+    EXPECT_EQ(fired.load(), 50);
+}
+
+TEST(CallbackEngine, EpochOrderIsRespected)
+{
+    ManualRcuDomain domain;
+    CallbackEngine engine(domain, manual_config());
+    std::atomic<int> old_fired{0};
+    std::atomic<int> new_fired{0};
+
+    engine.call(&bump, &old_fired, nullptr);
+    domain.advance();
+    engine.call(&bump, &new_fired, nullptr);  // fresh epoch, unsafe
+
+    engine.process_ready(100);
+    EXPECT_EQ(old_fired.load(), 1);
+    EXPECT_EQ(new_fired.load(), 0);
+
+    domain.advance();
+    engine.process_ready(100);
+    EXPECT_EQ(new_fired.load(), 1);
+}
+
+TEST(CallbackEngine, InlineAssistProcessesOwnQueue)
+{
+    ManualRcuDomain domain;
+    CallbackEngineConfig cfg = manual_config();
+    cfg.inline_batch_limit = 8;
+    CallbackEngine engine(domain, cfg);
+    std::atomic<int> fired{0};
+
+    engine.call(&bump, &fired, nullptr);
+    domain.advance();
+    // The next call() should opportunistically process the ready one.
+    engine.call(&bump, &fired, nullptr);
+    EXPECT_EQ(fired.load(), 1);
+}
+
+TEST(CallbackEngine, DrainAllLeavesNothing)
+{
+    ManualRcuDomain domain;
+    CallbackEngine engine(domain, manual_config());
+    std::atomic<int> fired{0};
+    for (int i = 0; i < 123; ++i)
+        engine.call(&bump, &fired, nullptr);
+    engine.drain_all();
+    EXPECT_EQ(fired.load(), 123);
+    EXPECT_EQ(engine.backlog(), 0);
+}
+
+TEST(CallbackEngine, DestructorDrains)
+{
+    ManualRcuDomain domain;
+    std::atomic<int> fired{0};
+    {
+        CallbackEngine engine(domain, manual_config());
+        for (int i = 0; i < 7; ++i)
+            engine.call(&bump, &fired, nullptr);
+    }
+    EXPECT_EQ(fired.load(), 7);
+}
+
+TEST(CallbackEngine, BackgroundDrainerMakesProgress)
+{
+    RcuConfig rcfg;
+    rcfg.background_gp_thread = true;
+    rcfg.gp_interval = std::chrono::microseconds{100};
+    RcuDomain domain(rcfg);
+
+    CallbackEngineConfig cfg;
+    cfg.cpus = 2;
+    cfg.background_drainer = true;
+    cfg.tick = std::chrono::microseconds{200};
+    cfg.batch_limit = 32;
+    CallbackEngine engine(domain, cfg);
+
+    std::atomic<int> fired{0};
+    for (int i = 0; i < 64; ++i)
+        engine.call(&bump, &fired, nullptr);
+    for (int spin = 0; spin < 2000 && fired.load() < 64; ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_EQ(fired.load(), 64);
+}
+
+TEST(CallbackEngine, PressureProbeExpedites)
+{
+    ManualRcuDomain domain;
+    std::atomic<bool> pressured{false};
+
+    CallbackEngineConfig cfg;
+    cfg.cpus = 1;
+    cfg.background_drainer = true;
+    cfg.tick = std::chrono::microseconds{200};
+    cfg.batch_limit = 1;  // crawl
+    cfg.expedited_batch_limit = 10000;
+    cfg.pressure_probe = [&pressured] {
+        return pressured.load() ? 1.0 : 0.0;
+    };
+    cfg.expedite_threshold = 0.5;
+    CallbackEngine engine(domain, cfg);
+
+    std::atomic<int> fired{0};
+    for (int i = 0; i < 2000; ++i)
+        engine.call(&bump, &fired, nullptr);
+    domain.advance();
+
+    // Throttled: ~1 per tick. Give it a few ticks.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    int slow = fired.load();
+    EXPECT_LT(slow, 500);
+
+    pressured = true;  // expedite
+    for (int spin = 0; spin < 2000 && fired.load() < 2000; ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_EQ(fired.load(), 2000);
+    EXPECT_GT(engine.stats().expedited_ticks, 0u);
+}
+
+TEST(CallbackEngine, StatsTrackBacklogPeak)
+{
+    ManualRcuDomain domain;
+    CallbackEngine engine(domain, manual_config());
+    std::atomic<int> fired{0};
+    for (int i = 0; i < 10; ++i)
+        engine.call(&bump, &fired, nullptr);
+    auto s = engine.stats();
+    EXPECT_EQ(s.queued, 10u);
+    EXPECT_EQ(s.backlog, 10);
+    EXPECT_EQ(s.peak_backlog, 10);
+    engine.drain_all();
+    s = engine.stats();
+    EXPECT_EQ(s.invoked, 10u);
+    EXPECT_EQ(s.backlog, 0);
+    EXPECT_EQ(s.peak_backlog, 10);
+}
+
+TEST(CallbackEngine, ConcurrentCallersAreSafe)
+{
+    RcuConfig rcfg;
+    rcfg.background_gp_thread = true;
+    rcfg.gp_interval = std::chrono::microseconds{0};
+    RcuDomain domain(rcfg);
+
+    CallbackEngineConfig cfg;
+    cfg.cpus = 4;
+    cfg.background_drainer = true;
+    cfg.tick = std::chrono::microseconds{100};
+    cfg.batch_limit = 1000;
+    cfg.inline_batch_limit = 4;
+    CallbackEngine engine(domain, cfg);
+
+    std::atomic<int> fired{0};
+    constexpr int kPerThread = 5000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < kPerThread; ++i)
+                engine.call(&bump, &fired, nullptr);
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+    engine.drain_all();
+    EXPECT_EQ(fired.load(), 4 * kPerThread);
+}
+
+}  // namespace
+}  // namespace prudence

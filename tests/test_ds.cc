@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for the RCU data structures (list and hash table) over both
+ * allocators.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "api/allocator_factory.h"
+#include "ds/rcu_hash_table.h"
+#include "ds/rcu_list.h"
+#include "rcu/rcu_domain.h"
+
+namespace prudence {
+namespace {
+
+enum class Kind { kSlub, kPrudence };
+
+std::unique_ptr<Allocator>
+make_allocator(Kind kind, RcuDomain& rcu)
+{
+    if (kind == Kind::kSlub) {
+        SlubConfig cfg;
+        cfg.arena_bytes = 128 << 20;
+        cfg.cpus = 4;
+        cfg.callback.inline_batch_limit = 10;
+        return make_slub_allocator(rcu, cfg);
+    }
+    PrudenceConfig cfg;
+    cfg.arena_bytes = 128 << 20;
+    cfg.cpus = 4;
+    return make_prudence_allocator(rcu, cfg);
+}
+
+class DsTest : public ::testing::TestWithParam<Kind>
+{
+  protected:
+    DsTest() : rcu_(fast()), alloc_(make_allocator(GetParam(), rcu_)) {}
+
+    static RcuConfig
+    fast()
+    {
+        RcuConfig cfg;
+        cfg.gp_interval = std::chrono::microseconds{50};
+        return cfg;
+    }
+
+    RcuDomain rcu_;
+    std::unique_ptr<Allocator> alloc_;
+};
+
+TEST_P(DsTest, ListInsertLookupEraseBasics)
+{
+    RcuList<std::uint64_t> list(rcu_, *alloc_);
+    EXPECT_TRUE(list.insert(10, 100));
+    EXPECT_TRUE(list.insert(5, 50));
+    EXPECT_TRUE(list.insert(20, 200));
+    EXPECT_FALSE(list.insert(10, 999));  // duplicate
+
+    std::uint64_t v = 0;
+    EXPECT_TRUE(list.lookup(10, &v));
+    EXPECT_EQ(v, 100u);
+    EXPECT_TRUE(list.lookup(5, &v));
+    EXPECT_EQ(v, 50u);
+    EXPECT_FALSE(list.lookup(15, &v));
+    EXPECT_EQ(list.size(), 3u);
+
+    EXPECT_TRUE(list.erase(10));
+    EXPECT_FALSE(list.erase(10));
+    EXPECT_FALSE(list.lookup(10, &v));
+    EXPECT_EQ(list.size(), 2u);
+}
+
+TEST_P(DsTest, ListUpdateIsCopyBased)
+{
+    RcuList<std::uint64_t> list(rcu_, *alloc_);
+    EXPECT_TRUE(list.insert(1, 11));
+    EXPECT_TRUE(list.update(1, 22));
+    std::uint64_t v = 0;
+    EXPECT_TRUE(list.lookup(1, &v));
+    EXPECT_EQ(v, 22u);
+    EXPECT_FALSE(list.update(42, 1));  // absent key
+
+    // Each update defer-freed the old node.
+    bool saw_deferred = false;
+    for (const auto& s : alloc_->snapshots()) {
+        if (s.cache_name == "rcu_list_node")
+            saw_deferred = s.deferred_free_calls >= 1;
+    }
+    EXPECT_TRUE(saw_deferred);
+}
+
+TEST_P(DsTest, ConcurrentReadersWithUpdatingWriter)
+{
+    RcuList<std::uint64_t> list(rcu_, *alloc_);
+    constexpr std::uint64_t kKeys = 64;
+    for (std::uint64_t k = 0; k < kKeys; ++k)
+        ASSERT_TRUE(list.insert(k, k * 1000 + 1));
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> bad{0};
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 3; ++r) {
+        readers.emplace_back([&] {
+            std::uint64_t k = 0;
+            while (!stop) {
+                std::uint64_t v = 0;
+                if (list.lookup(k % kKeys, &v)) {
+                    // Value is always key*1000 + version, version >= 1.
+                    if (v / 1000 != k % kKeys || v % 1000 == 0)
+                        bad.fetch_add(1);
+                }
+                ++k;
+            }
+        });
+    }
+
+    for (std::uint64_t version = 2; version < 800; ++version) {
+        for (std::uint64_t k = 0; k < kKeys; ++k)
+            ASSERT_TRUE(list.update(k, k * 1000 + (version % 999)));
+    }
+    stop = true;
+    for (auto& t : readers)
+        t.join();
+    EXPECT_EQ(bad.load(), 0u);
+}
+
+TEST_P(DsTest, HashTableBasics)
+{
+    RcuHashTable<std::uint64_t> table(rcu_, *alloc_, 64);
+    EXPECT_EQ(table.bucket_count(), 64u);
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        EXPECT_TRUE(table.insert(k, k + 7));
+    EXPECT_EQ(table.size(), 1000u);
+    std::uint64_t v = 0;
+    for (std::uint64_t k = 0; k < 1000; ++k) {
+        ASSERT_TRUE(table.lookup(k, &v));
+        EXPECT_EQ(v, k + 7);
+    }
+    for (std::uint64_t k = 0; k < 1000; k += 2)
+        EXPECT_TRUE(table.erase(k));
+    EXPECT_EQ(table.size(), 500u);
+    EXPECT_FALSE(table.lookup(0, &v));
+    EXPECT_TRUE(table.lookup(1, &v));
+}
+
+TEST_P(DsTest, HashTableConcurrentChurn)
+{
+    RcuHashTable<std::uint64_t> table(rcu_, *alloc_, 256);
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> bad{0};
+
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 2; ++r) {
+        readers.emplace_back([&] {
+            std::uint64_t k = 0;
+            while (!stop) {
+                std::uint64_t v = 0;
+                if (table.lookup(k % 512, &v) && v == 0)
+                    bad.fetch_add(1);
+                ++k;
+            }
+        });
+    }
+    std::vector<std::thread> writers;
+    for (int w = 0; w < 2; ++w) {
+        writers.emplace_back([&, w] {
+            for (int i = 0; i < 20000; ++i) {
+                std::uint64_t k =
+                    static_cast<std::uint64_t>((i * 2 + w) % 512);
+                if (!table.insert(k, k + 1)) {
+                    table.update(k, k + 1);
+                    if (i % 7 == 0)
+                        table.erase(k);
+                }
+            }
+        });
+    }
+    for (auto& t : writers)
+        t.join();
+    stop = true;
+    for (auto& t : readers)
+        t.join();
+    EXPECT_EQ(bad.load(), 0u);
+}
+
+TEST_P(DsTest, NoLeaksAfterTeardown)
+{
+    {
+        RcuList<std::uint64_t> list(rcu_, *alloc_);
+        for (std::uint64_t k = 0; k < 500; ++k)
+            list.insert(k, k);
+        for (std::uint64_t k = 0; k < 500; k += 2)
+            list.erase(k);
+    }
+    alloc_->quiesce();
+    for (const auto& s : alloc_->snapshots()) {
+        if (s.cache_name == "rcu_list_node") {
+            EXPECT_EQ(s.live_objects, 0);
+            EXPECT_EQ(s.deferred_outstanding, 0);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothAllocators, DsTest,
+                         ::testing::Values(Kind::kSlub, Kind::kPrudence),
+                         [](const auto& info) {
+                             return info.param == Kind::kSlub
+                                        ? "slub"
+                                        : "prudence";
+                         });
+
+}  // namespace
+}  // namespace prudence

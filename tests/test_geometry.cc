@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for slab geometry heuristics and the kmalloc size-class
+ * ladder.
+ */
+#include <gtest/gtest.h>
+
+#include "page/page_types.h"
+#include "slab/geometry.h"
+#include "slab/size_classes.h"
+#include "slab/slab_header.h"
+#include "sync/cacheline.h"
+
+namespace prudence {
+namespace {
+
+TEST(Geometry, RejectsZeroSize)
+{
+    EXPECT_THROW(compute_slab_geometry(0), std::invalid_argument);
+}
+
+TEST(Geometry, MinimumStrideIsEightBytes)
+{
+    SlabGeometry g = compute_slab_geometry(1);
+    EXPECT_EQ(g.aligned_size, 8u);
+    g = compute_slab_geometry(13);
+    EXPECT_EQ(g.aligned_size, 16u);
+}
+
+TEST(Geometry, LargerObjectsGetShallowerCaches)
+{
+    // Paper §5.2: "Larger objects ... have fewer objects in object
+    // cache and smaller slabs."
+    SlabGeometry small = compute_slab_geometry(64);
+    SlabGeometry mid = compute_slab_geometry(512);
+    SlabGeometry large = compute_slab_geometry(4096);
+    EXPECT_GT(small.cache_capacity, mid.cache_capacity);
+    EXPECT_GT(mid.cache_capacity, large.cache_capacity);
+    EXPECT_GT(small.objects_per_slab, large.objects_per_slab);
+}
+
+TEST(Geometry, RefillTargetIsHalfCapacity)
+{
+    for (std::size_t size : {16u, 64u, 256u, 1024u, 4096u}) {
+        SlabGeometry g = compute_slab_geometry(size);
+        EXPECT_EQ(g.refill_target, g.cache_capacity / 2) << size;
+    }
+}
+
+/// Layout property over every kmalloc class: header + ring + objects
+/// fit inside the slab, objects do not overlap metadata.
+class GeometryLayout : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(GeometryLayout, LayoutFitsSlab)
+{
+    std::size_t size = GetParam();
+    SlabGeometry g = compute_slab_geometry(size);
+
+    EXPECT_GE(g.aligned_size, size);
+    EXPECT_EQ(g.slab_bytes, order_bytes(g.slab_order));
+    EXPECT_GT(g.objects_per_slab, 0u);
+
+    std::size_t ring_end =
+        align_up(sizeof(SlabHeader), alignof(LatentSlabEntry)) +
+        g.objects_per_slab * sizeof(LatentSlabEntry);
+    EXPECT_LE(ring_end, g.objects_offset);
+    EXPECT_LE(g.objects_offset + g.objects_per_slab * g.aligned_size,
+              g.slab_bytes);
+    // The latent ring must hold every object of the slab.
+    EXPECT_EQ(g.cache_capacity > 0, true);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKmallocClasses, GeometryLayout,
+                         ::testing::Values(8u, 16u, 32u, 64u, 128u,
+                                           192u, 256u, 512u, 1024u,
+                                           2048u, 4096u, 8192u));
+
+TEST(Geometry, SlabOrderCapsAtThreeForNormalSizes)
+{
+    for (std::size_t size : {8u, 64u, 512u, 4096u}) {
+        SlabGeometry g = compute_slab_geometry(size);
+        EXPECT_LE(g.slab_order, 3u) << size;
+    }
+}
+
+TEST(Geometry, MinObjectsPerSlabForSmallSizes)
+{
+    for (std::size_t size : {8u, 64u, 256u}) {
+        SlabGeometry g = compute_slab_geometry(size);
+        EXPECT_GE(g.objects_per_slab, 8u) << size;
+    }
+}
+
+TEST(SizeClasses, IndexSelectsSmallestFit)
+{
+    EXPECT_EQ(kSizeClasses[size_class_index(1)], 8u);
+    EXPECT_EQ(kSizeClasses[size_class_index(8)], 8u);
+    EXPECT_EQ(kSizeClasses[size_class_index(9)], 16u);
+    EXPECT_EQ(kSizeClasses[size_class_index(64)], 64u);
+    EXPECT_EQ(kSizeClasses[size_class_index(65)], 128u);
+    EXPECT_EQ(kSizeClasses[size_class_index(8192)], 8192u);
+}
+
+TEST(SizeClasses, OversizeReturnsSentinel)
+{
+    EXPECT_EQ(size_class_index(8193), kNumSizeClasses);
+    EXPECT_EQ(size_class_index(1 << 20), kNumSizeClasses);
+}
+
+TEST(SizeClasses, NamesMatchConvention)
+{
+    EXPECT_EQ(size_class_name(size_class_index(64)), "kmalloc-64");
+    EXPECT_EQ(size_class_name(size_class_index(4096)), "kmalloc-4096");
+}
+
+}  // namespace
+}  // namespace prudence

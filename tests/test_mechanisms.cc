@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Focused tests for the measurement-driven mechanisms layered on
+ * Algorithm 1: safe-prefix counting, FIFO list ordering, batched
+ * spills, deferred-aware shrink retention, and the workload engine's
+ * standing pools.
+ */
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+#include "api/allocator_factory.h"
+#include "core/prudence_allocator.h"
+#include "page/buddy_allocator.h"
+#include "rcu/manual_domain.h"
+#include "rcu/rcu_domain.h"
+#include "slab/latent_ring.h"
+#include "slab/node_lists.h"
+#include "slab/slab_pool.h"
+#include "workload/engine.h"
+
+namespace prudence {
+namespace {
+
+TEST(LatentRingSafe, CountsSafePrefixOnly)
+{
+    LatentRing ring(8);
+    int objs[5];
+    ring.push(&objs[0], 2);
+    ring.push(&objs[1], 3);
+    ring.push(&objs[2], 3);
+    ring.push(&objs[3], 7);
+    ring.push(&objs[4], 9);
+
+    EXPECT_EQ(ring.count_safe(1, 8), 0u);
+    EXPECT_EQ(ring.count_safe(2, 8), 1u);
+    EXPECT_EQ(ring.count_safe(3, 8), 3u);
+    EXPECT_EQ(ring.count_safe(8, 8), 4u);
+    EXPECT_EQ(ring.count_safe(100, 8), 5u);
+    // Limit caps the scan.
+    EXPECT_EQ(ring.count_safe(100, 2), 2u);
+}
+
+TEST(LatentRingSafe, WrapAroundKeepsPrefixSemantics)
+{
+    LatentRing ring(4);
+    int o;
+    ring.push(&o, 1);
+    ring.push(&o, 2);
+    ring.push(&o, 3);
+    ring.pop_front();
+    ring.pop_front();
+    ring.push(&o, 4);
+    ring.push(&o, 5);  // wraps
+    // Contents now: epochs 3, 4, 5.
+    EXPECT_EQ(ring.count_safe(4, 8), 2u);
+}
+
+TEST(NodeListsFifo, AppendsAtTail)
+{
+    BuddyAllocator buddy(8 << 20);
+    PageOwnerTable owners(buddy);
+    SlabPool pool("fifo", 64, buddy, owners);
+    NodeLists& node = pool.node();
+
+    SlabHeader* a = pool.grow();
+    SlabHeader* b = pool.grow();
+    SlabHeader* c = pool.grow();
+    ASSERT_TRUE(a && b && c);
+    {
+        std::lock_guard<SpinLock> g(node.lock);
+        node.move_to(a, SlabListKind::kFree);
+        node.move_to(b, SlabListKind::kFree);
+        node.move_to(c, SlabListKind::kFree);
+        // FIFO: the first inserted is at the front.
+        EXPECT_EQ(node.free.front(), a);
+        // Removing and re-adding sends a slab to the back.
+        node.move_to(a, SlabListKind::kPartial);
+        node.move_to(a, SlabListKind::kFree);
+        EXPECT_EQ(node.free.front(), b);
+        std::vector<SlabHeader*> order;
+        node.free.for_each([&](SlabHeader* s) {
+            order.push_back(s);
+            return true;
+        });
+        ASSERT_EQ(order.size(), 3u);
+        EXPECT_EQ(order[0], b);
+        EXPECT_EQ(order[1], c);
+        EXPECT_EQ(order[2], a);
+        for (SlabHeader* s : {a, b, c})
+            node.move_to(s, SlabListKind::kNone);
+    }
+    for (SlabHeader* s : {a, b, c})
+        pool.release_slab(s);
+}
+
+TEST(DeferredAwareKind, RingCarryingSlabsStayVisible)
+{
+    BuddyAllocator buddy(8 << 20);
+    PageOwnerTable owners(buddy);
+    SlabPool pool("kind", 128, buddy, owners);
+    SlabHeader* slab = pool.grow();
+    ASSERT_NE(slab, nullptr);
+
+    // Fully free slab.
+    EXPECT_EQ(NodeLists::deferred_aware_kind(slab),
+              SlabListKind::kFree);
+
+    // Drain the freelist: naturally "full", but with ring entries it
+    // must remain scannable.
+    std::vector<void*> objs;
+    while (void* o = slab->freelist_pop())
+        objs.push_back(o);
+    EXPECT_EQ(NodeLists::natural_kind(slab), SlabListKind::kFull);
+    EXPECT_EQ(NodeLists::deferred_aware_kind(slab),
+              SlabListKind::kFull);  // no deferrals yet
+
+    {
+        std::lock_guard<SpinLock> g(slab->slab_lock);
+        slab->ring_push(slab->index_of(objs.back()), 1);
+    }
+    objs.pop_back();
+    // One ring entry: natural says full, deferred-aware says partial.
+    EXPECT_EQ(NodeLists::natural_kind(slab), SlabListKind::kFull);
+    EXPECT_EQ(NodeLists::deferred_aware_kind(slab),
+              SlabListKind::kPartial);
+
+    // Every remaining object deferred: free + deferred == total.
+    {
+        std::lock_guard<SpinLock> g(slab->slab_lock);
+        for (void* o : objs)
+            slab->ring_push(slab->index_of(o), 1);
+    }
+    EXPECT_EQ(NodeLists::deferred_aware_kind(slab),
+              SlabListKind::kFree);
+
+    merge_safe_latent(slab, 1);
+    EXPECT_EQ(slab->free_count, slab->total_objects);
+    pool.release_slab(slab);
+}
+
+TEST(SpillBatching, OverflowSpillsInBatchesNotPerObject)
+{
+    ManualRcuDomain domain;
+    PrudenceConfig cfg;
+    cfg.arena_bytes = 64 << 20;
+    cfg.cpus = 1;
+    cfg.maintenance_interval = std::chrono::microseconds{0};
+    PrudenceAllocator alloc(domain, cfg);
+    CacheId id = alloc.create_cache("spill", 512);
+
+    std::size_t cap = compute_slab_geometry(512).cache_capacity;
+    std::vector<void*> objs;
+    // 4x capacity deferrals with no grace period: latent cache fills
+    // once, then spills service the rest.
+    for (std::size_t i = 0; i < cap * 4; ++i)
+        objs.push_back(alloc.cache_alloc(id));
+    for (void* p : objs)
+        alloc.cache_free_deferred(id, p);
+
+    auto s = alloc.cache_snapshot(id);
+    EXPECT_EQ(s.deferred_outstanding,
+              static_cast<std::int64_t>(cap * 4));
+    EXPECT_EQ(alloc.validate(), "");
+
+    // Everything comes back after the grace period.
+    domain.advance();
+    alloc.quiesce();
+    s = alloc.cache_snapshot(id);
+    EXPECT_EQ(s.deferred_outstanding, 0);
+}
+
+TEST(Retention, FreeSlabsHeldWhileDeferralsOutstanding)
+{
+    ManualRcuDomain domain;
+    PrudenceConfig cfg;
+    cfg.arena_bytes = 64 << 20;
+    cfg.cpus = 1;
+    cfg.maintenance_interval = std::chrono::microseconds{0};
+    PrudenceAllocator alloc(domain, cfg);
+    CacheId id = alloc.create_cache("retain", 1024);
+    std::size_t per_slab = compute_slab_geometry(1024).objects_per_slab;
+
+    // Create a large deferred backlog (slabs become premoved-free).
+    std::vector<void*> objs;
+    for (std::size_t i = 0; i < per_slab * 20; ++i)
+        objs.push_back(alloc.cache_alloc(id));
+    auto grown = alloc.cache_snapshot(id).current_slabs;
+    for (void* p : objs)
+        alloc.cache_free_deferred(id, p);
+
+    // Despite the free list far exceeding the static limit, retention
+    // keeps the memory while the backlog is outstanding.
+    auto held = alloc.cache_snapshot(id);
+    EXPECT_EQ(held.shrinks, 0u);
+    EXPECT_EQ(held.current_slabs, grown);
+
+    // Once reclaimed, the excess is released.
+    domain.advance();
+    alloc.quiesce();
+    auto after = alloc.cache_snapshot(id);
+    EXPECT_GT(after.shrinks, 0u);
+    EXPECT_LT(after.current_slabs, grown / 2);
+}
+
+TEST(Retention, DisabledSwitchRestoresBaselineShrink)
+{
+    ManualRcuDomain domain;
+    PrudenceConfig cfg;
+    cfg.arena_bytes = 64 << 20;
+    cfg.cpus = 1;
+    cfg.maintenance_interval = std::chrono::microseconds{0};
+    cfg.deferred_aware_shrink = false;
+    PrudenceAllocator alloc(domain, cfg);
+    CacheId id = alloc.create_cache("noretain", 1024);
+    std::size_t per_slab = compute_slab_geometry(1024).objects_per_slab;
+
+    std::vector<void*> objs;
+    for (std::size_t i = 0; i < per_slab * 20; ++i)
+        objs.push_back(alloc.cache_alloc(id));
+    for (void* p : objs)
+        alloc.cache_free_deferred(id, p);
+    domain.advance();
+    // Any allocation-driven merge/shrink cycle may now release slabs
+    // eagerly; correctness is unchanged.
+    for (int i = 0; i < 200; ++i) {
+        void* p = alloc.cache_alloc(id);
+        ASSERT_NE(p, nullptr);
+        alloc.cache_free(id, p);
+    }
+    alloc.quiesce();
+    EXPECT_EQ(alloc.cache_snapshot(id).deferred_outstanding, 0);
+    EXPECT_EQ(alloc.validate(), "");
+}
+
+TEST(WorkloadStandingPool, SeededAndDrained)
+{
+    RcuDomain rcu;
+    PrudenceConfig cfg;
+    cfg.arena_bytes = 64 << 20;
+    cfg.cpus = 2;
+    auto alloc = make_prudence_allocator(rcu, cfg);
+
+    WorkloadSpec spec;
+    spec.name = "standing";
+    spec.caches = {{"held", 128, 250}};
+    spec.ops = {{"noop_pair", 1.0, {{OpAction::Kind::kPair, 0, 1}}}};
+    spec.threads = 2;
+    spec.ops_per_thread = 100;
+    spec.warmup_ops_per_thread = 10;
+    spec.app_work_ns = 0;
+
+    WorkloadResult r = run_workload(*alloc, spec, 1);
+    // Live snapshot (pre-drain): 2 threads x 250 standing objects.
+    ASSERT_EQ(r.caches_live.size(), 1u);
+    EXPECT_EQ(r.caches_live[0].live_objects, 500);
+    // Final snapshot: drained.
+    EXPECT_EQ(r.caches[0].live_objects, 0);
+}
+
+TEST(MaintenanceRetentionHint, DecaysAfterBacklogDrains)
+{
+    ManualRcuDomain domain;
+    PrudenceConfig cfg;
+    cfg.arena_bytes = 64 << 20;
+    cfg.cpus = 1;
+    cfg.maintenance_interval = std::chrono::microseconds{0};
+    PrudenceAllocator alloc(domain, cfg);
+    CacheId id = alloc.create_cache("hint", 512);
+
+    std::vector<void*> objs;
+    for (int i = 0; i < 500; ++i)
+        objs.push_back(alloc.cache_alloc(id));
+    auto grown = alloc.cache_snapshot(id).current_slabs;
+    for (void* p : objs)
+        alloc.cache_free_deferred(id, p);
+    alloc.maintenance_pass();  // raises the hint to the backlog
+    EXPECT_EQ(alloc.cache_snapshot(id).shrinks, 0u);
+
+    domain.advance();
+    // Many decay passes: the hint fades, the sweep merges safe ring
+    // entries, and shrink resumes on the drained slabs. (Maintenance
+    // is deliberately lazy — full reclamation happens via allocation
+    // pressure or quiesce(); here we only require the retention to
+    // let go.)
+    for (int i = 0; i < 64; ++i)
+        alloc.maintenance_pass();
+    auto s = alloc.cache_snapshot(id);
+    EXPECT_LT(s.deferred_outstanding, 500);
+    EXPECT_GT(s.shrinks, 0u);
+    EXPECT_LT(s.current_slabs, grown);
+    EXPECT_EQ(alloc.validate(), "");
+
+    alloc.quiesce();
+    EXPECT_EQ(alloc.cache_snapshot(id).deferred_outstanding, 0);
+}
+
+}  // namespace
+}  // namespace prudence

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Tests for the RCU domains: epoch semantics, grace-period
+ * completion, reader blocking, synchronize(), and the manual domain.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "rcu/manual_domain.h"
+#include "rcu/rcu_domain.h"
+
+namespace prudence {
+namespace {
+
+RcuConfig
+no_background()
+{
+    RcuConfig cfg;
+    cfg.background_gp_thread = false;
+    return cfg;
+}
+
+TEST(ManualDomain, EpochsAdvanceOnRequest)
+{
+    ManualRcuDomain d;
+    GpEpoch tag = d.defer_epoch();
+    EXPECT_FALSE(d.is_safe(tag));
+    d.advance();
+    EXPECT_TRUE(d.is_safe(tag));
+    // New deferrals get a fresh, unsafe epoch.
+    GpEpoch tag2 = d.defer_epoch();
+    EXPECT_GT(tag2, tag);
+    EXPECT_FALSE(d.is_safe(tag2));
+}
+
+TEST(ManualDomain, SynchronizeIsOneAdvance)
+{
+    ManualRcuDomain d;
+    GpEpoch tag = d.defer_epoch();
+    d.synchronize();
+    EXPECT_TRUE(d.is_safe(tag));
+}
+
+TEST(RcuDomain, AdvanceMakesPriorDeferralsSafe)
+{
+    RcuDomain d(no_background());
+    GpEpoch tag = d.defer_epoch();
+    EXPECT_FALSE(d.is_safe(tag));
+    d.advance();
+    EXPECT_TRUE(d.is_safe(tag));
+}
+
+TEST(RcuDomain, ReadLockNests)
+{
+    RcuDomain d(no_background());
+    d.read_lock();
+    d.read_lock();
+    EXPECT_TRUE(d.in_reader_section());
+    d.read_unlock();
+    EXPECT_TRUE(d.in_reader_section());
+    d.read_unlock();
+    EXPECT_FALSE(d.in_reader_section());
+}
+
+TEST(RcuDomain, GracePeriodWaitsForActiveReader)
+{
+    RcuDomain d(no_background());
+    std::atomic<bool> reader_in{false};
+    std::atomic<bool> release_reader{false};
+    std::atomic<bool> gp_done{false};
+
+    std::thread reader([&] {
+        d.read_lock();
+        reader_in = true;
+        while (!release_reader)
+            std::this_thread::yield();
+        d.read_unlock();
+    });
+    while (!reader_in)
+        std::this_thread::yield();
+
+    GpEpoch tag = d.defer_epoch();
+    std::thread gp([&] {
+        d.advance();
+        gp_done = true;
+    });
+
+    // The grace period must not complete while the reader is inside.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(gp_done);
+    EXPECT_FALSE(d.is_safe(tag));
+
+    release_reader = true;
+    gp.join();
+    reader.join();
+    EXPECT_TRUE(d.is_safe(tag));
+}
+
+TEST(RcuDomain, ReadersStartedAfterGpBeginDoNotBlockIt)
+{
+    RcuDomain d(no_background());
+    // A grace period with no readers at all must complete promptly.
+    auto t0 = std::chrono::steady_clock::now();
+    d.advance();
+    auto elapsed = std::chrono::steady_clock::now() - t0;
+    EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 1.0);
+}
+
+TEST(RcuDomain, SynchronizeWithBackgroundThread)
+{
+    RcuConfig cfg;
+    cfg.background_gp_thread = true;
+    cfg.gp_interval = std::chrono::microseconds{100};
+    RcuDomain d(cfg);
+    GpEpoch tag = d.defer_epoch();
+    d.synchronize();
+    EXPECT_TRUE(d.is_safe(tag));
+}
+
+TEST(RcuDomain, SynchronizeInlineWithoutBackgroundThread)
+{
+    RcuDomain d(no_background());
+    GpEpoch tag = d.defer_epoch();
+    d.synchronize();
+    EXPECT_TRUE(d.is_safe(tag));
+}
+
+TEST(RcuDomain, StatsCountGracePeriods)
+{
+    RcuDomain d(no_background());
+    auto before = d.stats();
+    d.advance();
+    d.advance();
+    auto after = d.stats();
+    EXPECT_EQ(after.grace_periods, before.grace_periods + 2);
+    EXPECT_GT(after.completed_epoch, before.completed_epoch);
+}
+
+/**
+ * The core safety property, stress-tested: a reader that saw a
+ * published object keeps seeing valid contents until it exits its
+ * critical section, even while a writer retires objects and a
+ * grace-period thread runs continuously.
+ *
+ * The writer publishes object N, retires object N-1, and only marks
+ * its memory "poisoned" after is_safe(tag) — readers assert they
+ * never observe a poisoned object through the published pointer.
+ */
+TEST(RcuDomain, ReadersNeverSeeReclaimedObjects)
+{
+    struct Obj
+    {
+        std::atomic<std::uint64_t> a{0};
+        std::atomic<std::uint64_t> b{0};
+    };
+
+    RcuConfig cfg;
+    cfg.background_gp_thread = true;
+    cfg.gp_interval = std::chrono::microseconds{0};
+    RcuDomain d(cfg);
+
+    constexpr int kSlots = 64;
+    std::vector<Obj> arena(kSlots);
+    std::atomic<Obj*> published{&arena[0]};
+    arena[0].a = 1;
+    arena[0].b = 1;
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> violations{0};
+
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 4; ++r) {
+        readers.emplace_back([&] {
+            std::uint64_t iters = 0;
+            while (!stop) {
+                {
+                    RcuReadGuard guard(d);
+                    Obj* o =
+                        published.load(std::memory_order_acquire);
+                    std::uint64_t a =
+                        o->a.load(std::memory_order_acquire);
+                    std::uint64_t b =
+                        o->b.load(std::memory_order_acquire);
+                    // A live object always has a == b and a != 0; a
+                    // reclaimed object is zeroed.
+                    if (a != b || a == 0)
+                        violations.fetch_add(1);
+                }
+                // Yield occasionally so the grace-period thread makes
+                // progress on single-core hosts.
+                if (++iters % 64 == 0)
+                    std::this_thread::yield();
+            }
+        });
+    }
+
+    std::thread writer([&] {
+        std::uint64_t version = 1;
+        int slot = 0;
+        struct Retired
+        {
+            Obj* obj;
+            GpEpoch tag;
+        };
+        std::vector<Retired> retired;
+        for (int i = 0; i < 3000; ++i) {
+            int next = (slot + 1) % kSlots;
+            // Never overwrite a slot whose retirement grace period
+            // has not completed (a reader may still hold it).
+            while (retired.size() >= kSlots - 2) {
+                if (!d.is_safe(retired.front().tag)) {
+                    std::this_thread::yield();
+                    continue;
+                }
+                retired.front().obj->a.store(
+                    0, std::memory_order_relaxed);
+                retired.front().obj->b.store(
+                    0, std::memory_order_relaxed);
+                retired.erase(retired.begin());
+            }
+            Obj* fresh = &arena[next];
+            ++version;
+            fresh->a.store(version, std::memory_order_relaxed);
+            fresh->b.store(version, std::memory_order_release);
+            Obj* old = published.exchange(fresh,
+                                          std::memory_order_acq_rel);
+            retired.push_back({old, d.defer_epoch()});
+            slot = next;
+            // Poison (— "reclaim" —) everything whose grace period
+            // has completed. Slots cycle, so a slot is only reused
+            // after the writer has gone all the way around; with
+            // kSlots >> outstanding grace periods this mirrors the
+            // allocator's reuse discipline.
+            auto it = retired.begin();
+            while (it != retired.end() && d.is_safe(it->tag)) {
+                it->obj->a.store(0, std::memory_order_relaxed);
+                it->obj->b.store(0, std::memory_order_relaxed);
+                ++it;
+            }
+            retired.erase(retired.begin(), it);
+        }
+        stop = true;
+    });
+
+    writer.join();
+    stop = true;
+    for (auto& t : readers)
+        t.join();
+    EXPECT_EQ(violations.load(), 0u);
+}
+
+TEST(RcuDomain, ManyThreadsManyGracePeriods)
+{
+    RcuConfig cfg;
+    cfg.background_gp_thread = true;
+    cfg.gp_interval = std::chrono::microseconds{0};
+    RcuDomain d(cfg);
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 6; ++r) {
+        readers.emplace_back([&] {
+            while (!stop) {
+                {
+                    RcuReadGuard guard(d);
+                    // Nested section.
+                    RcuReadGuard inner(d);
+                }
+                // Yield outside the critical section so the detector
+                // makes progress even on a single-core host (a reader
+                // descheduled *inside* its section stalls the grace
+                // period for a scheduler quantum — by design).
+                std::this_thread::yield();
+            }
+        });
+    }
+    // Grace periods must keep completing under reader churn.
+    GpEpoch start = d.completed_epoch();
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    GpEpoch end = d.completed_epoch();
+    stop = true;
+    for (auto& t : readers)
+        t.join();
+    EXPECT_GT(end, start + 4);
+}
+
+}  // namespace
+}  // namespace prudence

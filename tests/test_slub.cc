@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Tests for the SLUB-like baseline allocator.
+ */
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <random>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "slab/geometry.h"
+
+#include "rcu/manual_domain.h"
+#include "rcu/rcu_domain.h"
+#include "slub/slub_allocator.h"
+
+namespace prudence {
+namespace {
+
+/// Deterministic setup: manual epochs, no background processing.
+SlubConfig
+manual_config(std::size_t arena = 64 << 20, unsigned cpus = 1)
+{
+    SlubConfig cfg;
+    cfg.arena_bytes = arena;
+    cfg.cpus = cpus;
+    cfg.callback.background_drainer = false;
+    cfg.callback.inline_batch_limit = 0;
+    return cfg;
+}
+
+TEST(Slub, KmallocRoundTrip)
+{
+    ManualRcuDomain domain;
+    SlubAllocator alloc(domain, manual_config());
+    void* p = alloc.kmalloc(100);
+    ASSERT_NE(p, nullptr);
+    std::memset(p, 0x5A, 100);
+    alloc.kfree(p);
+}
+
+TEST(Slub, KmallocSizeClassSelection)
+{
+    ManualRcuDomain domain;
+    SlubAllocator alloc(domain, manual_config());
+    void* p = alloc.kmalloc(64);
+    ASSERT_NE(p, nullptr);
+    auto snaps = alloc.snapshots();
+    bool found = false;
+    for (const auto& s : snaps) {
+        if (s.cache_name == "kmalloc-64") {
+            EXPECT_EQ(s.alloc_calls, 1u);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+    alloc.kfree(p);
+}
+
+TEST(Slub, OversizeKmallocReturnsNull)
+{
+    ManualRcuDomain domain;
+    SlubAllocator alloc(domain, manual_config());
+    EXPECT_EQ(alloc.kmalloc(8193), nullptr);
+    EXPECT_EQ(alloc.kmalloc(1 << 20), nullptr);
+}
+
+TEST(Slub, FreeThenAllocHitsCache)
+{
+    ManualRcuDomain domain;
+    SlubAllocator alloc(domain, manual_config());
+    CacheId id = alloc.create_cache("hit_test", 128);
+    void* p = alloc.cache_alloc(id);
+    ASSERT_NE(p, nullptr);
+    alloc.cache_free(id, p);
+    void* q = alloc.cache_alloc(id);
+    EXPECT_EQ(q, p);  // LIFO object cache returns the hot object
+    auto s = alloc.cache_snapshot(id);
+    EXPECT_GE(s.cache_hits, 1u);
+    alloc.cache_free(id, q);
+}
+
+TEST(Slub, LiveObjectsAreDistinct)
+{
+    ManualRcuDomain domain;
+    SlubAllocator alloc(domain, manual_config());
+    CacheId id = alloc.create_cache("distinct", 64);
+    std::set<void*> live;
+    for (int i = 0; i < 1000; ++i) {
+        void* p = alloc.cache_alloc(id);
+        ASSERT_NE(p, nullptr);
+        EXPECT_TRUE(live.insert(p).second) << "double handout";
+    }
+    for (void* p : live)
+        alloc.cache_free(id, p);
+}
+
+TEST(Slub, DataIntegrityAcrossManyObjects)
+{
+    ManualRcuDomain domain;
+    SlubAllocator alloc(domain, manual_config());
+    CacheId id = alloc.create_cache("integrity", 256);
+    std::vector<void*> objs;
+    for (std::uint32_t i = 0; i < 500; ++i) {
+        void* p = alloc.cache_alloc(id);
+        ASSERT_NE(p, nullptr);
+        std::memset(p, static_cast<int>(i & 0xFF), 256);
+        objs.push_back(p);
+    }
+    for (std::uint32_t i = 0; i < 500; ++i) {
+        auto* bytes = static_cast<unsigned char*>(objs[i]);
+        EXPECT_EQ(bytes[0], i & 0xFF);
+        EXPECT_EQ(bytes[255], i & 0xFF);
+    }
+    for (void* p : objs)
+        alloc.cache_free(id, p);
+}
+
+TEST(Slub, RefillsAndGrowsAreCounted)
+{
+    ManualRcuDomain domain;
+    SlubAllocator alloc(domain, manual_config());
+    CacheId id = alloc.create_cache("counts", 512);
+    std::vector<void*> objs;
+    // Far beyond one cache refill and one slab.
+    for (int i = 0; i < 300; ++i)
+        objs.push_back(alloc.cache_alloc(id));
+    auto s = alloc.cache_snapshot(id);
+    EXPECT_GT(s.refills, 1u);
+    EXPECT_GT(s.grows, 1u);
+    EXPECT_EQ(s.alloc_calls, 300u);
+    EXPECT_EQ(s.live_objects, 300);
+    for (void* p : objs)
+        alloc.cache_free(id, p);
+    s = alloc.cache_snapshot(id);
+    EXPECT_EQ(s.live_objects, 0);
+    EXPECT_GT(s.flushes, 0u);
+}
+
+TEST(Slub, KfreeDispatchesByPointer)
+{
+    ManualRcuDomain domain;
+    SlubAllocator alloc(domain, manual_config());
+    CacheId a = alloc.create_cache("cache_a", 64);
+    CacheId b = alloc.create_cache("cache_b", 1024);
+    void* pa = alloc.cache_alloc(a);
+    void* pb = alloc.cache_alloc(b);
+    ASSERT_NE(pa, nullptr);
+    ASSERT_NE(pb, nullptr);
+    // kfree must find the right cache through the page-owner table.
+    alloc.kfree(pa);
+    alloc.kfree(pb);
+    EXPECT_EQ(alloc.cache_snapshot(a).live_objects, 0);
+    EXPECT_EQ(alloc.cache_snapshot(b).live_objects, 0);
+    EXPECT_EQ(alloc.cache_snapshot(a).free_calls, 1u);
+    EXPECT_EQ(alloc.cache_snapshot(b).free_calls, 1u);
+}
+
+TEST(Slub, DeferredFreeWaitsForProcessing)
+{
+    ManualRcuDomain domain;
+    SlubAllocator alloc(domain, manual_config());
+    CacheId id = alloc.create_cache("deferred", 128);
+    void* p = alloc.cache_alloc(id);
+    ASSERT_NE(p, nullptr);
+    alloc.cache_free_deferred(id, p);
+
+    auto s = alloc.cache_snapshot(id);
+    EXPECT_EQ(s.deferred_free_calls, 1u);
+    EXPECT_EQ(s.deferred_outstanding, 1);
+    EXPECT_EQ(alloc.callback_stats().backlog, 1);
+
+    // The object is invisible to the allocator until the callback
+    // runs: allocations must never return it.
+    std::vector<void*> seen;
+    for (int i = 0; i < 200; ++i) {
+        void* q = alloc.cache_alloc(id);
+        ASSERT_NE(q, nullptr);
+        EXPECT_NE(q, p) << "deferred object reused before processing";
+        seen.push_back(q);
+    }
+
+    alloc.quiesce();
+    EXPECT_EQ(alloc.callback_stats().backlog, 0);
+    EXPECT_EQ(alloc.cache_snapshot(id).deferred_outstanding, 0);
+    for (void* q : seen)
+        alloc.cache_free(id, q);
+}
+
+TEST(Slub, BurstyCallbackProcessingCausesChurn)
+{
+    // The paper's §3 pathology, observable in counters: defer a large
+    // batch, process it at once, and the object cache overflows while
+    // slabs churn.
+    ManualRcuDomain domain;
+    SlubAllocator alloc(domain, manual_config());
+    CacheId id = alloc.create_cache("bursty", 256);
+    std::vector<void*> objs;
+    for (int i = 0; i < 2000; ++i)
+        objs.push_back(alloc.cache_alloc(id));
+    for (void* p : objs)
+        alloc.cache_free_deferred(id, p);
+    alloc.quiesce();  // one burst
+    auto s = alloc.cache_snapshot(id);
+    EXPECT_GT(s.flushes, 0u);
+    EXPECT_GT(s.shrinks, 0u);
+    EXPECT_EQ(s.deferred_outstanding, 0);
+}
+
+TEST(Slub, ShrinkReturnsPagesToBuddy)
+{
+    ManualRcuDomain domain;
+    SlubAllocator alloc(domain, manual_config());
+    CacheId id = alloc.create_cache("shrinky", 512);
+    std::vector<void*> objs;
+    for (int i = 0; i < 2000; ++i)
+        objs.push_back(alloc.cache_alloc(id));
+    auto peak = alloc.page_allocator().stats().pages_in_use;
+    for (void* p : objs)
+        alloc.cache_free(id, p);
+    auto after = alloc.page_allocator().stats().pages_in_use;
+    EXPECT_LT(after, peak / 2);
+    auto s = alloc.cache_snapshot(id);
+    EXPECT_GT(s.shrinks, 0u);
+    // Retained free slabs stay within the limit.
+    EXPECT_LE(s.current_slabs - 0,
+              static_cast<std::int64_t>(
+                  compute_slab_geometry(512).free_slab_limit) +
+                  // objects still parked in per-CPU caches can pin a
+                  // few extra slabs
+                  8);
+}
+
+TEST(Slub, OutOfMemoryReturnsNull)
+{
+    ManualRcuDomain domain;
+    SlubAllocator alloc(domain, manual_config(/*arena=*/1 << 20));
+    std::vector<void*> objs;
+    for (;;) {
+        void* p = alloc.kmalloc(4096);
+        if (p == nullptr)
+            break;
+        objs.push_back(p);
+    }
+    EXPECT_GT(objs.size(), 100u);  // got most of the 1 MiB
+    for (void* p : objs)
+        alloc.kfree(p);
+}
+
+TEST(Slub, CreateCacheDeduplicatesByNameAndSize)
+{
+    ManualRcuDomain domain;
+    SlubAllocator alloc(domain, manual_config());
+    CacheId a = alloc.create_cache("dup", 64);
+    CacheId b = alloc.create_cache("dup", 64);
+    CacheId c = alloc.create_cache("dup", 128);
+    EXPECT_EQ(a.index, b.index);
+    EXPECT_NE(a.index, c.index);
+}
+
+TEST(Slub, ConcurrentAllocFreeDeferredStress)
+{
+    RcuConfig rcfg;
+    rcfg.gp_interval = std::chrono::microseconds{50};
+    RcuDomain domain(rcfg);
+    SlubConfig cfg;
+    cfg.arena_bytes = 256 << 20;
+    cfg.cpus = 4;
+    cfg.callback.inline_batch_limit = 10;
+    cfg.callback.tick = std::chrono::microseconds{500};
+    SlubAllocator alloc(domain, cfg);
+    CacheId id = alloc.create_cache("stress", 192);
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&alloc, id, t] {
+            std::vector<void*> pool;
+            std::mt19937 rng(t);
+            for (int i = 0; i < 20000; ++i) {
+                int action = rng() % 3;
+                if (action == 0 || pool.empty()) {
+                    void* p = alloc.cache_alloc(id);
+                    if (p != nullptr) {
+                        std::memset(p, t, 192);
+                        pool.push_back(p);
+                    }
+                } else if (action == 1) {
+                    alloc.cache_free(id, pool.back());
+                    pool.pop_back();
+                } else {
+                    alloc.cache_free_deferred(id, pool.back());
+                    pool.pop_back();
+                }
+            }
+            for (void* p : pool)
+                alloc.cache_free(id, p);
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+    alloc.quiesce();
+    auto s = alloc.cache_snapshot(id);
+    EXPECT_EQ(s.live_objects, 0);
+    EXPECT_EQ(s.deferred_outstanding, 0);
+    EXPECT_TRUE(alloc.page_allocator().check_integrity());
+}
+
+}  // namespace
+}  // namespace prudence

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for counters, gauges, derived cache metrics and the
+ * memory sampler.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "stats/cache_stats.h"
+#include "stats/counters.h"
+#include "stats/memory_sampler.h"
+
+namespace prudence {
+namespace {
+
+TEST(Counter, AddAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.get(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.get(), 42u);
+    c.reset();
+    EXPECT_EQ(c.get(), 0u);
+}
+
+TEST(Counter, ConcurrentAddsAreLossless)
+{
+    Counter c;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&c] {
+            for (int i = 0; i < 10000; ++i)
+                c.add();
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+    EXPECT_EQ(c.get(), 80000u);
+}
+
+TEST(PeakGauge, TracksPeak)
+{
+    PeakGauge g;
+    g.add(5);
+    g.sub(3);
+    g.add(10);
+    EXPECT_EQ(g.get(), 12);
+    EXPECT_EQ(g.peak(), 12);
+    g.sub(12);
+    EXPECT_EQ(g.get(), 0);
+    EXPECT_EQ(g.peak(), 12);
+}
+
+TEST(PeakGauge, ConcurrentPeakIsBounded)
+{
+    PeakGauge g;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&g] {
+            for (int i = 0; i < 5000; ++i) {
+                g.add(2);
+                g.sub(2);
+            }
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+    EXPECT_EQ(g.get(), 0);
+    EXPECT_GE(g.peak(), 2);
+    EXPECT_LE(g.peak(), 8);
+}
+
+TEST(CacheStatsSnapshot, DerivedMetrics)
+{
+    CacheStats stats;
+    stats.alloc_calls.add(100);
+    stats.cache_hits.add(80);
+    stats.free_calls.add(60);
+    stats.deferred_free_calls.add(40);
+    stats.refills.add(7);
+    stats.flushes.add(5);
+    stats.grows.add(4);
+    stats.shrinks.add(3);
+    stats.slabs.add(10);
+    stats.live_objects.add(64);
+
+    CacheStatsSnapshot s = snapshot_cache_stats(stats, "test", 128, 4096);
+    EXPECT_DOUBLE_EQ(s.cache_hit_percent(), 80.0);
+    EXPECT_EQ(s.object_cache_churns(), 5u);  // min(7, 5)
+    EXPECT_EQ(s.slab_churns(), 3u);          // min(4, 3)
+    EXPECT_DOUBLE_EQ(s.deferred_free_percent(), 40.0);
+    // f_t = (10 * 4096) / (64 * 128) = 5.0
+    EXPECT_DOUBLE_EQ(s.total_fragmentation(), 5.0);
+}
+
+TEST(CacheStatsSnapshot, EdgeCasesDoNotDivideByZero)
+{
+    CacheStats stats;
+    CacheStatsSnapshot s = snapshot_cache_stats(stats, "empty", 64, 4096);
+    EXPECT_DOUBLE_EQ(s.cache_hit_percent(), 0.0);
+    EXPECT_DOUBLE_EQ(s.deferred_free_percent(), 0.0);
+    EXPECT_DOUBLE_EQ(s.total_fragmentation(), 1.0);
+    EXPECT_EQ(s.object_cache_churns(), 0u);
+}
+
+TEST(CacheStats, ResetClearsEverything)
+{
+    CacheStats stats;
+    stats.alloc_calls.add(5);
+    stats.slabs.add(3);
+    stats.deferred_outstanding.add(2);
+    stats.reset();
+    CacheStatsSnapshot s = snapshot_cache_stats(stats, "r", 64, 4096);
+    EXPECT_EQ(s.alloc_calls, 0u);
+    EXPECT_EQ(s.current_slabs, 0);
+    EXPECT_EQ(s.peak_slabs, 0);
+    EXPECT_EQ(s.deferred_outstanding, 0);
+}
+
+TEST(MemorySampler, CollectsMonotoneTimeline)
+{
+    std::atomic<std::uint64_t> value{100};
+    MemorySampler sampler([&value] { return value.load(); },
+                          std::chrono::milliseconds(5));
+    sampler.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    value = 200;
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    sampler.stop();
+
+    auto samples = sampler.samples();
+    ASSERT_GE(samples.size(), 4u);
+    for (std::size_t i = 1; i < samples.size(); ++i)
+        EXPECT_GE(samples[i].elapsed_ms, samples[i - 1].elapsed_ms);
+    EXPECT_EQ(samples.front().value, 100u);
+    EXPECT_EQ(samples.back().value, 200u);
+}
+
+TEST(MemorySampler, StartStopIdempotent)
+{
+    MemorySampler sampler([] { return std::uint64_t{1}; },
+                          std::chrono::milliseconds(5));
+    sampler.start();
+    sampler.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    sampler.stop();
+    sampler.stop();
+    EXPECT_GE(sampler.samples().size(), 1u);
+}
+
+}  // namespace
+}  // namespace prudence

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the TypedCache<T> veneer on both allocators.
+ */
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "api/allocator_factory.h"
+#include "api/typed_cache.h"
+#include "rcu/manual_domain.h"
+
+namespace prudence {
+namespace {
+
+struct Route
+{
+    std::uint64_t prefix;
+    std::uint32_t next_hop;
+    std::uint32_t metric;
+
+    Route() : prefix(0), next_hop(0), metric(0) {}
+    Route(std::uint64_t p, std::uint32_t nh, std::uint32_t m)
+        : prefix(p), next_hop(nh), metric(m)
+    {
+    }
+};
+
+enum class Kind { kSlub, kPrudence };
+
+std::unique_ptr<Allocator>
+make_allocator(Kind kind, ManualRcuDomain& domain)
+{
+    if (kind == Kind::kSlub) {
+        SlubConfig cfg;
+        cfg.arena_bytes = 32 << 20;
+        cfg.cpus = 1;
+        cfg.callback.background_drainer = false;
+        return make_slub_allocator(domain, cfg);
+    }
+    PrudenceConfig cfg;
+    cfg.arena_bytes = 32 << 20;
+    cfg.cpus = 1;
+    cfg.maintenance_interval = std::chrono::microseconds{0};
+    return make_prudence_allocator(domain, cfg);
+}
+
+class TypedCacheTest : public ::testing::TestWithParam<Kind>
+{
+  protected:
+    TypedCacheTest() : alloc_(make_allocator(GetParam(), domain_)) {}
+
+    ManualRcuDomain domain_;
+    std::unique_ptr<Allocator> alloc_;
+};
+
+TEST_P(TypedCacheTest, CreateConstructsWithArguments)
+{
+    TypedCache<Route> routes(*alloc_, "routes");
+    Route* r = routes.create(0xDEADu, 7u, 100u);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->prefix, 0xDEADu);
+    EXPECT_EQ(r->next_hop, 7u);
+    EXPECT_EQ(r->metric, 100u);
+    routes.destroy(r);
+    EXPECT_EQ(routes.snapshot().live_objects, 0);
+}
+
+TEST_P(TypedCacheTest, DestroyNullIsNoop)
+{
+    TypedCache<Route> routes(*alloc_, "routes");
+    routes.destroy(nullptr);
+    routes.destroy_deferred(nullptr);
+    EXPECT_EQ(routes.snapshot().alloc_calls, 0u);
+}
+
+TEST_P(TypedCacheTest, DeferredDestroyKeepsContentsUntilGracePeriod)
+{
+    TypedCache<Route> routes(*alloc_, "routes");
+    Route* r = routes.create(42u, 3u, 1u);
+    ASSERT_NE(r, nullptr);
+    routes.destroy_deferred(r);
+
+    // The contents must stay readable for pre-existing readers until
+    // the grace period completes — and the memory must not be handed
+    // out again before then.
+    EXPECT_EQ(r->prefix, 42u);
+    EXPECT_EQ(r->next_hop, 3u);
+    for (int i = 0; i < 50; ++i) {
+        Route* other = routes.create(1u, 1u, 1u);
+        ASSERT_NE(other, nullptr);
+        EXPECT_NE(other, r);
+        routes.destroy(other);
+    }
+    EXPECT_EQ(r->prefix, 42u);
+
+    domain_.advance();
+    alloc_->quiesce();
+    EXPECT_EQ(routes.snapshot().deferred_outstanding, 0);
+}
+
+TEST_P(TypedCacheTest, SameNameSharesTheCache)
+{
+    TypedCache<Route> a(*alloc_, "shared_routes");
+    TypedCache<Route> b(*alloc_, "shared_routes");
+    EXPECT_EQ(a.id().index, b.id().index);
+    Route* r = a.create(1u, 2u, 3u);
+    b.destroy(r);  // either handle can free
+    EXPECT_EQ(a.snapshot().live_objects, 0);
+}
+
+TEST_P(TypedCacheTest, ChurnLeavesNoResidue)
+{
+    TypedCache<Route> routes(*alloc_, "churny");
+    std::vector<Route*> live;
+    for (int round = 0; round < 20; ++round) {
+        for (int i = 0; i < 100; ++i) {
+            Route* r = routes.create(
+                static_cast<std::uint64_t>(i), 1u, 2u);
+            ASSERT_NE(r, nullptr);
+            live.push_back(r);
+        }
+        for (std::size_t i = 0; i < live.size(); ++i) {
+            if (i % 2 == 0)
+                routes.destroy(live[i]);
+            else
+                routes.destroy_deferred(live[i]);
+        }
+        live.clear();
+        domain_.advance();
+    }
+    alloc_->quiesce();
+    auto s = routes.snapshot();
+    EXPECT_EQ(s.live_objects, 0);
+    EXPECT_EQ(s.deferred_outstanding, 0);
+    EXPECT_EQ(s.alloc_calls, 2000u);
+    EXPECT_EQ(alloc_->validate(), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(BothAllocators, TypedCacheTest,
+                         ::testing::Values(Kind::kSlub, Kind::kPrudence),
+                         [](const auto& info) {
+                             return info.param == Kind::kSlub
+                                        ? "slub"
+                                        : "prudence";
+                         });
+
+}  // namespace
+}  // namespace prudence

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the workload engine, the benchmark traffic models and the
+ * suite runner (small scales — shape checks, not benchmarks).
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "api/allocator_factory.h"
+#include "rcu/rcu_domain.h"
+#include "workload/benchmarks.h"
+#include "workload/engine.h"
+#include "workload/report.h"
+#include "workload/suite.h"
+
+namespace prudence {
+namespace {
+
+WorkloadSpec
+tiny_spec()
+{
+    WorkloadSpec spec;
+    spec.name = "tiny";
+    spec.caches = {{"obj_a", 128}, {"obj_b", 512}};
+    spec.ops = {
+        {"make", 0.5,
+         {{OpAction::Kind::kAlloc, 0, 1},
+          {OpAction::Kind::kPair, 1, 2}}},
+        {"drop", 0.5,
+         {{OpAction::Kind::kFreeDeferred, 0, 1},
+          {OpAction::Kind::kPair, 1, 1}}},
+    };
+    spec.threads = 2;
+    spec.ops_per_thread = 2000;
+    spec.warmup_ops_per_thread = 200;
+    spec.app_work_ns = 0;
+    return spec;
+}
+
+TEST(WorkloadEngine, RunsAndAccountsForEverything)
+{
+    RcuDomain rcu;
+    PrudenceConfig cfg;
+    cfg.arena_bytes = 64 << 20;
+    cfg.cpus = 2;
+    auto alloc = make_prudence_allocator(rcu, cfg);
+
+    WorkloadResult r = run_workload(*alloc, tiny_spec(), 42);
+    EXPECT_EQ(r.workload, "tiny");
+    EXPECT_EQ(r.allocator_kind, "prudence");
+    EXPECT_EQ(r.total_ops, 4000u);
+    EXPECT_GT(r.ops_per_second, 0.0);
+    EXPECT_EQ(r.alloc_failures, 0u);
+    ASSERT_EQ(r.caches.size(), 2u);
+
+    // After quiesce: no live or deferred objects remain.
+    for (const auto& s : r.caches) {
+        EXPECT_EQ(s.live_objects, 0) << s.cache_name;
+        EXPECT_EQ(s.deferred_outstanding, 0) << s.cache_name;
+    }
+    // "drop" defer-frees from cache 0 only.
+    EXPECT_GT(r.caches[0].deferred_free_calls, 0u);
+    EXPECT_EQ(r.caches[1].deferred_free_calls, 0u);
+    EXPECT_GT(r.caches[1].free_calls, 0u);
+}
+
+TEST(WorkloadEngine, DeterministicOpCounts)
+{
+    RcuDomain rcu;
+    SlubConfig cfg;
+    cfg.arena_bytes = 64 << 20;
+    cfg.cpus = 2;
+    cfg.callback.inline_batch_limit = 10;
+    auto alloc = make_slub_allocator(rcu, cfg);
+    WorkloadResult r = run_workload(*alloc, tiny_spec(), 7);
+    // alloc calls = pool allocs + transient pairs; every op touches
+    // cache 1 with at least one pair.
+    EXPECT_GE(r.caches[1].alloc_calls, r.total_ops);
+    EXPECT_EQ(r.caches[1].alloc_calls, r.caches[1].free_calls);
+}
+
+TEST(BenchmarkSpecs, AllFourAreWellFormed)
+{
+    for (const WorkloadSpec& spec : all_benchmark_specs(0.01)) {
+        EXPECT_FALSE(spec.caches.empty()) << spec.name;
+        EXPECT_FALSE(spec.ops.empty()) << spec.name;
+        double total_weight = 0;
+        for (const OpType& op : spec.ops) {
+            total_weight += op.weight;
+            for (const OpAction& a : op.actions)
+                EXPECT_LT(a.cache, spec.caches.size()) << spec.name;
+        }
+        EXPECT_GT(total_weight, 0.0) << spec.name;
+        EXPECT_GT(spec.ops_per_thread, 0u) << spec.name;
+    }
+}
+
+TEST(BenchmarkSpecs, DeferredRatiosMatchPaperOrdering)
+{
+    // Paper Fig. 12: postmark(24.4) > apache(18) > netperf(14) >
+    // postgresql(4.4). Verify the models reproduce the ordering and
+    // the rough magnitudes.
+    SuiteConfig cfg;
+    cfg.scale = 0.03;
+    cfg.cpus = 4;
+
+    double ratios[4];
+    int i = 0;
+    for (const WorkloadSpec& spec : all_benchmark_specs(cfg.scale)) {
+        RcuDomain rcu;
+        PrudenceConfig pc;
+        pc.arena_bytes = cfg.arena_bytes;
+        pc.cpus = cfg.cpus;
+        auto alloc = make_prudence_allocator(rcu, pc);
+        WorkloadResult r = run_workload(*alloc, spec, 1);
+        ratios[i++] = r.deferred_free_percent();
+    }
+    double postmark = ratios[0], netperf = ratios[1];
+    double apache = ratios[2], postgresql = ratios[3];
+    EXPECT_GT(postmark, apache);
+    EXPECT_GT(apache, netperf);
+    EXPECT_GT(netperf, postgresql);
+    EXPECT_NEAR(postmark, 24.4, 8.0);
+    EXPECT_NEAR(netperf, 14.0, 6.0);
+    EXPECT_NEAR(apache, 18.0, 7.0);
+    EXPECT_NEAR(postgresql, 4.4, 3.0);
+}
+
+TEST(Suite, ComparisonRunsBothAllocators)
+{
+    SuiteConfig cfg;
+    cfg.scale = 0.02;
+    cfg.cpus = 2;
+    BenchmarkComparison cmp =
+        run_comparison(postmark_spec(cfg.scale), cfg);
+    EXPECT_EQ(cmp.slub.allocator_kind, "slub");
+    EXPECT_EQ(cmp.prudence.allocator_kind, "prudence");
+    EXPECT_EQ(cmp.slub.total_ops, cmp.prudence.total_ops);
+    EXPECT_GT(cmp.mean_slub_throughput(), 0.0);
+    EXPECT_GT(cmp.mean_prudence_throughput(), 0.0);
+    EXPECT_EQ(cmp.slub.caches.size(), cmp.prudence.caches.size());
+}
+
+TEST(Report, PrintersEmitEveryFigure)
+{
+    SuiteConfig cfg;
+    cfg.scale = 0.01;
+    cfg.cpus = 2;
+    std::vector<BenchmarkComparison> cmps;
+    cmps.push_back(run_comparison(netperf_spec(cfg.scale), cfg));
+
+    ReportOptions opts;
+    opts.min_cache_traffic = 1;
+    std::ostringstream os;
+    print_fig7_cache_hits(os, cmps, opts);
+    print_fig8_object_churns(os, cmps, opts);
+    print_fig9_slab_churns(os, cmps, opts);
+    print_fig10_peak_slabs(os, cmps, opts);
+    print_fig11_fragmentation(os, cmps, opts);
+    print_fig12_deferred_ratio(os, cmps);
+    print_fig13_throughput(os, cmps);
+    std::string out = os.str();
+    EXPECT_NE(out.find("Figure 7"), std::string::npos);
+    EXPECT_NE(out.find("Figure 13"), std::string::npos);
+    EXPECT_NE(out.find("netperf"), std::string::npos);
+    EXPECT_NE(out.find("filp"), std::string::npos);
+}
+
+TEST(Report, TrafficThresholdFiltersQuietCaches)
+{
+    SuiteConfig cfg;
+    cfg.scale = 0.01;
+    cfg.cpus = 2;
+    std::vector<BenchmarkComparison> cmps;
+    cmps.push_back(run_comparison(netperf_spec(cfg.scale), cfg));
+
+    ReportOptions opts;
+    opts.min_cache_traffic = std::uint64_t{1} << 60;  // filter all
+    std::ostringstream os;
+    print_fig7_cache_hits(os, cmps, opts);
+    // Header only, no rows.
+    EXPECT_EQ(os.str().find("filp"), std::string::npos);
+}
+
+TEST(SpinForNs, RoughlyCalibrated)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < 100; ++i)
+        spin_for_ns(10000);  // 100 * 10 us = 1 ms nominal
+    auto elapsed = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    // Within a generous factor (VMs, frequency scaling, contended CI).
+    EXPECT_GT(elapsed, 0.1);
+    EXPECT_LT(elapsed, 500.0);
+}
+
+}  // namespace
+}  // namespace prudence
