@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gp_latency.dir/ablation_gp_latency.cc.o"
+  "CMakeFiles/ablation_gp_latency.dir/ablation_gp_latency.cc.o.d"
+  "ablation_gp_latency"
+  "ablation_gp_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gp_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_endurance.dir/fig03_endurance.cc.o"
+  "CMakeFiles/fig03_endurance.dir/fig03_endurance.cc.o.d"
+  "fig03_endurance"
+  "fig03_endurance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_endurance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

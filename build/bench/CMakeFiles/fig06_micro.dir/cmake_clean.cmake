@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_micro.dir/fig06_micro.cc.o"
+  "CMakeFiles/fig06_micro.dir/fig06_micro.cc.o.d"
+  "fig06_micro"
+  "fig06_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_cache_hits.dir/fig07_cache_hits.cc.o"
+  "CMakeFiles/fig07_cache_hits.dir/fig07_cache_hits.cc.o.d"
+  "fig07_cache_hits"
+  "fig07_cache_hits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_cache_hits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_object_churns.dir/fig08_object_churns.cc.o"
+  "CMakeFiles/fig08_object_churns.dir/fig08_object_churns.cc.o.d"
+  "fig08_object_churns"
+  "fig08_object_churns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_object_churns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_slab_churns.dir/fig09_slab_churns.cc.o"
+  "CMakeFiles/fig09_slab_churns.dir/fig09_slab_churns.cc.o.d"
+  "fig09_slab_churns"
+  "fig09_slab_churns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_slab_churns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

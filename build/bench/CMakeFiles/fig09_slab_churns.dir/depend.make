@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_slab_churns.
+# This may be replaced when dependencies are built.

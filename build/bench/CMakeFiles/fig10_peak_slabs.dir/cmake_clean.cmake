@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_peak_slabs.dir/fig10_peak_slabs.cc.o"
+  "CMakeFiles/fig10_peak_slabs.dir/fig10_peak_slabs.cc.o.d"
+  "fig10_peak_slabs"
+  "fig10_peak_slabs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_peak_slabs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_fragmentation.dir/fig11_fragmentation.cc.o"
+  "CMakeFiles/fig11_fragmentation.dir/fig11_fragmentation.cc.o.d"
+  "fig11_fragmentation"
+  "fig11_fragmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_deferred_ratio.dir/fig12_deferred_ratio.cc.o"
+  "CMakeFiles/fig12_deferred_ratio.dir/fig12_deferred_ratio.cc.o.d"
+  "fig12_deferred_ratio"
+  "fig12_deferred_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_deferred_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_alloc_cost.dir/tab01_alloc_cost.cc.o"
+  "CMakeFiles/tab01_alloc_cost.dir/tab01_alloc_cost.cc.o.d"
+  "tab01_alloc_cost"
+  "tab01_alloc_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_alloc_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

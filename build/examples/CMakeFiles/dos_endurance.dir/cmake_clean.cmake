@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dos_endurance.dir/dos_endurance.cpp.o"
+  "CMakeFiles/dos_endurance.dir/dos_endurance.cpp.o.d"
+  "dos_endurance"
+  "dos_endurance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dos_endurance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

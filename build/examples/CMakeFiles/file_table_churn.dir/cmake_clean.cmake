@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_table_churn.dir/file_table_churn.cpp.o"
+  "CMakeFiles/file_table_churn.dir/file_table_churn.cpp.o.d"
+  "file_table_churn"
+  "file_table_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_table_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

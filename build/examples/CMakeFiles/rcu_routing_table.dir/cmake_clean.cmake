@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcu_routing_table.dir/rcu_routing_table.cpp.o"
+  "CMakeFiles/rcu_routing_table.dir/rcu_routing_table.cpp.o.d"
+  "rcu_routing_table"
+  "rcu_routing_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcu_routing_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

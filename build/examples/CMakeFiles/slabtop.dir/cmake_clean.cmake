@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slabtop.dir/slabtop.cpp.o"
+  "CMakeFiles/slabtop.dir/slabtop.cpp.o.d"
+  "slabtop"
+  "slabtop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slabtop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

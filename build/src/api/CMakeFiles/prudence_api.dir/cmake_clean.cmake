@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prudence_api.dir/allocator_factory.cc.o"
+  "CMakeFiles/prudence_api.dir/allocator_factory.cc.o.d"
+  "libprudence_api.a"
+  "libprudence_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prudence_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprudence_api.a"
+)

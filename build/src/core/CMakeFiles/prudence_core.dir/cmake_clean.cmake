@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prudence_core.dir/prudence_allocator.cc.o"
+  "CMakeFiles/prudence_core.dir/prudence_allocator.cc.o.d"
+  "libprudence_core.a"
+  "libprudence_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prudence_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

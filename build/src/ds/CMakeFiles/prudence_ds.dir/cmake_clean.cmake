@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prudence_ds.dir/ds.cc.o"
+  "CMakeFiles/prudence_ds.dir/ds.cc.o.d"
+  "libprudence_ds.a"
+  "libprudence_ds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prudence_ds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prudence_page.dir/arena.cc.o"
+  "CMakeFiles/prudence_page.dir/arena.cc.o.d"
+  "CMakeFiles/prudence_page.dir/buddy_allocator.cc.o"
+  "CMakeFiles/prudence_page.dir/buddy_allocator.cc.o.d"
+  "libprudence_page.a"
+  "libprudence_page.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prudence_page.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

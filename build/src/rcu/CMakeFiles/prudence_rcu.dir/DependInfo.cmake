@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rcu/callback_engine.cc" "src/rcu/CMakeFiles/prudence_rcu.dir/callback_engine.cc.o" "gcc" "src/rcu/CMakeFiles/prudence_rcu.dir/callback_engine.cc.o.d"
+  "/root/repo/src/rcu/manual_domain.cc" "src/rcu/CMakeFiles/prudence_rcu.dir/manual_domain.cc.o" "gcc" "src/rcu/CMakeFiles/prudence_rcu.dir/manual_domain.cc.o.d"
+  "/root/repo/src/rcu/qsbr_domain.cc" "src/rcu/CMakeFiles/prudence_rcu.dir/qsbr_domain.cc.o" "gcc" "src/rcu/CMakeFiles/prudence_rcu.dir/qsbr_domain.cc.o.d"
+  "/root/repo/src/rcu/rcu_domain.cc" "src/rcu/CMakeFiles/prudence_rcu.dir/rcu_domain.cc.o" "gcc" "src/rcu/CMakeFiles/prudence_rcu.dir/rcu_domain.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sync/CMakeFiles/prudence_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/prudence_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

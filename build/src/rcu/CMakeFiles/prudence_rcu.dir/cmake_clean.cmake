@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prudence_rcu.dir/callback_engine.cc.o"
+  "CMakeFiles/prudence_rcu.dir/callback_engine.cc.o.d"
+  "CMakeFiles/prudence_rcu.dir/manual_domain.cc.o"
+  "CMakeFiles/prudence_rcu.dir/manual_domain.cc.o.d"
+  "CMakeFiles/prudence_rcu.dir/qsbr_domain.cc.o"
+  "CMakeFiles/prudence_rcu.dir/qsbr_domain.cc.o.d"
+  "CMakeFiles/prudence_rcu.dir/rcu_domain.cc.o"
+  "CMakeFiles/prudence_rcu.dir/rcu_domain.cc.o.d"
+  "libprudence_rcu.a"
+  "libprudence_rcu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prudence_rcu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

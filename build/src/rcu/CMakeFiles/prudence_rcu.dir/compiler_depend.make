@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for prudence_rcu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/slab/geometry.cc" "src/slab/CMakeFiles/prudence_slab.dir/geometry.cc.o" "gcc" "src/slab/CMakeFiles/prudence_slab.dir/geometry.cc.o.d"
+  "/root/repo/src/slab/size_classes.cc" "src/slab/CMakeFiles/prudence_slab.dir/size_classes.cc.o" "gcc" "src/slab/CMakeFiles/prudence_slab.dir/size_classes.cc.o.d"
+  "/root/repo/src/slab/slab_header.cc" "src/slab/CMakeFiles/prudence_slab.dir/slab_header.cc.o" "gcc" "src/slab/CMakeFiles/prudence_slab.dir/slab_header.cc.o.d"
+  "/root/repo/src/slab/slab_pool.cc" "src/slab/CMakeFiles/prudence_slab.dir/slab_pool.cc.o" "gcc" "src/slab/CMakeFiles/prudence_slab.dir/slab_pool.cc.o.d"
+  "/root/repo/src/slab/validate.cc" "src/slab/CMakeFiles/prudence_slab.dir/validate.cc.o" "gcc" "src/slab/CMakeFiles/prudence_slab.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sync/CMakeFiles/prudence_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/prudence_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/page/CMakeFiles/prudence_page.dir/DependInfo.cmake"
+  "/root/repo/build/src/rcu/CMakeFiles/prudence_rcu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prudence_slab.dir/geometry.cc.o"
+  "CMakeFiles/prudence_slab.dir/geometry.cc.o.d"
+  "CMakeFiles/prudence_slab.dir/size_classes.cc.o"
+  "CMakeFiles/prudence_slab.dir/size_classes.cc.o.d"
+  "CMakeFiles/prudence_slab.dir/slab_header.cc.o"
+  "CMakeFiles/prudence_slab.dir/slab_header.cc.o.d"
+  "CMakeFiles/prudence_slab.dir/slab_pool.cc.o"
+  "CMakeFiles/prudence_slab.dir/slab_pool.cc.o.d"
+  "CMakeFiles/prudence_slab.dir/validate.cc.o"
+  "CMakeFiles/prudence_slab.dir/validate.cc.o.d"
+  "libprudence_slab.a"
+  "libprudence_slab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prudence_slab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prudence_slub.dir/slub_allocator.cc.o"
+  "CMakeFiles/prudence_slub.dir/slub_allocator.cc.o.d"
+  "libprudence_slub.a"
+  "libprudence_slub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prudence_slub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

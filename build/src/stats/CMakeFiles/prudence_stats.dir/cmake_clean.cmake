@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prudence_stats.dir/cache_stats.cc.o"
+  "CMakeFiles/prudence_stats.dir/cache_stats.cc.o.d"
+  "CMakeFiles/prudence_stats.dir/memory_sampler.cc.o"
+  "CMakeFiles/prudence_stats.dir/memory_sampler.cc.o.d"
+  "libprudence_stats.a"
+  "libprudence_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prudence_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prudence_sync.dir/cpu_registry.cc.o"
+  "CMakeFiles/prudence_sync.dir/cpu_registry.cc.o.d"
+  "CMakeFiles/prudence_sync.dir/thread_registry.cc.o"
+  "CMakeFiles/prudence_sync.dir/thread_registry.cc.o.d"
+  "libprudence_sync.a"
+  "libprudence_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prudence_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prudence_workload.dir/benchmarks.cc.o"
+  "CMakeFiles/prudence_workload.dir/benchmarks.cc.o.d"
+  "CMakeFiles/prudence_workload.dir/engine.cc.o"
+  "CMakeFiles/prudence_workload.dir/engine.cc.o.d"
+  "CMakeFiles/prudence_workload.dir/report.cc.o"
+  "CMakeFiles/prudence_workload.dir/report.cc.o.d"
+  "CMakeFiles/prudence_workload.dir/suite.cc.o"
+  "CMakeFiles/prudence_workload.dir/suite.cc.o.d"
+  "libprudence_workload.a"
+  "libprudence_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prudence_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bst.cc" "tests/CMakeFiles/test_bst.dir/test_bst.cc.o" "gcc" "tests/CMakeFiles/test_bst.dir/test_bst.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/prudence_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ds/CMakeFiles/prudence_ds.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/prudence_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/slub/CMakeFiles/prudence_slub.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/prudence_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/slab/CMakeFiles/prudence_slab.dir/DependInfo.cmake"
+  "/root/repo/build/src/page/CMakeFiles/prudence_page.dir/DependInfo.cmake"
+  "/root/repo/build/src/rcu/CMakeFiles/prudence_rcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/prudence_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/prudence_sync.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

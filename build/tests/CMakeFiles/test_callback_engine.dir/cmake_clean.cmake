@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_callback_engine.dir/test_callback_engine.cc.o"
+  "CMakeFiles/test_callback_engine.dir/test_callback_engine.cc.o.d"
+  "test_callback_engine"
+  "test_callback_engine.pdb"
+  "test_callback_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_callback_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prudence.dir/test_prudence.cc.o"
+  "CMakeFiles/test_prudence.dir/test_prudence.cc.o.d"
+  "test_prudence"
+  "test_prudence.pdb"
+  "test_prudence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prudence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prudence_concurrent.dir/test_prudence_concurrent.cc.o"
+  "CMakeFiles/test_prudence_concurrent.dir/test_prudence_concurrent.cc.o.d"
+  "test_prudence_concurrent"
+  "test_prudence_concurrent.pdb"
+  "test_prudence_concurrent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prudence_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

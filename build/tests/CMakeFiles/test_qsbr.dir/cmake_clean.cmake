@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qsbr.dir/test_qsbr.cc.o"
+  "CMakeFiles/test_qsbr.dir/test_qsbr.cc.o.d"
+  "test_qsbr"
+  "test_qsbr.pdb"
+  "test_qsbr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qsbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slub.dir/test_slub.cc.o"
+  "CMakeFiles/test_slub.dir/test_slub.cc.o.d"
+  "test_slub"
+  "test_slub.pdb"
+  "test_slub[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

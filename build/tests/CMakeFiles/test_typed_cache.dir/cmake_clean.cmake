@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_typed_cache.dir/test_typed_cache.cc.o"
+  "CMakeFiles/test_typed_cache.dir/test_typed_cache.cc.o.d"
+  "test_typed_cache"
+  "test_typed_cache.pdb"
+  "test_typed_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_typed_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sync[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_buddy[1]_include.cmake")
+include("/root/repo/build/tests/test_rcu[1]_include.cmake")
+include("/root/repo/build/tests/test_qsbr[1]_include.cmake")
+include("/root/repo/build/tests/test_callback_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_validate[1]_include.cmake")
+include("/root/repo/build/tests/test_bst[1]_include.cmake")
+include("/root/repo/build/tests/test_mechanisms[1]_include.cmake")
+include("/root/repo/build/tests/test_typed_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_geometry[1]_include.cmake")
+include("/root/repo/build/tests/test_slab[1]_include.cmake")
+include("/root/repo/build/tests/test_slub[1]_include.cmake")
+include("/root/repo/build/tests/test_prudence[1]_include.cmake")
+include("/root/repo/build/tests/test_prudence_concurrent[1]_include.cmake")
+include("/root/repo/build/tests/test_ds[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
