@@ -2,33 +2,103 @@
  * @file
  * Shared plumbing for the figure-reproduction binaries.
  *
- * Every fig* binary accepts an optional scale argument (argv[1],
- * default 1.0) multiplying the workload op counts, so quick smoke
- * runs and full runs use the same code. `for b in build/bench/*`
- * style batch runs can export PRUDENCE_BENCH_SCALE instead.
+ * Every fig* binary accepts an optional scale argument (the first
+ * non-flag argument, default 1.0) multiplying the workload op counts,
+ * so quick smoke runs and full runs use the same code. Batch runs
+ * over all binaries can export PRUDENCE_BENCH_SCALE instead.
+ * Passing `--trace=<file>` records a trace session over the
+ * run and writes Chrome/Perfetto trace JSON to <file> (plus registry
+ * metrics to <file>.metrics.json) at exit.
  */
 #ifndef PRUDENCE_BENCH_BENCH_COMMON_H
 #define PRUDENCE_BENCH_BENCH_COMMON_H
 
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 
+#include "trace/exporter.h"
+#include "trace/tracer.h"
 #include "workload/report.h"
 #include "workload/suite.h"
 
 namespace prudence_bench {
 
-/// Parse the run scale from argv[1] or PRUDENCE_BENCH_SCALE.
+/// Parse the run scale from the first non-flag argument or
+/// PRUDENCE_BENCH_SCALE (flags like --trace=... may appear anywhere).
 inline double
 run_scale(int argc, char** argv, double fallback = 1.0)
 {
-    if (argc > 1)
-        return std::atof(argv[1]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--", 2) != 0)
+            return std::atof(argv[i]);
+    }
     if (const char* env = std::getenv("PRUDENCE_BENCH_SCALE"))
         return std::atof(env);
     return fallback;
 }
+
+/// Value of --trace=<file>, or empty when tracing was not requested.
+inline std::string
+trace_path(int argc, char** argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--trace=", 8) == 0)
+            return std::string(argv[i] + 8);
+    }
+    if (const char* env = std::getenv("PRUDENCE_BENCH_TRACE"))
+        return std::string(env);
+    return {};
+}
+
+/**
+ * RAII trace session for a bench main: starts tracing when a
+ * `--trace=<file>` argument is present and, at scope exit, stops
+ * tracing and writes the merged Chrome trace plus the metrics JSON.
+ * With no flag (or a PRUDENCE_TRACE=OFF build) it does nothing.
+ */
+class TraceSession
+{
+  public:
+    TraceSession(int argc, char** argv) : path_(trace_path(argc, argv))
+    {
+#if defined(PRUDENCE_TRACE_ENABLED)
+        if (!path_.empty())
+            prudence::trace::start();
+#else
+        if (!path_.empty()) {
+            std::cerr << "--trace ignored: binary built with "
+                         "PRUDENCE_TRACE=OFF\n";
+            path_.clear();
+        }
+#endif
+    }
+
+    ~TraceSession()
+    {
+        if (path_.empty())
+            return;
+        prudence::trace::stop();
+        if (!prudence::trace::export_trace_files(path_)) {
+            std::cerr << "failed to write trace to " << path_ << "\n";
+            return;
+        }
+        std::cout << "\ntrace: " << path_ << " ("
+                  << prudence::trace::total_recorded() << " events, "
+                  << prudence::trace::total_dropped()
+                  << " dropped; load in ui.perfetto.dev)\n"
+                  << "metrics: " << path_ << ".metrics.json\n";
+    }
+
+    TraceSession(const TraceSession&) = delete;
+    TraceSession& operator=(const TraceSession&) = delete;
+
+    bool active() const { return !path_.empty(); }
+
+  private:
+    std::string path_;
+};
 
 /// Suite configuration shared by the per-figure binaries.
 inline prudence::SuiteConfig

@@ -168,6 +168,10 @@ print_outcome(const char* name, const EnduranceOutcome& out)
 int
 main(int argc, char** argv)
 {
+    // With --trace=<file>: records grace-period, callback-drain and
+    // latent-ring events across both runs and exports Perfetto JSON
+    // on exit.
+    prudence_bench::TraceSession trace_session(argc, argv);
     double scale = prudence_bench::run_scale(argc, argv);
     double seconds = 12.0 * scale;
     if (seconds < 0.5)
@@ -188,10 +192,21 @@ main(int argc, char** argv)
     EnduranceOutcome slub =
         run_endurance(/*use_prudence=*/false, seconds, arena, threads);
     print_outcome("slub", slub);
+    // Drain the registry between phases (atomic exchange) so each
+    // allocator's latency summary covers only its own run.
+    prudence::print_latency_summary(
+        std::cout, "slub phase: latency histograms (ns)",
+        prudence::trace::MetricsRegistry::instance().snapshot_all(
+            /*reset=*/true));
 
     EnduranceOutcome prud =
         run_endurance(/*use_prudence=*/true, seconds, arena, threads);
     print_outcome("prudence", prud);
+    // No reset: the prudence-phase numbers stay in the registry for
+    // the TraceSession metrics export.
+    prudence::print_latency_summary(
+        std::cout, "prudence phase: latency histograms (ns)",
+        prudence::trace::MetricsRegistry::instance().snapshot_all());
 
     std::cout << "# paper-vs-measured: baseline "
               << (slub.oom_ms >= 0 ? "hit OOM (matches paper)"

@@ -104,6 +104,7 @@ summarize(const std::vector<double>& runs)
 int
 main(int argc, char** argv)
 {
+    prudence_bench::TraceSession trace_session(argc, argv);
     double scale = prudence_bench::run_scale(argc, argv);
     auto pairs = static_cast<std::uint64_t>(150000.0 * scale);
     if (pairs < 1000)

@@ -12,6 +12,7 @@
 int
 main(int argc, char** argv)
 {
+    prudence_bench::TraceSession trace_session(argc, argv);
     double scale = prudence_bench::run_scale(argc, argv);
     prudence_bench::print_banner(
         "Figure 8: object-cache churns (refill/flush pairs)",
@@ -21,5 +22,7 @@ main(int argc, char** argv)
         prudence::run_paper_suite(prudence_bench::suite_config(scale));
     prudence::print_fig8_object_churns(
         std::cout, cmps, prudence_bench::report_options(scale));
+    if (trace_session.active())
+        prudence::print_latency_histograms(std::cout, cmps);
     return 0;
 }

@@ -12,6 +12,7 @@
 int
 main(int argc, char** argv)
 {
+    prudence_bench::TraceSession trace_session(argc, argv);
     double scale = prudence_bench::run_scale(argc, argv);
     prudence_bench::print_banner(
         "Figure 11: total fragmentation after the run",
@@ -20,5 +21,7 @@ main(int argc, char** argv)
         prudence::run_paper_suite(prudence_bench::suite_config(scale));
     prudence::print_fig11_fragmentation(
         std::cout, cmps, prudence_bench::report_options(scale));
+    if (trace_session.active())
+        prudence::print_latency_histograms(std::cout, cmps);
     return 0;
 }

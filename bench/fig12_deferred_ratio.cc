@@ -12,6 +12,7 @@
 int
 main(int argc, char** argv)
 {
+    prudence_bench::TraceSession trace_session(argc, argv);
     double scale = prudence_bench::run_scale(argc, argv);
     prudence_bench::print_banner(
         "Figure 12: deferred frees as % of total frees",
@@ -19,5 +20,7 @@ main(int argc, char** argv)
     auto cmps =
         prudence::run_paper_suite(prudence_bench::suite_config(scale));
     prudence::print_fig12_deferred_ratio(std::cout, cmps);
+    if (trace_session.active())
+        prudence::print_latency_histograms(std::cout, cmps);
     return 0;
 }

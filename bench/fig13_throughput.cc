@@ -12,6 +12,7 @@
 int
 main(int argc, char** argv)
 {
+    prudence_bench::TraceSession trace_session(argc, argv);
     double scale = prudence_bench::run_scale(argc, argv);
     auto cfg = prudence_bench::suite_config(scale);
     cfg.repetitions = 3;  // paper: average of three runs
@@ -21,5 +22,7 @@ main(int argc, char** argv)
         "+4.6%");
     auto cmps = prudence::run_paper_suite(cfg);
     prudence::print_fig13_throughput(std::cout, cmps);
+    if (trace_session.active())
+        prudence::print_latency_histograms(std::cout, cmps);
     return 0;
 }

@@ -7,6 +7,7 @@
 
 #include "slab/size_classes.h"
 #include "slab/validate.h"
+#include "trace/tracer.h"
 
 namespace prudence {
 
@@ -155,6 +156,9 @@ PrudenceAllocator::alloc_impl(Cache& c)
 {
     CacheStats& stats = c.pool.stats();
     stats.alloc_calls.add();
+    PRUDENCE_TRACE_SPAN(alloc_span, trace::HistId::kPrudenceAllocNs,
+                        trace::EventId::kAllocSpan);
+    alloc_span.set_args(c.pool.geometry().object_size);
 
     for (int attempt = 0; attempt <= config_.oom_retries; ++attempt) {
         bool oom = false;
@@ -174,11 +178,17 @@ PrudenceAllocator::alloc_impl(Cache& c)
         if (!any_deferred)
             break;
         stats.oom_waits.add();
-        domain_.synchronize();
-        // Everything deferred before the wait is now reclaimable;
-        // pull it back so the retry can find memory.
-        for (std::size_t i = 0; i < count; ++i)
-            reclaim_cache(*caches_[i], /*fill_caches=*/true);
+        {
+            // The stall covers the grace period AND pulling the now-
+            // safe objects back — both gate the retry.
+            PRUDENCE_TRACE_SPAN(oom_span, trace::HistId::kOomWaitNs,
+                                trace::EventId::kOomWait);
+            domain_.synchronize();
+            // Everything deferred before the wait is now reclaimable;
+            // pull it back so the retry can find memory.
+            for (std::size_t i = 0; i < count; ++i)
+                reclaim_cache(*caches_[i], /*fill_caches=*/true);
+        }
     }
     stats.oom_failures.add();
     return nullptr;
@@ -196,6 +206,12 @@ PrudenceAllocator::alloc_attempt(Cache& c, bool* oom)
     if (void* obj = pc.cache.pop()) {
         stats.cache_hits.add();
         stats.live_objects.add();
+        PRUDENCE_TRACE_STMT({
+            static Counter& hits =
+                trace::MetricsRegistry::instance().counter(
+                    "prudence.cache_hit");
+            hits.add();
+        });
         return obj;
     }
 
@@ -207,8 +223,20 @@ PrudenceAllocator::alloc_attempt(Cache& c, bool* oom)
         stats.cache_hits.add();
         stats.latent_merge_hits.add();
         stats.live_objects.add();
+        PRUDENCE_TRACE_STMT({
+            static Counter& merge_hits =
+                trace::MetricsRegistry::instance().counter(
+                    "prudence.cache_merge_hit");
+            merge_hits.add();
+        });
         return obj;
     }
+    PRUDENCE_TRACE_STMT({
+        static Counter& misses =
+            trace::MetricsRegistry::instance().counter(
+                "prudence.cache_miss");
+        misses.add();
+    });
 
     if (!refill(c, pc)) {
         *oom = true;
@@ -225,12 +253,25 @@ PrudenceAllocator::merge_caches(Cache& c, PerCpu& pc)
 {
     GpEpoch completed = domain_.completed_epoch();
     std::size_t merged = 0;
+    PRUDENCE_TRACE_CLOCK(merge_now);
     // FIFO appends of a monotone epoch keep the ring mostly ordered;
     // stopping at the first unsafe entry never merges an unsafe one
     // and at worst delays later safe entries by one grace period.
     while (!pc.latent.empty() && !pc.cache.full() &&
            pc.latent.front().epoch <= completed) {
-        pc.cache.push(pc.latent.front().object);
+        const LatentRing::Entry& e = pc.latent.front();
+        pc.cache.push(e.object);
+        PRUDENCE_TRACE_STMT({
+            if (e.defer_ts != 0 && merge_now >= e.defer_ts) {
+                std::uint64_t residency = merge_now - e.defer_ts;
+                trace::MetricsRegistry::instance()
+                    .histogram(trace::HistId::kLatentResidencyNs)
+                    .record(residency);
+                trace::emit(trace::EventId::kLatentExit,
+                            reinterpret_cast<std::uintptr_t>(e.object),
+                            residency);
+            }
+        });
         pc.latent.pop_front();
         ++merged;
     }
@@ -385,6 +426,9 @@ PrudenceAllocator::free_impl(Cache& c, void* p)
     CacheStats& stats = c.pool.stats();
     stats.free_calls.add();
     stats.live_objects.sub();
+    PRUDENCE_TRACE_SPAN(free_span, trace::HistId::kPrudenceFreeNs,
+                        trace::EventId::kFreeSpan);
+    free_span.set_args(c.pool.geometry().object_size);
 
     PerCpu& pc = *c.cpus[cpu_registry_.cpu_id()];
     std::lock_guard<SpinLock> guard(pc.lock);
@@ -440,6 +484,12 @@ PrudenceAllocator::free_deferred_impl(Cache& c, void* p)
     stats.deferred_free_calls.add();
     stats.live_objects.sub();
     stats.deferred_outstanding.add();
+    PRUDENCE_TRACE_SPAN(defer_span, trace::HistId::kPrudenceDeferNs,
+                        trace::EventId::kDeferSpan);
+    defer_span.set_args(c.pool.geometry().object_size);
+    PRUDENCE_TRACE_EMIT(trace::EventId::kLatentEnter,
+                        reinterpret_cast<std::uintptr_t>(p));
+    PRUDENCE_TRACE_CLOCK(defer_ts);
 
     // Algorithm 1 line 35: stamp the grace-period state on the
     // object's latent entry (out of band — readers may still be
@@ -455,7 +505,7 @@ PrudenceAllocator::free_deferred_impl(Cache& c, void* p)
             ++pc.defer_events;
 
             if (!pc.latent.full()) {  // fast path (lines 39-44)
-                pc.latent.push(p, epoch);
+                pc.latent.push(p, epoch, defer_ts);
                 if (pc.cache.count() + pc.latent.count() >
                         pc.cache.capacity() &&
                     config_.idle_preflush) {
@@ -470,7 +520,7 @@ PrudenceAllocator::free_deferred_impl(Cache& c, void* p)
                 flush(c, pc, pc.cache.capacity() / 2 + 1);
             merge_caches(c, pc);
             if (!pc.latent.full()) {
-                pc.latent.push(p, epoch);
+                pc.latent.push(p, epoch, defer_ts);
                 return;
             }
 
@@ -496,7 +546,7 @@ PrudenceAllocator::free_deferred_impl(Cache& c, void* p)
 void
 PrudenceAllocator::push_to_latent_slab(Cache& c, void* obj, GpEpoch epoch)
 {
-    LatentRing::Entry e{obj, epoch};
+    LatentRing::Entry e{obj, epoch, 0};
     spill_entries(c, &e, 1);
 }
 
@@ -507,6 +557,7 @@ PrudenceAllocator::spill_entries(Cache& c,
 {
     if (n == 0)
         return;
+    PRUDENCE_TRACE_EMIT(trace::EventId::kLatentSpill, n);
     NodeLists& node = c.pool.node();
     bool want_shrink = false;
     {

@@ -5,6 +5,8 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "trace/tracer.h"
+
 namespace prudence {
 
 namespace {
@@ -112,12 +114,14 @@ BuddyAllocator::alloc_pages(unsigned order)
         while (have > order) {
             --have;
             split_ops_.add();
+            PRUDENCE_TRACE_EMIT(trace::EventId::kBuddySplit, have);
             push_free(pfn + order_pages(have), have);
         }
         for (std::size_t i = 0; i < order_pages(order); ++i)
             page_state_[pfn + i] = kStateAllocated;
     }
     pages_in_use_.add(static_cast<std::int64_t>(order_pages(order)));
+    PRUDENCE_TRACE_EMIT(trace::EventId::kBytesInUse, bytes_in_use());
     return addr_of(pfn);
 }
 
@@ -153,6 +157,7 @@ BuddyAllocator::free_pages(void* block, unsigned order)
             merge_ops_.add();
             pfn = pfn < buddy ? pfn : buddy;
             ++order;
+            PRUDENCE_TRACE_EMIT(trace::EventId::kBuddyMerge, order);
         }
         push_free(pfn, order);
     }
@@ -160,6 +165,7 @@ BuddyAllocator::free_pages(void* block, unsigned order)
     // pages leave the in-use gauge.
     pages_in_use_.sub(
         static_cast<std::int64_t>(order_pages(caller_order)));
+    PRUDENCE_TRACE_EMIT(trace::EventId::kBytesInUse, bytes_in_use());
 }
 
 std::uint64_t

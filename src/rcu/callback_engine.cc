@@ -2,6 +2,8 @@
 
 #include <mutex>
 
+#include "trace/tracer.h"
+
 namespace prudence {
 
 CallbackEngine::CallbackEngine(GracePeriodDomain& domain,
@@ -40,6 +42,7 @@ CallbackEngine::call(CallbackFn fn, void* ctx, void* arg)
     }
     queued_.add();
     backlog_.add();
+    PRUDENCE_TRACE_EMIT(trace::EventId::kCbEnqueue, epoch, cpu);
 
     if (config_.inline_batch_limit > 0)
         process_cpu(cpu, config_.inline_batch_limit);
@@ -55,6 +58,7 @@ CallbackEngine::process_cpu(unsigned cpu, std::size_t limit)
     // callback may re-enter the engine.
     Callback batch[64];
     std::size_t invoked_total = 0;
+    PRUDENCE_TRACE_CLOCK(drain_start);
     while (invoked_total < limit) {
         std::size_t n = 0;
         {
@@ -73,6 +77,15 @@ CallbackEngine::process_cpu(unsigned cpu, std::size_t limit)
         invoked_.add(n);
         backlog_.sub(static_cast<std::int64_t>(n));
         invoked_total += n;
+    }
+    if (invoked_total > 0) {
+        PRUDENCE_TRACE_STMT({
+            trace::emit_span(trace::EventId::kCbBatchDrain, drain_start,
+                             invoked_total, cpu);
+            trace::MetricsRegistry::instance()
+                .histogram(trace::HistId::kCbDrainBatch)
+                .record(invoked_total);
+        });
     }
     return invoked_total;
 }
@@ -107,6 +120,9 @@ CallbackEngine::drainer_main()
             config_.pressure_probe() > config_.expedite_threshold) {
             limit = config_.expedited_batch_limit;
             expedited_ticks_.add();
+            PRUDENCE_TRACE_EMIT(
+                trace::EventId::kCbExpedite,
+                static_cast<std::uint64_t>(backlog_.get()));
         }
         process_ready(limit);
         std::this_thread::sleep_for(config_.tick);

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "sync/backoff.h"
+#include "trace/tracer.h"
 
 namespace prudence {
 
@@ -91,9 +92,14 @@ RcuDomain::advance()
 {
     std::lock_guard<std::mutex> gp_lock(gp_mutex_);
 
+    PRUDENCE_TRACE_SPAN(gp_span, trace::HistId::kGpNs,
+                        trace::EventId::kGpSpan);
+
     // Phase 1: everything deferred before this increment has target
     // tags <= t1 - 1.
     GpEpoch t1 = gp_ctr_.fetch_add(1, std::memory_order_seq_cst) + 1;
+    PRUDENCE_TRACE_EMIT(trace::EventId::kGpStart, t1);
+    gp_span.set_args(t1 - 1);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     wait_for_readers(t1);
 

@@ -13,6 +13,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 
 #include "rcu/grace_period.h"
@@ -28,6 +29,9 @@ class LatentRing
     {
         void* object;
         GpEpoch epoch;
+        /// Trace-session timestamp of the defer (0 = not traced);
+        /// lets merge_caches report latent-ring residency time.
+        std::uint64_t defer_ts;
     };
 
     explicit LatentRing(std::size_t capacity)
@@ -43,10 +47,10 @@ class LatentRing
 
     /// Append a deferred object; caller must ensure !full().
     void
-    push(void* obj, GpEpoch epoch)
+    push(void* obj, GpEpoch epoch, std::uint64_t defer_ts = 0)
     {
         assert(count_ < capacity_);
-        entries_[(head_ + count_) % capacity_] = {obj, epoch};
+        entries_[(head_ + count_) % capacity_] = {obj, epoch, defer_ts};
         ++count_;
     }
 

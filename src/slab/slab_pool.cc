@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "trace/tracer.h"
+
 namespace prudence {
 
 SlabPool::SlabPool(std::string name, std::size_t object_size,
@@ -54,6 +56,9 @@ SlabPool::grow()
     owners_.set_range(pages, geometry_.slab_bytes, slab);
     stats_.grows.add();
     stats_.slabs.add();
+    PRUDENCE_TRACE_EMIT(trace::EventId::kSlabCreate,
+                        reinterpret_cast<std::uintptr_t>(slab),
+                        geometry_.object_size);
     return slab;
 }
 
@@ -70,6 +75,9 @@ SlabPool::release_slab(SlabHeader* slab)
     buddy_.free_pages(slab, geometry_.slab_order);
     stats_.shrinks.add();
     stats_.slabs.sub();
+    PRUDENCE_TRACE_EMIT(trace::EventId::kSlabDestroy,
+                        reinterpret_cast<std::uintptr_t>(slab),
+                        geometry_.object_size);
 }
 
 CacheStatsSnapshot

@@ -5,6 +5,7 @@
 
 #include "slab/size_classes.h"
 #include "slab/validate.h"
+#include "trace/tracer.h"
 
 namespace prudence {
 
@@ -100,6 +101,9 @@ SlubAllocator::kfree_deferred(void* p)
     c->pool.stats().deferred_free_calls.add();
     c->pool.stats().live_objects.sub();
     c->pool.stats().deferred_outstanding.add();
+    PRUDENCE_TRACE_SPAN(defer_span, trace::HistId::kSlubDeferNs,
+                        trace::EventId::kDeferSpan);
+    defer_span.set_args(c->pool.geometry().object_size);
     engine_->call(&SlubAllocator::deferred_free_cb, this, p);
 }
 
@@ -156,6 +160,9 @@ SlubAllocator::cache_free_deferred(CacheId cache, void* p)
     c.pool.stats().deferred_free_calls.add();
     c.pool.stats().live_objects.sub();
     c.pool.stats().deferred_outstanding.add();
+    PRUDENCE_TRACE_SPAN(defer_span, trace::HistId::kSlubDeferNs,
+                        trace::EventId::kDeferSpan);
+    defer_span.set_args(c.pool.geometry().object_size);
     engine_->call(&SlubAllocator::deferred_free_cb, this, p);
 }
 
@@ -164,6 +171,9 @@ SlubAllocator::alloc_impl(Cache& c)
 {
     CacheStats& stats = c.pool.stats();
     stats.alloc_calls.add();
+    PRUDENCE_TRACE_SPAN(alloc_span, trace::HistId::kSlubAllocNs,
+                        trace::EventId::kAllocSpan);
+    alloc_span.set_args(c.pool.geometry().object_size);
 
     PerCpu& pc = *c.cpus[cpu_registry_.cpu_id()];
     std::lock_guard<SpinLock> guard(pc.lock);
@@ -171,8 +181,20 @@ SlubAllocator::alloc_impl(Cache& c)
     if (void* obj = pc.cache.pop()) {
         stats.cache_hits.add();
         stats.live_objects.add();
+        PRUDENCE_TRACE_STMT({
+            static Counter& hits =
+                trace::MetricsRegistry::instance().counter(
+                    "slub.cache_hit");
+            hits.add();
+        });
         return obj;
     }
+    PRUDENCE_TRACE_STMT({
+        static Counter& misses =
+            trace::MetricsRegistry::instance().counter(
+                "slub.cache_miss");
+        misses.add();
+    });
 
     if (!refill(c, pc.cache))
         return nullptr;  // out of memory
@@ -226,6 +248,9 @@ SlubAllocator::free_impl(Cache& c, void* p, bool from_callback)
         stats.free_calls.add();
         stats.live_objects.sub();
     }
+    PRUDENCE_TRACE_SPAN(free_span, trace::HistId::kSlubFreeNs,
+                        trace::EventId::kFreeSpan);
+    free_span.set_args(c.pool.geometry().object_size);
 
     PerCpu& pc = *c.cpus[cpu_registry_.cpu_id()];
     std::lock_guard<SpinLock> guard(pc.lock);

@@ -32,6 +32,15 @@ class Counter
     /// Reset to zero (between benchmark phases).
     void reset() { value_.store(0, std::memory_order_relaxed); }
 
+    /// Atomically read the value and replace it with @p desired.
+    /// Unlike get()+reset(), increments racing the phase boundary
+    /// land in exactly one phase instead of vanishing.
+    std::uint64_t
+    exchange(std::uint64_t desired = 0)
+    {
+        return value_.exchange(desired, std::memory_order_relaxed);
+    }
+
   private:
     std::atomic<std::uint64_t> value_{0};
 };

@@ -30,6 +30,13 @@ MemorySampler::stop()
     bool expected = true;
     if (!running_.compare_exchange_strong(expected, false))
         return;
+    // Taking the mutex (even empty) orders the running_ store against
+    // the sampler's predicate check: it cannot read stale `true` and
+    // then enter a full-period wait that this notify would miss.
+    {
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+    }
+    wake_cv_.notify_all();
     if (thread_.joinable())
         thread_.join();
 }
@@ -44,20 +51,30 @@ MemorySampler::samples() const
 void
 MemorySampler::run()
 {
-    auto next = start_time_;
-    while (running_.load(std::memory_order_acquire)) {
+    auto take_sample = [this] {
         auto now = std::chrono::steady_clock::now();
         double elapsed_ms =
             std::chrono::duration<double, std::milli>(now - start_time_)
                 .count();
         std::uint64_t value = probe_();
-        {
-            std::lock_guard<std::mutex> lock(samples_mutex_);
-            samples_.push_back({elapsed_ms, value});
-        }
+        std::lock_guard<std::mutex> lock(samples_mutex_);
+        samples_.push_back({elapsed_ms, value});
+    };
+
+    auto next = start_time_;
+    while (running_.load(std::memory_order_acquire)) {
+        take_sample();
         next += period_;
-        std::this_thread::sleep_until(next);
+        // Interruptible period wait: stop() flips running_ and
+        // notifies, so shutdown costs microseconds, not a period.
+        std::unique_lock<std::mutex> lock(wake_mutex_);
+        wake_cv_.wait_until(lock, next, [this] {
+            return !running_.load(std::memory_order_acquire);
+        });
     }
+    // Tail sample: the timeline's last point lands at stop time, not
+    // up to one period before it (fig03 trims nothing at the end).
+    take_sample();
 }
 
 }  // namespace prudence

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -47,7 +48,13 @@ class MemorySampler
 
     /// Begin sampling (idempotent).
     void start();
-    /// Stop sampling and join the thread (idempotent).
+
+    /**
+     * Stop sampling and join the thread (idempotent). Returns
+     * promptly — the sampler thread is woken out of its inter-sample
+     * wait rather than sleeping it out — and records one final sample
+     * so the timeline always covers the instant sampling ended.
+     */
     void stop();
 
     /// Copy of all samples collected so far.
@@ -59,6 +66,8 @@ class MemorySampler
     Probe probe_;
     std::chrono::milliseconds period_;
     std::atomic<bool> running_{false};
+    std::mutex wake_mutex_;
+    std::condition_variable wake_cv_;  ///< interrupts the period wait
     std::thread thread_;
     mutable std::mutex samples_mutex_;
     std::vector<MemorySample> samples_;

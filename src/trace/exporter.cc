@@ -1,0 +1,227 @@
+#include "trace/exporter.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "trace/tracer.h"
+
+namespace prudence::trace {
+
+const EventInfo&
+event_info(EventId id)
+{
+    static const EventInfo kUnknown = {"unknown", "trace", 'i',
+                                       nullptr, nullptr};
+    static const EventInfo kTable[] = {
+        // Order must match EventId.
+        {"none", "trace", 'i', nullptr, nullptr},
+        {"gp_start", "rcu", 'i', "target_epoch", nullptr},
+        {"grace_period", "rcu", 'X', "completed_epoch", nullptr},
+        {"cb_enqueue", "rcu", 'i', "epoch", "cpu"},
+        {"cb_batch_drain", "rcu", 'X', "count", "cpu"},
+        {"cb_expedite", "rcu", 'i', "backlog", nullptr},
+        {"slab_create", "slab", 'i', "slab", "object_size"},
+        {"slab_destroy", "slab", 'i', "slab", "object_size"},
+        {"latent_enter", "slab", 'i', "object", nullptr},
+        {"latent_exit", "slab", 'i', "object", "residency_ns"},
+        {"latent_spill", "slab", 'i', "count", nullptr},
+        {"alloc", "alloc", 'X', "object_size", nullptr},
+        {"free", "alloc", 'X', "object_size", nullptr},
+        {"free_deferred", "alloc", 'X', "object_size", nullptr},
+        {"oom_wait", "alloc", 'X', nullptr, nullptr},
+        {"buddy_split", "page", 'i', "order", nullptr},
+        {"buddy_merge", "page", 'i', "order", nullptr},
+        {"bytes_in_use", "page", 'C', "bytes", nullptr},
+    };
+    auto idx = static_cast<std::size_t>(id);
+    constexpr auto kTableSize = sizeof(kTable) / sizeof(kTable[0]);
+    static_assert(kTableSize ==
+                  static_cast<std::size_t>(EventId::kMaxEvent));
+    return idx < kTableSize ? kTable[idx] : kUnknown;
+}
+
+namespace {
+
+/// Microsecond timestamps with sub-microsecond precision survive as
+/// fractions (Chrome accepts floating-point ts/dur).
+void
+put_us(std::ostream& os, std::uint64_t ns)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned long long>(ns % 1000));
+    os << buf;
+}
+
+void
+put_event(std::ostream& os, std::uint32_t tid, const TraceEvent& e)
+{
+    const EventInfo& info = event_info(e.id);
+    os << "{\"name\":\"" << info.name << "\",\"cat\":\""
+       << info.category << "\",\"ph\":\"" << info.phase
+       << "\",\"pid\":1,\"tid\":" << tid << ",\"ts\":";
+    put_us(os, e.ts_ns);
+    if (info.phase == 'X') {
+        os << ",\"dur\":";
+        put_us(os, e.dur_ns);
+    }
+    else if (info.phase == 'i') {
+        os << ",\"s\":\"t\"";
+    }
+    os << ",\"args\":{";
+    bool first = true;
+    if (info.arg0_name != nullptr) {
+        os << "\"" << info.arg0_name << "\":" << e.arg0;
+        first = false;
+    }
+    if (info.arg1_name != nullptr) {
+        if (!first)
+            os << ",";
+        os << "\"" << info.arg1_name << "\":" << e.arg1;
+    }
+    os << "}}";
+}
+
+void
+put_thread_name(std::ostream& os, std::uint32_t tid)
+{
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+       << tid << ",\"args\":{\"name\":\"trace-ring-" << tid << "\"}}";
+}
+
+void
+put_drop_marker(std::ostream& os, std::uint32_t tid,
+                std::uint64_t dropped, std::uint64_t ts_ns)
+{
+    os << "{\"name\":\"events_dropped\",\"cat\":\"trace\",\"ph\":\"i\""
+          ",\"s\":\"t\",\"pid\":1,\"tid\":"
+       << tid << ",\"ts\":";
+    put_us(os, ts_ns);
+    os << ",\"args\":{\"dropped\":" << dropped << "}}";
+}
+
+void
+put_hist(std::ostream& os, const HistogramSnapshot& h)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"count\":%llu,\"sum\":%llu,\"max\":%llu,"
+                  "\"mean\":%.1f,\"p50\":%.1f,\"p90\":%.1f,"
+                  "\"p99\":%.1f}",
+                  static_cast<unsigned long long>(h.count),
+                  static_cast<unsigned long long>(h.sum),
+                  static_cast<unsigned long long>(h.max), h.mean(),
+                  h.p50, h.p90, h.p99);
+    os << buf;
+}
+
+}  // namespace
+
+void
+write_chrome_trace(std::ostream& os)
+{
+    struct Tagged
+    {
+        std::uint32_t tid;
+        TraceEvent event;
+    };
+    std::vector<Tagged> merged;
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> drops;
+
+    for_each_ring([&](std::uint32_t tid, const TraceRing& ring) {
+        for (const TraceEvent& e : ring.snapshot())
+            merged.push_back({tid, e});
+        if (ring.dropped() > 0)
+            drops.emplace_back(tid, ring.dropped());
+    });
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const Tagged& a, const Tagged& b) {
+                         return a.event.ts_ns < b.event.ts_ns;
+                     });
+
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    std::uint32_t prev_tid = ~std::uint32_t{0};
+    for_each_ring([&](std::uint32_t tid, const TraceRing&) {
+        if (tid == prev_tid)
+            return;
+        prev_tid = tid;
+        if (!first)
+            os << ",\n";
+        first = false;
+        put_thread_name(os, tid);
+    });
+    for (const auto& [tid, dropped] : drops) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        // Anchor the marker at the oldest surviving event.
+        put_drop_marker(os, tid, dropped,
+                        merged.empty() ? 0 : merged.front().event.ts_ns);
+    }
+    for (const Tagged& t : merged) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        put_event(os, t.tid, t.event);
+    }
+    os << "],\"displayTimeUnit\":\"ns\"}\n";
+}
+
+void
+write_metrics_json(std::ostream& os,
+                   const std::vector<MetricSnapshot>& metrics)
+{
+    os << "{";
+    bool first = true;
+    for (const MetricSnapshot& m : metrics) {
+        if (m.kind == MetricSnapshot::Kind::kHistogram &&
+            m.hist.count == 0)
+            continue;  // keep the file focused on what actually ran
+        if (!first)
+            os << ",\n ";
+        first = false;
+        os << "\"" << m.name << "\":";
+        switch (m.kind) {
+          case MetricSnapshot::Kind::kCounter:
+            os << m.value;
+            break;
+          case MetricSnapshot::Kind::kGauge:
+            os << "{\"value\":" << m.value << ",\"peak\":" << m.peak
+               << "}";
+            break;
+          case MetricSnapshot::Kind::kHistogram:
+            put_hist(os, m.hist);
+            break;
+        }
+    }
+    os << "}\n";
+}
+
+void
+write_metrics_json(std::ostream& os)
+{
+    write_metrics_json(
+        os, MetricsRegistry::instance().snapshot_all(false));
+}
+
+bool
+export_trace_files(const std::string& path)
+{
+    std::ofstream trace(path);
+    if (!trace)
+        return false;
+    write_chrome_trace(trace);
+    bool ok = static_cast<bool>(trace);
+
+    std::ofstream metrics(path + ".metrics.json");
+    if (!metrics)
+        return false;
+    write_metrics_json(metrics);
+    return ok && static_cast<bool>(metrics);
+}
+
+}  // namespace prudence::trace

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Trace and metrics export.
+ *
+ * write_chrome_trace() merges every per-thread ring into one Chrome
+ * trace-event JSON document ("traceEvents" array) that chrome://tracing
+ * and ui.perfetto.dev load directly. write_metrics_json() dumps the
+ * metrics registry (histogram percentiles, counters, gauges) as flat
+ * JSON for scripting. Both require tracepoint writers to be quiesced
+ * (stop tracing / join workers first).
+ */
+#ifndef PRUDENCE_TRACE_EXPORTER_H
+#define PRUDENCE_TRACE_EXPORTER_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "trace/metrics_registry.h"
+
+namespace prudence::trace {
+
+/// Write the merged rings as Chrome trace-event JSON. Events are
+/// sorted by timestamp; each ring becomes one tid with a thread_name
+/// metadata record; per-ring drop counts are emitted as instant
+/// events so truncation is visible in the timeline.
+void write_chrome_trace(std::ostream& os);
+
+/// Write the current registry contents as a flat metrics JSON object.
+void write_metrics_json(std::ostream& os);
+
+/// Serialize @p metrics (e.g. a phase snapshot) as metrics JSON.
+void write_metrics_json(std::ostream& os,
+                        const std::vector<MetricSnapshot>& metrics);
+
+/**
+ * Write the Chrome trace to @p path and the registry metrics next to
+ * it at "<path>.metrics.json". Returns false (after best-effort
+ * partial writes) if either file cannot be opened.
+ */
+bool export_trace_files(const std::string& path);
+
+}  // namespace prudence::trace
+
+#endif  // PRUDENCE_TRACE_EXPORTER_H

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Log2-bucket value histogram for latency distributions.
+ *
+ * record() is an atomic increment on one of 64 buckets plus a max
+ * update — cheap enough for allocator hot paths when tracing is on.
+ * Bucket i (i > 0) covers [2^i, 2^(i+1) - 1]; bucket 0 covers {0, 1}.
+ * Percentiles interpolate linearly inside the bucket, so p50/p90/p99
+ * are estimates with at most one-octave error; max is exact.
+ */
+#ifndef PRUDENCE_TRACE_HISTOGRAM_H
+#define PRUDENCE_TRACE_HISTOGRAM_H
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace prudence::trace {
+
+/// Point-in-time summary of a LatencyHistogram.
+struct HistogramSnapshot
+{
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+
+    double
+    mean() const
+    {
+        return count == 0 ? 0.0
+                          : static_cast<double>(sum) /
+                                static_cast<double>(count);
+    }
+};
+
+/// Concurrent log2-bucket histogram (values are nanoseconds by
+/// convention, but any non-negative integer works).
+class LatencyHistogram
+{
+  public:
+    static constexpr int kBuckets = 64;
+
+    /// Bucket index of @p v: 0 for {0, 1}, else floor(log2(v)).
+    static int
+    bucket_index(std::uint64_t v)
+    {
+        return v < 2 ? 0 : std::bit_width(v) - 1;
+    }
+
+    /// Inclusive upper bound of bucket @p i.
+    static std::uint64_t
+    bucket_upper(int i)
+    {
+        return i >= 63 ? ~std::uint64_t{0}
+                       : (std::uint64_t{2} << i) - 1;
+    }
+
+    /// Inclusive lower bound of bucket @p i.
+    static std::uint64_t
+    bucket_lower(int i)
+    {
+        return i == 0 ? 0 : std::uint64_t{1} << i;
+    }
+
+    /// Record one value.
+    void
+    record(std::uint64_t v)
+    {
+        buckets_[static_cast<std::size_t>(bucket_index(v))].fetch_add(
+            1, std::memory_order_relaxed);
+        sum_.fetch_add(v, std::memory_order_relaxed);
+        std::uint64_t m = max_.load(std::memory_order_relaxed);
+        while (v > m && !max_.compare_exchange_weak(
+                            m, v, std::memory_order_relaxed)) {
+        }
+    }
+
+    /// Total recorded values.
+    std::uint64_t
+    count() const
+    {
+        std::uint64_t n = 0;
+        for (const auto& b : buckets_)
+            n += b.load(std::memory_order_relaxed);
+        return n;
+    }
+
+    /// Recorded values in bucket @p i.
+    std::uint64_t
+    bucket_count(int i) const
+    {
+        return buckets_[static_cast<std::size_t>(i)].load(
+            std::memory_order_relaxed);
+    }
+
+    /// Summary with interpolated percentiles. With @p reset, every
+    /// bucket is atomically exchanged to zero as it is read, so
+    /// recordings racing the snapshot land in exactly one phase
+    /// (nothing is lost, mirroring Counter::exchange()).
+    HistogramSnapshot
+    snapshot(bool reset = false)
+    {
+        std::array<std::uint64_t, kBuckets> counts;
+        HistogramSnapshot s;
+        for (int i = 0; i < kBuckets; ++i) {
+            auto& b = buckets_[static_cast<std::size_t>(i)];
+            counts[static_cast<std::size_t>(i)] =
+                reset ? b.exchange(0, std::memory_order_relaxed)
+                      : b.load(std::memory_order_relaxed);
+            s.count += counts[static_cast<std::size_t>(i)];
+        }
+        s.sum = reset ? sum_.exchange(0, std::memory_order_relaxed)
+                      : sum_.load(std::memory_order_relaxed);
+        s.max = reset ? max_.exchange(0, std::memory_order_relaxed)
+                      : max_.load(std::memory_order_relaxed);
+        s.p50 = percentile_of(counts, s.count, 0.50);
+        s.p90 = percentile_of(counts, s.count, 0.90);
+        s.p99 = percentile_of(counts, s.count, 0.99);
+        return s;
+    }
+
+    /// Zero everything.
+    void
+    reset()
+    {
+        for (auto& b : buckets_)
+            b.store(0, std::memory_order_relaxed);
+        sum_.store(0, std::memory_order_relaxed);
+        max_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    static double
+    percentile_of(const std::array<std::uint64_t, kBuckets>& counts,
+                  std::uint64_t total, double q)
+    {
+        if (total == 0)
+            return 0.0;
+        double rank = q * static_cast<double>(total);
+        std::uint64_t seen = 0;
+        for (int i = 0; i < kBuckets; ++i) {
+            std::uint64_t c = counts[static_cast<std::size_t>(i)];
+            if (c == 0)
+                continue;
+            if (static_cast<double>(seen + c) >= rank) {
+                double lo = static_cast<double>(bucket_lower(i));
+                double hi = static_cast<double>(bucket_upper(i));
+                double frac =
+                    (rank - static_cast<double>(seen)) /
+                    static_cast<double>(c);
+                return lo + (hi - lo) * frac;
+            }
+            seen += c;
+        }
+        return static_cast<double>(bucket_upper(kBuckets - 1));
+    }
+
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+    std::atomic<std::uint64_t> sum_{0};
+    std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace prudence::trace
+
+#endif  // PRUDENCE_TRACE_HISTOGRAM_H

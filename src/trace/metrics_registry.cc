@@ -1,0 +1,120 @@
+#include "trace/metrics_registry.h"
+
+namespace prudence::trace {
+
+const char*
+hist_name(HistId id)
+{
+    switch (id) {
+      case HistId::kSlubAllocNs:
+        return "slub.alloc_ns";
+      case HistId::kSlubFreeNs:
+        return "slub.free_ns";
+      case HistId::kSlubDeferNs:
+        return "slub.defer_ns";
+      case HistId::kPrudenceAllocNs:
+        return "prudence.alloc_ns";
+      case HistId::kPrudenceFreeNs:
+        return "prudence.free_ns";
+      case HistId::kPrudenceDeferNs:
+        return "prudence.defer_ns";
+      case HistId::kGpNs:
+        return "rcu.grace_period_ns";
+      case HistId::kCbDrainBatch:
+        return "rcu.callback_drain_batch";
+      case HistId::kLatentResidencyNs:
+        return "slab.latent_residency_ns";
+      case HistId::kOomWaitNs:
+        return "prudence.oom_wait_ns";
+      case HistId::kCount:
+        break;
+    }
+    return "unknown";
+}
+
+MetricsRegistry&
+MetricsRegistry::instance()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter&
+MetricsRegistry::counter(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_[name];
+}
+
+PeakGauge&
+MetricsRegistry::gauge(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return gauges_[name];
+}
+
+LatencyHistogram&
+MetricsRegistry::named_histogram(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return named_histograms_[name];
+}
+
+std::vector<MetricSnapshot>
+MetricsRegistry::snapshot_all(bool reset)
+{
+    std::vector<MetricSnapshot> out;
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(static_cast<std::size_t>(HistId::kCount) +
+                counters_.size() + gauges_.size() +
+                named_histograms_.size());
+
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(HistId::kCount); ++i) {
+        MetricSnapshot m;
+        m.name = hist_name(static_cast<HistId>(i));
+        m.kind = MetricSnapshot::Kind::kHistogram;
+        m.hist = histograms_[i].snapshot(reset);
+        out.push_back(std::move(m));
+    }
+    for (auto& [name, h] : named_histograms_) {
+        MetricSnapshot m;
+        m.name = name;
+        m.kind = MetricSnapshot::Kind::kHistogram;
+        m.hist = h.snapshot(reset);
+        out.push_back(std::move(m));
+    }
+    for (auto& [name, c] : counters_) {
+        MetricSnapshot m;
+        m.name = name;
+        m.kind = MetricSnapshot::Kind::kCounter;
+        m.value = reset ? c.exchange() : c.get();
+        out.push_back(std::move(m));
+    }
+    for (auto& [name, g] : gauges_) {
+        // A gauge is a level, not a flow: phase resets keep it.
+        MetricSnapshot m;
+        m.name = name;
+        m.kind = MetricSnapshot::Kind::kGauge;
+        m.value = static_cast<std::uint64_t>(g.get());
+        m.peak = g.peak();
+        out.push_back(std::move(m));
+    }
+    return out;
+}
+
+void
+MetricsRegistry::reset_all()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& h : histograms_)
+        h.reset();
+    for (auto& [name, h] : named_histograms_)
+        h.reset();
+    for (auto& [name, c] : counters_)
+        c.reset();
+    for (auto& [name, g] : gauges_)
+        g.reset();
+}
+
+}  // namespace prudence::trace

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Process-wide metrics registry: every Counter, PeakGauge and
+ * LatencyHistogram the tracing layer maintains, addressable by name
+ * and snapshot-able in one call.
+ *
+ * Hot paths address the well-known histograms through HistId (an
+ * array index — no hashing, no locks); anything ad hoc uses the named
+ * get-or-create accessors, which hand back node-stable references the
+ * caller may cache. Metrics are owned by the registry and live for
+ * the whole process, so instrumented objects never dangle.
+ */
+#ifndef PRUDENCE_TRACE_METRICS_REGISTRY_H
+#define PRUDENCE_TRACE_METRICS_REGISTRY_H
+
+#include <array>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "stats/counters.h"
+#include "trace/histogram.h"
+
+namespace prudence::trace {
+
+/// Well-known histograms recorded by the instrumented subsystems.
+enum class HistId : std::size_t {
+    kSlubAllocNs,        ///< slub: cache_alloc latency
+    kSlubFreeNs,         ///< slub: cache_free latency
+    kSlubDeferNs,        ///< slub: cache_free_deferred latency
+    kPrudenceAllocNs,    ///< prudence: cache_alloc latency
+    kPrudenceFreeNs,     ///< prudence: cache_free latency
+    kPrudenceDeferNs,    ///< prudence: cache_free_deferred latency
+    kGpNs,               ///< rcu: grace-period computation time
+    kCbDrainBatch,       ///< rcu: ready callbacks invoked per drain
+    kLatentResidencyNs,  ///< slab: time an object sat in a latent ring
+    kOomWaitNs,          ///< prudence: allocation stalls on grace periods
+    kCount
+};
+
+/// Stable export name of a well-known histogram.
+const char* hist_name(HistId id);
+
+/// One exported metric.
+struct MetricSnapshot
+{
+    enum class Kind { kCounter, kGauge, kHistogram };
+
+    std::string name;
+    Kind kind = Kind::kCounter;
+    std::uint64_t value = 0;  ///< counter total or gauge level
+    std::int64_t peak = 0;    ///< gauge high-water mark
+    HistogramSnapshot hist;   ///< kind == kHistogram only
+};
+
+/// The process-wide registry (singleton).
+class MetricsRegistry
+{
+  public:
+    static MetricsRegistry& instance();
+
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /// Well-known histogram (array lookup; hot-path safe).
+    LatencyHistogram&
+    histogram(HistId id)
+    {
+        return histograms_[static_cast<std::size_t>(id)];
+    }
+
+    /// Named counter, created on first use. The reference is stable;
+    /// cache it instead of re-resolving per event.
+    Counter& counter(const std::string& name);
+
+    /// Named gauge, created on first use (stable reference).
+    PeakGauge& gauge(const std::string& name);
+
+    /// Named histogram, created on first use (stable reference).
+    LatencyHistogram& named_histogram(const std::string& name);
+
+    /**
+     * Snapshot every metric, grouped by kind (histograms, then
+     * counters, then gauges). With @p reset, counters are drained via
+     * Counter::exchange() and histogram buckets via per-bucket
+     * exchange, so concurrent increments land in exactly one phase;
+     * gauges keep both level and peak (a level is not a flow).
+     */
+    std::vector<MetricSnapshot> snapshot_all(bool reset = false);
+
+    /// Zero every metric (between independent runs).
+    void reset_all();
+
+  private:
+    MetricsRegistry() = default;
+
+    std::array<LatencyHistogram,
+               static_cast<std::size_t>(HistId::kCount)>
+        histograms_{};
+
+    std::mutex mutex_;  ///< guards map shape only, not metric updates
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, PeakGauge> gauges_;
+    std::map<std::string, LatencyHistogram> named_histograms_;
+};
+
+}  // namespace prudence::trace
+
+#endif  // PRUDENCE_TRACE_METRICS_REGISTRY_H

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Binary trace-event schema shared by the tracepoints, the per-thread
+ * rings and the exporter.
+ *
+ * Events are fixed-size PODs (32 bytes) so the hot-path cost of a
+ * tracepoint is one clock read plus one ring store. The meaning of
+ * arg0/arg1 is per-event (see event_info()); the exporter turns them
+ * into named Chrome-trace args.
+ */
+#ifndef PRUDENCE_TRACE_TRACE_EVENT_H
+#define PRUDENCE_TRACE_TRACE_EVENT_H
+
+#include <cstdint>
+
+namespace prudence::trace {
+
+/// Every tracepoint in the system. Values are stable within a build
+/// only (the exporter writes names, not ids).
+enum class EventId : std::uint16_t {
+    kNone = 0,
+
+    // rcu/ — grace-period detection and callback processing.
+    kGpStart,       ///< grace-period computation begins (arg0=target epoch)
+    kGpSpan,        ///< one full grace period (span; arg0=completed epoch)
+    kCbEnqueue,     ///< call_rcu-style enqueue (arg0=epoch, arg1=cpu)
+    kCbBatchDrain,  ///< ready-callback batch invoked (span; arg0=count,
+                    ///< arg1=cpu)
+    kCbExpedite,    ///< drainer tick ran expedited (arg0=backlog)
+
+    // slab/ — slab lifecycle and the latent structures.
+    kSlabCreate,   ///< slab grown from the page allocator
+                   ///< (arg0=slab address, arg1=object size)
+    kSlabDestroy,  ///< slab pages released (arg0=slab address,
+                   ///< arg1=object size)
+    kLatentEnter,  ///< object entered a per-CPU latent ring (arg0=object)
+    kLatentExit,   ///< object merged back into the object cache
+                   ///< (arg0=object, arg1=residency ns)
+    kLatentSpill,  ///< latent-ring entries spilled to latent slabs
+                   ///< (arg0=count)
+
+    // core/ + slub/ — allocator operation spans.
+    kAllocSpan,  ///< one allocation (span; arg0=object size)
+    kFreeSpan,   ///< one immediate free (span; arg0=object size)
+    kDeferSpan,  ///< one deferred free (span; arg0=object size)
+    kOomWait,    ///< allocation stalled on a grace period (span)
+
+    // page/ — buddy allocator.
+    kBuddySplit,  ///< block split one order down (arg0=order after split)
+    kBuddyMerge,  ///< buddies coalesced (arg0=order after merge)
+    kBytesInUse,  ///< counter sample: bytes handed out (arg0=bytes)
+
+    kMaxEvent
+};
+
+/// One recorded event. `dur_ns` is nonzero for span events only.
+struct TraceEvent
+{
+    std::uint64_t ts_ns;   ///< start time, ns since session start
+    std::uint64_t arg0;    ///< per-event payload (see EventInfo)
+    std::uint64_t arg1;    ///< per-event payload
+    std::uint32_t dur_ns;  ///< span duration (0 = instant/counter)
+    EventId id;
+    std::uint16_t reserved = 0;
+};
+
+static_assert(sizeof(TraceEvent) == 32, "events must stay one half "
+                                        "cache line");
+
+/// Chrome-trace rendering of an event kind.
+struct EventInfo
+{
+    const char* name;       ///< Chrome trace "name"
+    const char* category;   ///< Chrome trace "cat" (subsystem)
+    char phase;             ///< 'X' span, 'i' instant, 'C' counter
+    const char* arg0_name;  ///< JSON key for arg0 (nullptr = omit)
+    const char* arg1_name;  ///< JSON key for arg1 (nullptr = omit)
+};
+
+/// Rendering metadata for @p id (total function; unknown ids map to a
+/// placeholder entry).
+const EventInfo& event_info(EventId id);
+
+}  // namespace prudence::trace
+
+#endif  // PRUDENCE_TRACE_TRACE_EVENT_H

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Lock-free per-thread trace ring.
+ *
+ * One ring has exactly one writer (its owning thread); readers merge
+ * rings only after the writer has quiesced (end of a benchmark run,
+ * after joins). The writer never blocks and never allocates: when the
+ * ring is full it overwrites the oldest slot, and the number of
+ * overwritten (lost) events is reported by dropped() — the newest
+ * window always survives, which is what an OOM or latency spike
+ * post-mortem needs.
+ */
+#ifndef PRUDENCE_TRACE_TRACE_RING_H
+#define PRUDENCE_TRACE_TRACE_RING_H
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "trace/trace_event.h"
+
+namespace prudence::trace {
+
+/// Fixed-capacity single-writer event ring.
+class TraceRing
+{
+  public:
+    /// @param capacity slots; rounded up to a power of two (min 2).
+    explicit TraceRing(std::size_t capacity)
+        : capacity_(std::bit_ceil(capacity < 2 ? std::size_t{2}
+                                               : capacity)),
+          mask_(capacity_ - 1),
+          slots_(std::make_unique<TraceEvent[]>(capacity_))
+    {
+    }
+
+    TraceRing(const TraceRing&) = delete;
+    TraceRing& operator=(const TraceRing&) = delete;
+
+    std::size_t capacity() const { return capacity_; }
+
+    /// Record @p e. Writer-thread only; wait-free.
+    void
+    push(const TraceEvent& e)
+    {
+        std::uint64_t n = next_.load(std::memory_order_relaxed);
+        slots_[n & mask_] = e;
+        // Publish the slot write for post-quiescence readers.
+        next_.store(n + 1, std::memory_order_release);
+    }
+
+    /// Total events ever pushed (including overwritten ones).
+    std::uint64_t
+    pushed() const
+    {
+        return next_.load(std::memory_order_acquire);
+    }
+
+    /// Events lost to overwrite (push count beyond capacity).
+    std::uint64_t
+    dropped() const
+    {
+        std::uint64_t n = pushed();
+        return n > capacity_ ? n - capacity_ : 0;
+    }
+
+    /// Events currently retained.
+    std::size_t
+    size() const
+    {
+        std::uint64_t n = pushed();
+        return n < capacity_ ? static_cast<std::size_t>(n) : capacity_;
+    }
+
+    /// Forget everything (writer quiesced).
+    void
+    clear()
+    {
+        next_.store(0, std::memory_order_release);
+    }
+
+    /**
+     * Copy of the retained events, oldest first. Call only while the
+     * writer is quiesced (ring merges happen after workload joins);
+     * a racing writer would make slot contents torn.
+     */
+    std::vector<TraceEvent>
+    snapshot() const
+    {
+        std::uint64_t n = pushed();
+        std::uint64_t first = n > capacity_ ? n - capacity_ : 0;
+        std::vector<TraceEvent> out;
+        out.reserve(static_cast<std::size_t>(n - first));
+        for (std::uint64_t i = first; i < n; ++i)
+            out.push_back(slots_[i & mask_]);
+        return out;
+    }
+
+  private:
+    std::size_t capacity_;
+    std::uint64_t mask_;
+    std::unique_ptr<TraceEvent[]> slots_;
+    std::atomic<std::uint64_t> next_{0};
+};
+
+}  // namespace prudence::trace
+
+#endif  // PRUDENCE_TRACE_TRACE_RING_H

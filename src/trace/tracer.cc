@@ -1,0 +1,155 @@
+#include "trace/tracer.h"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace prudence::trace {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+/// Session clock origin (steady-clock ns since epoch).
+std::atomic<std::uint64_t> g_session_origin_ns{0};
+
+/// Capacity for rings created after the latest start().
+std::atomic<std::size_t> g_ring_capacity{std::size_t{1} << 15};
+
+/// Ring ownership: append-only for the life of the process, so a
+/// thread-local pointer can never dangle even across sessions.
+std::mutex g_rings_mutex;
+std::vector<std::unique_ptr<TraceRing>>& rings()
+{
+    static std::vector<std::unique_ptr<TraceRing>> v;
+    return v;
+}
+
+std::uint64_t
+steady_ns()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+}  // namespace
+
+std::size_t
+ring_count()
+{
+    std::lock_guard<std::mutex> lock(g_rings_mutex);
+    return rings().size();
+}
+
+const TraceRing*
+ring_at(std::size_t i)
+{
+    std::lock_guard<std::mutex> lock(g_rings_mutex);
+    return i < rings().size() ? rings()[i].get() : nullptr;
+}
+
+}  // namespace detail
+
+void
+start(std::size_t ring_capacity)
+{
+    detail::g_enabled.store(false, std::memory_order_relaxed);
+    detail::g_ring_capacity.store(ring_capacity,
+                                  std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(detail::g_rings_mutex);
+        for (auto& ring : detail::rings())
+            ring->clear();
+    }
+    MetricsRegistry::instance().reset_all();
+    detail::g_session_origin_ns.store(detail::steady_ns(),
+                                      std::memory_order_relaxed);
+    detail::g_enabled.store(true, std::memory_order_release);
+}
+
+void
+stop()
+{
+    detail::g_enabled.store(false, std::memory_order_release);
+}
+
+std::uint64_t
+now_ns()
+{
+    return detail::steady_ns() -
+           detail::g_session_origin_ns.load(std::memory_order_relaxed);
+}
+
+TraceRing&
+local_ring()
+{
+    thread_local TraceRing* ring = [] {
+        auto owned = std::make_unique<TraceRing>(
+            detail::g_ring_capacity.load(std::memory_order_relaxed));
+        TraceRing* raw = owned.get();
+        std::lock_guard<std::mutex> lock(detail::g_rings_mutex);
+        detail::rings().push_back(std::move(owned));
+        return raw;
+    }();
+    return *ring;
+}
+
+void
+emit(EventId id, std::uint64_t arg0, std::uint64_t arg1)
+{
+    // The macros already gate on enabled(); gate here too so direct
+    // callers cannot scribble into a stopped session's timeline.
+    if (!enabled())
+        return;
+    TraceEvent e;
+    e.ts_ns = now_ns();
+    e.arg0 = arg0;
+    e.arg1 = arg1;
+    e.dur_ns = 0;
+    e.id = id;
+    local_ring().push(e);
+}
+
+void
+emit_span(EventId id, std::uint64_t start_ns, std::uint64_t arg0,
+          std::uint64_t arg1)
+{
+    if (!enabled())
+        return;
+    std::uint64_t end = now_ns();
+    std::uint64_t dur = end > start_ns ? end - start_ns : 0;
+    TraceEvent e;
+    e.ts_ns = start_ns;
+    e.arg0 = arg0;
+    e.arg1 = arg1;
+    e.dur_ns = dur > ~std::uint32_t{0}
+        ? ~std::uint32_t{0}
+        : static_cast<std::uint32_t>(dur);
+    e.id = id;
+    local_ring().push(e);
+}
+
+std::uint64_t
+total_dropped()
+{
+    std::uint64_t n = 0;
+    for_each_ring(
+        [&n](std::uint32_t, const TraceRing& r) { n += r.dropped(); });
+    return n;
+}
+
+std::uint64_t
+total_recorded()
+{
+    std::uint64_t n = 0;
+    for_each_ring(
+        [&n](std::uint32_t, const TraceRing& r) { n += r.size(); });
+    return n;
+}
+
+}  // namespace prudence::trace

@@ -10,6 +10,25 @@ namespace prudence {
 
 namespace {
 
+/// Registry snapshot with idle metrics removed (a workload that never
+/// touched a subsystem should not report its empty histograms).
+std::vector<trace::MetricSnapshot>
+active_metrics(bool reset)
+{
+    std::vector<trace::MetricSnapshot> all =
+        trace::MetricsRegistry::instance().snapshot_all(reset);
+    std::vector<trace::MetricSnapshot> out;
+    for (trace::MetricSnapshot& m : all) {
+        bool active =
+            m.kind == trace::MetricSnapshot::Kind::kHistogram
+                ? m.hist.count > 0
+                : (m.value != 0 || m.peak != 0);
+        if (active)
+            out.push_back(std::move(m));
+    }
+    return out;
+}
+
 /// Loops of the spin body per nanosecond, measured once.
 double
 calibrate_spin()
@@ -232,9 +251,18 @@ run_workload(Allocator& alloc, const WorkloadSpec& spec,
         });
     }
     start_line.arrive_and_wait();
+    // Phase boundary: drain-and-reset every registry metric via
+    // atomic exchange, discarding warmup-phase recordings. Increments
+    // racing the barrier land in exactly one phase (never lost, as a
+    // get()+reset() pair would allow).
+    active_metrics(/*reset=*/true);
     auto t0 = std::chrono::steady_clock::now();
     finish_line.arrive_and_wait();
     auto t1 = std::chrono::steady_clock::now();
+    // Second boundary: capture the timed phase before quiesce/drain
+    // activity pollutes the histograms.
+    std::vector<trace::MetricSnapshot> timed_metrics =
+        active_metrics(/*reset=*/true);
 
     // Workers are parked at drain_line: reclaim every deferred object
     // and snapshot the paper's end-of-run state (live objects still
@@ -251,6 +279,7 @@ run_workload(Allocator& alloc, const WorkloadSpec& spec,
     alloc.quiesce();
 
     WorkloadResult result;
+    result.timed_metrics = std::move(timed_metrics);
     result.caches_live = std::move(live_snaps);
     result.workload = spec.name;
     result.allocator_kind = alloc.kind();

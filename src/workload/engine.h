@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "api/allocator.h"
+#include "trace/metrics_registry.h"
 #include "workload/op_spec.h"
 
 namespace prudence {
@@ -39,6 +40,14 @@ struct WorkloadResult
     /// Deferred frees as % of all frees across the spec's caches
     /// (paper Fig. 12).
     double deferred_free_percent() const;
+
+    /// Trace-registry metrics covering exactly the timed phase:
+    /// snapshotted-and-reset at the start barrier (discarding warmup
+    /// activity) and again right after the finish barrier, so
+    /// alloc/free latency histograms here contain timed-phase
+    /// recordings only. Empty when tracing is compiled out or the
+    /// registry is idle.
+    std::vector<trace::MetricSnapshot> timed_metrics;
 };
 
 /**

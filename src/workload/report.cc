@@ -206,4 +206,55 @@ print_fig13_throughput(std::ostream& os,
     }
 }
 
+void
+print_latency_summary(std::ostream& os, const char* title,
+                      const std::vector<trace::MetricSnapshot>& metrics)
+{
+    bool any = false;
+    for (const trace::MetricSnapshot& m : metrics) {
+        if (m.kind == trace::MetricSnapshot::Kind::kHistogram &&
+            m.hist.count > 0) {
+            any = true;
+            break;
+        }
+    }
+    if (!any)
+        return;
+
+    os << "\n--- " << title << " ---\n";
+    os << std::left << std::setw(26) << "histogram" << std::right
+       << std::setw(12) << "count" << std::setw(12) << "p50"
+       << std::setw(12) << "p90" << std::setw(12) << "p99"
+       << std::setw(12) << "max" << std::setw(12) << "mean" << "\n";
+    for (const trace::MetricSnapshot& m : metrics) {
+        if (m.kind != trace::MetricSnapshot::Kind::kHistogram ||
+            m.hist.count == 0)
+            continue;
+        os << std::left << std::setw(26) << m.name << std::right
+           << std::setw(12) << m.hist.count << std::fixed
+           << std::setprecision(0) << std::setw(12) << m.hist.p50
+           << std::setw(12) << m.hist.p90 << std::setw(12)
+           << m.hist.p99 << std::setw(12) << m.hist.max
+           << std::setprecision(1) << std::setw(12) << m.hist.mean()
+           << "\n";
+    }
+}
+
+void
+print_latency_histograms(std::ostream& os,
+                         const std::vector<BenchmarkComparison>& cmps)
+{
+    for (const BenchmarkComparison& cmp : cmps) {
+        std::string slub_title =
+            cmp.slub.workload + " / slub: timed-phase latency (ns)";
+        std::string prud_title =
+            cmp.prudence.workload +
+            " / prudence: timed-phase latency (ns)";
+        print_latency_summary(os, slub_title.c_str(),
+                              cmp.slub.timed_metrics);
+        print_latency_summary(os, prud_title.c_str(),
+                              cmp.prudence.timed_metrics);
+    }
+}
+
 }  // namespace prudence

@@ -10,6 +10,7 @@
 #include <iosfwd>
 #include <vector>
 
+#include "trace/metrics_registry.h"
 #include "workload/suite.h"
 
 namespace prudence {
@@ -53,6 +54,19 @@ void print_fig12_deferred_ratio(
 
 /// Fig. 13: overall throughput improvement per benchmark.
 void print_fig13_throughput(
+    std::ostream& os, const std::vector<BenchmarkComparison>& cmps);
+
+/// One table of latency-histogram summaries (count, p50/p90/p99, max)
+/// from a metrics snapshot, histograms only; counters and gauges are
+/// skipped. Prints nothing when no histogram recorded anything (e.g.
+/// tracing compiled out).
+void print_latency_summary(
+    std::ostream& os, const char* title,
+    const std::vector<trace::MetricSnapshot>& metrics);
+
+/// Timed-phase latency histograms for every comparison in the suite
+/// (one table per workload per allocator).
+void print_latency_histograms(
     std::ostream& os, const std::vector<BenchmarkComparison>& cmps);
 
 }  // namespace prudence

@@ -43,6 +43,49 @@ TEST(Counter, ConcurrentAddsAreLossless)
     EXPECT_EQ(c.get(), 80000u);
 }
 
+TEST(Counter, ExchangeReturnsValueAndResets)
+{
+    Counter c;
+    c.add(17);
+    EXPECT_EQ(c.exchange(), 17u);
+    EXPECT_EQ(c.get(), 0u);
+    c.add(3);
+    EXPECT_EQ(c.exchange(100), 3u);
+    EXPECT_EQ(c.get(), 100u);
+}
+
+TEST(Counter, ExchangeUnderConcurrencyLosesNothing)
+{
+    // Phase accounting: increments race periodic exchange() drains;
+    // every increment must land in exactly one drained batch or the
+    // final residue — get()+reset() would lose those in between.
+    Counter c;
+    std::atomic<bool> stop{false};
+    std::uint64_t drained = 0;
+    std::vector<std::thread> writers;
+    constexpr int kWriters = 4;
+    constexpr int kPerWriter = 50000;
+    for (int t = 0; t < kWriters; ++t) {
+        writers.emplace_back([&c] {
+            for (int i = 0; i < kPerWriter; ++i)
+                c.add();
+        });
+    }
+    std::thread drainer([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+            drained += c.exchange();
+            std::this_thread::yield();
+        }
+    });
+    for (auto& th : writers)
+        th.join();
+    stop.store(true, std::memory_order_release);
+    drainer.join();
+    drained += c.exchange();
+    EXPECT_EQ(drained,
+              static_cast<std::uint64_t>(kWriters) * kPerWriter);
+}
+
 TEST(PeakGauge, TracksPeak)
 {
     PeakGauge g;
@@ -139,6 +182,31 @@ TEST(MemorySampler, CollectsMonotoneTimeline)
         EXPECT_GE(samples[i].elapsed_ms, samples[i - 1].elapsed_ms);
     EXPECT_EQ(samples.front().value, 100u);
     EXPECT_EQ(samples.back().value, 200u);
+}
+
+TEST(MemorySampler, StopIsPromptAndRecordsTailSample)
+{
+    // A one-minute period would make a sleep_until-based loop block
+    // stop() for up to a minute; the condition-variable wait must
+    // return within test tolerance instead, and the final timeline
+    // point must land at stop time, not a period earlier.
+    std::atomic<std::uint64_t> value{7};
+    MemorySampler sampler([&value] { return value.load(); },
+                          std::chrono::milliseconds(60000));
+    sampler.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    value = 99;
+    auto t0 = std::chrono::steady_clock::now();
+    sampler.stop();
+    auto stop_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    EXPECT_LT(stop_ms, 5000.0);  // far below the 60 s period
+
+    auto samples = sampler.samples();
+    ASSERT_GE(samples.size(), 2u);  // initial sample + tail sample
+    EXPECT_EQ(samples.front().value, 7u);
+    EXPECT_EQ(samples.back().value, 99u);
 }
 
 TEST(MemorySampler, StartStopIdempotent)
