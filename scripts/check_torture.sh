@@ -1,0 +1,35 @@
+#!/bin/sh
+# Build a preset and run the prudtorture fault-injection harness plus
+# the tier-1 test suite. The torture run mixes readers, updaters and
+# OOM-stress threads over the Prudence allocator while injecting
+# faults at every seeded site, then checks the reclamation invariants
+# (no lost callbacks, no use-after-reclaim, accounting consistent at
+# quiesce). The default seed is fixed so failures reproduce.
+#
+# Usage: scripts/check_torture.sh [preset] [extra prudtorture args...]
+#   preset    default | asan | tsan | nofault   (default: default)
+# Environment:
+#   DURATION  torture run length in seconds      (default: 20)
+#   SEED      fault seed                         (default: 42)
+#   JOBS      parallel build/test jobs           (default: 2)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PRESET="${1:-default}"
+[ $# -gt 0 ] && shift
+
+case "$PRESET" in
+default) BUILD_DIR=build ;;
+*) BUILD_DIR="build-$PRESET" ;;
+esac
+
+cmake --preset "$PRESET"
+cmake --build --preset "$PRESET" -j "${JOBS:-2}"
+
+ctest --preset "$PRESET" -j "${JOBS:-2}"
+
+"$BUILD_DIR/tools/prudtorture" \
+    --duration="${DURATION:-20}" \
+    --fault-seed="${SEED:-42}" \
+    "$@"

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
+#include "fault/fault_injector.h"
 #include "slab/size_classes.h"
 #include "slab/validate.h"
 #include "trace/tracer.h"
@@ -160,23 +162,37 @@ PrudenceAllocator::alloc_impl(Cache& c)
                         trace::EventId::kAllocSpan);
     alloc_span.set_args(c.pool.geometry().object_size);
 
-    for (int attempt = 0; attempt <= config_.oom_retries; ++attempt) {
-        bool oom = false;
+    bool oom = false;
+    if (void* obj = alloc_attempt(c, &oom))
+        return obj;
+    if (!oom || !config_.oom_deferral) {
+        stats.oom_failures.add();
+        return nullptr;
+    }
+
+    // OOM escalation ladder. Rung 1 — expedite: harvest deferred
+    // objects whose grace period has ALREADY completed, across every
+    // cache, without waiting. Under a slow detector this alone often
+    // frees whole slabs back to the buddy allocator.
+    if (any_cache_has_deferred()) {
+        stats.oom_expedites.add();
+        PRUDENCE_TRACE_EMIT(trace::EventId::kOomExpedite, 0);
+        std::size_t count = cache_count_.load(std::memory_order_acquire);
+        for (std::size_t i = 0; i < count; ++i)
+            reclaim_cache(*caches_[i], /*fill_caches=*/true);
         if (void* obj = alloc_attempt(c, &oom))
             return obj;
-        if (!oom || !config_.oom_deferral)
-            break;
-        // Algorithm 1 lines 31-32: with deferred objects waiting for
-        // a grace period, waiting is cheaper than failing (or, in a
-        // kernel, than the OOM killer).
-        bool any_deferred = false;
-        std::size_t count = cache_count_.load(std::memory_order_acquire);
-        for (std::size_t i = 0; i < count && !any_deferred; ++i) {
-            any_deferred =
-                caches_[i]->pool.stats().deferred_outstanding.get() > 0;
-        }
-        if (!any_deferred)
-            break;
+    }
+
+    // Rung 2 — Algorithm 1 lines 31-32: with deferred objects waiting
+    // for a grace period, waiting is cheaper than failing (or, in a
+    // kernel, than the OOM killer). Consecutive waits are separated
+    // by bounded exponential backoff so a thrashing allocation path
+    // cannot hammer synchronize()+reclaim in a tight loop.
+    std::chrono::microseconds backoff = config_.oom_backoff_initial;
+    for (int attempt = 1; attempt <= config_.oom_retries; ++attempt) {
+        if (!any_cache_has_deferred())
+            break;  // nothing will ever become safe; fail now
         stats.oom_waits.add();
         {
             // The stall covers the grace period AND pulling the now-
@@ -186,12 +202,37 @@ PrudenceAllocator::alloc_impl(Cache& c)
             domain_.synchronize();
             // Everything deferred before the wait is now reclaimable;
             // pull it back so the retry can find memory.
+            std::size_t count =
+                cache_count_.load(std::memory_order_acquire);
             for (std::size_t i = 0; i < count; ++i)
                 reclaim_cache(*caches_[i], /*fill_caches=*/true);
         }
+        if (void* obj = alloc_attempt(c, &oom))
+            return obj;
+        if (attempt < config_.oom_retries && backoff.count() > 0) {
+            PRUDENCE_TRACE_EMIT(
+                trace::EventId::kOomBackoff,
+                static_cast<std::uint64_t>(attempt),
+                static_cast<std::uint64_t>(backoff.count()));
+            std::this_thread::sleep_for(backoff);
+            backoff = std::min(backoff * 2, config_.oom_backoff_max);
+        }
     }
+
+    // Rung 3 — clean failure: nullptr to the caller, never an abort.
     stats.oom_failures.add();
     return nullptr;
+}
+
+bool
+PrudenceAllocator::any_cache_has_deferred() const
+{
+    std::size_t count = cache_count_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < count; ++i) {
+        if (caches_[i]->pool.stats().deferred_outstanding.get() > 0)
+            return true;
+    }
+    return false;
 }
 
 void*
@@ -203,16 +244,22 @@ PrudenceAllocator::alloc_attempt(Cache& c, bool* oom)
     std::lock_guard<SpinLock> guard(pc.lock);
     ++pc.alloc_events;
 
-    if (void* obj = pc.cache.pop()) {
-        stats.cache_hits.add();
-        stats.live_objects.add();
-        PRUDENCE_TRACE_STMT({
-            static Counter& hits =
-                trace::MetricsRegistry::instance().counter(
-                    "prudence.cache_hit");
-            hits.add();
-        });
-        return obj;
+    // Injected slow-path forcing: skip the object-cache hit so the
+    // merge/refill machinery is exercised even when the cache is hot.
+    const bool force_slow = PRUDENCE_FAULT_POINT(kSlowPath);
+
+    if (!force_slow) {
+        if (void* obj = pc.cache.pop()) {
+            stats.cache_hits.add();
+            stats.live_objects.add();
+            PRUDENCE_TRACE_STMT({
+                static Counter& hits =
+                    trace::MetricsRegistry::instance().counter(
+                        "prudence.cache_hit");
+                hits.add();
+            });
+            return obj;
+        }
     }
 
     if (config_.merge_on_alloc && merge_caches(c, pc) > 0) {
@@ -230,6 +277,16 @@ PrudenceAllocator::alloc_attempt(Cache& c, bool* oom)
             merge_hits.add();
         });
         return obj;
+    }
+    if (force_slow) {
+        // End of the forced detour: refill() requires an empty object
+        // cache (its pushes assert on overflow), so serve from the
+        // cache if the skipped fast path would have.
+        if (void* obj = pc.cache.pop()) {
+            stats.cache_hits.add();
+            stats.live_objects.add();
+            return obj;
+        }
     }
     PRUDENCE_TRACE_STMT({
         static Counter& misses =
@@ -251,6 +308,11 @@ PrudenceAllocator::alloc_attempt(Cache& c, bool* oom)
 std::size_t
 PrudenceAllocator::merge_caches(Cache& c, PerCpu& pc)
 {
+    if (PRUDENCE_FAULT_POINT(kLatentStarve)) {
+        // Injected latent-ring starvation: pretend no deferred object
+        // is safe yet, as under a stalled grace-period detector.
+        return 0;
+    }
     GpEpoch completed = domain_.completed_epoch();
     std::size_t merged = 0;
     PRUDENCE_TRACE_CLOCK(merge_now);
@@ -285,6 +347,11 @@ PrudenceAllocator::merge_caches(Cache& c, PerCpu& pc)
 bool
 PrudenceAllocator::refill(Cache& c, PerCpu& pc)
 {
+    if (PRUDENCE_FAULT_POINT(kRefillFail)) {
+        // Injected refill failure: indistinguishable from every slab
+        // being unusable and the page allocator refusing to grow.
+        return false;
+    }
     const SlabGeometry& g = c.pool.geometry();
     std::size_t want = g.refill_target;
     if (config_.partial_refill) {

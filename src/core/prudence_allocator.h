@@ -139,6 +139,9 @@ class PrudenceAllocator final : public Allocator
     void* alloc_impl(Cache& c);
     /// One allocation attempt; sets *oom when memory was exhausted.
     void* alloc_attempt(Cache& c, bool* oom);
+    /// True when any cache has deferred objects outstanding (the OOM
+    /// escalation's "is waiting worthwhile?" predicate).
+    bool any_cache_has_deferred() const;
     void free_impl(Cache& c, void* p);
     void free_deferred_impl(Cache& c, void* p);
 

@@ -79,6 +79,14 @@ struct PrudenceConfig
 
     /// OOM-deferral retries before giving up.
     int oom_retries = 3;
+
+    /// Backoff before the first OOM grace-period retry; doubles per
+    /// retry. Bounds how hard a thrashing allocation path hammers
+    /// synchronize()+reclaim when memory is genuinely exhausted.
+    std::chrono::microseconds oom_backoff_initial{100};
+
+    /// Upper bound on the per-retry OOM backoff.
+    std::chrono::microseconds oom_backoff_max{10000};
 };
 
 }  // namespace prudence

@@ -2,29 +2,60 @@
 
 #include <sys/mman.h>
 
-#include <stdexcept>
+#include <utility>
 
+#include "fault/fault_injector.h"
 #include "sync/cacheline.h"
 
 namespace prudence {
 
-Arena::Arena(std::size_t capacity_bytes, std::size_t alignment)
+std::optional<Arena>
+Arena::create(std::size_t capacity_bytes, std::size_t alignment) noexcept
 {
     if (capacity_bytes == 0 || !is_pow2(alignment))
-        throw std::runtime_error("Arena: bad capacity or alignment");
+        return std::nullopt;
+    if (PRUDENCE_FAULT_POINT(kArenaMap))
+        return std::nullopt;
 
     // Over-map by the alignment so we can trim to an aligned base.
-    raw_size_ = capacity_bytes + alignment;
-    raw_ = ::mmap(nullptr, raw_size_, PROT_READ | PROT_WRITE,
-                  MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
-    if (raw_ == MAP_FAILED) {
-        raw_ = nullptr;
-        throw std::runtime_error("Arena: mmap failed");
+    std::size_t raw_size = capacity_bytes + alignment;
+    if (raw_size < capacity_bytes)  // overflow
+        return std::nullopt;
+    void* raw = ::mmap(nullptr, raw_size, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    if (raw == MAP_FAILED)
+        return std::nullopt;
+
+    Arena arena;
+    arena.raw_ = raw;
+    arena.raw_size_ = raw_size;
+    auto addr = reinterpret_cast<std::uintptr_t>(raw);
+    arena.base_ =
+        reinterpret_cast<std::byte*>(align_up(addr, alignment));
+    arena.capacity_ = capacity_bytes;
+    return arena;
+}
+
+Arena::Arena(Arena&& other) noexcept
+    : base_(std::exchange(other.base_, nullptr)),
+      capacity_(std::exchange(other.capacity_, 0)),
+      raw_(std::exchange(other.raw_, nullptr)),
+      raw_size_(std::exchange(other.raw_size_, 0))
+{
+}
+
+Arena&
+Arena::operator=(Arena&& other) noexcept
+{
+    if (this != &other) {
+        if (raw_ != nullptr)
+            ::munmap(raw_, raw_size_);
+        base_ = std::exchange(other.base_, nullptr);
+        capacity_ = std::exchange(other.capacity_, 0);
+        raw_ = std::exchange(other.raw_, nullptr);
+        raw_size_ = std::exchange(other.raw_size_, 0);
     }
-    auto addr = reinterpret_cast<std::uintptr_t>(raw_);
-    std::uintptr_t aligned = align_up(addr, alignment);
-    base_ = reinterpret_cast<std::byte*>(aligned);
-    capacity_ = capacity_bytes;
+    return *this;
 }
 
 Arena::~Arena()

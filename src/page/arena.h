@@ -8,12 +8,19 @@
  * buddy allocator has handed out every page, the system is out of
  * memory — exactly the condition the paper's Figure 3 drives SLUB+RCU
  * into.
+ *
+ * Construction is two-phase: Arena::create() returns std::nullopt
+ * when the reservation fails (or the kArenaMap fault site fires), so
+ * a startup mmap failure degrades gracefully instead of unwinding
+ * through a constructor. A default-constructed Arena is the valid
+ * "empty" state (no mapping, zero capacity).
  */
 #ifndef PRUDENCE_PAGE_ARENA_H
 #define PRUDENCE_PAGE_ARENA_H
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 
 namespace prudence {
 
@@ -24,17 +31,28 @@ class Arena
     /**
      * Reserve @p capacity_bytes of address space whose base is
      * aligned to @p alignment (a power of two).
-     * @throws std::runtime_error if the mapping fails.
+     * @return the arena, or std::nullopt when the arguments are
+     *         invalid or the reservation fails.
      */
-    Arena(std::size_t capacity_bytes, std::size_t alignment);
+    static std::optional<Arena> create(std::size_t capacity_bytes,
+                                       std::size_t alignment) noexcept;
+
+    /// The empty arena: no mapping, zero capacity, valid() == false.
+    Arena() = default;
     ~Arena();
+
+    Arena(Arena&& other) noexcept;
+    Arena& operator=(Arena&& other) noexcept;
 
     Arena(const Arena&) = delete;
     Arena& operator=(const Arena&) = delete;
 
-    /// First byte of the region.
+    /// True iff a region is mapped.
+    bool valid() const { return base_ != nullptr; }
+
+    /// First byte of the region (nullptr when empty).
     std::byte* base() const { return base_; }
-    /// Region size in bytes.
+    /// Region size in bytes (0 when empty).
     std::size_t capacity() const { return capacity_; }
 
     /// True iff @p p points inside the arena.

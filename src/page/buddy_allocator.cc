@@ -2,9 +2,10 @@
 
 #include <cassert>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
-#include <stdexcept>
 
+#include "fault/fault_injector.h"
 #include "trace/tracer.h"
 
 namespace prudence {
@@ -14,16 +15,29 @@ constexpr std::size_t kNoBlock = static_cast<std::size_t>(-1);
 }  // namespace
 
 BuddyAllocator::BuddyAllocator(std::size_t capacity_bytes)
-    : arena_(capacity_bytes < kPageSize ? kPageSize : capacity_bytes,
-             order_bytes(kMaxPageOrder))
 {
-    total_pages_ = arena_.capacity() / kPageSize;
-    page_state_.assign(total_pages_, kStateAllocated);
-
     for (auto& head : free_heads_) {
         head.prev = &head;
         head.next = &head;
     }
+
+    auto arena =
+        Arena::create(capacity_bytes < kPageSize ? kPageSize
+                                                 : capacity_bytes,
+                      order_bytes(kMaxPageOrder));
+    if (!arena) {
+        // Degraded state: no pages to hand out. Every alloc_pages()
+        // reports OOM; the embedding allocators fail allocations
+        // cleanly instead of crashing at startup.
+        std::fprintf(stderr,
+                     "buddy: arena reservation of %zu bytes failed; "
+                     "allocator degraded (all allocations will fail)\n",
+                     capacity_bytes);
+        return;
+    }
+    arena_ = std::move(*arena);
+    total_pages_ = arena_.capacity() / kPageSize;
+    page_state_.assign(total_pages_, kStateAllocated);
 
     // Carve the arena into the largest aligned blocks that fit.
     std::size_t pfn = 0;
@@ -94,9 +108,16 @@ BuddyAllocator::pop_free(unsigned order)
 void*
 BuddyAllocator::alloc_pages(unsigned order)
 {
-    if (order > kMaxPageOrder)
+    if (order > kMaxPageOrder || total_pages_ == 0)
         return nullptr;
     alloc_calls_.add();
+
+    if (PRUDENCE_FAULT_POINT(kBuddyAlloc)) {
+        // Injected page-allocation failure (failslab-style): identical
+        // to a genuine OOM as far as every caller can observe.
+        failed_allocs_.add();
+        return nullptr;
+    }
 
     std::size_t pfn;
     {
@@ -109,7 +130,17 @@ BuddyAllocator::alloc_pages(unsigned order)
             return nullptr;
         }
         pfn = pop_free(have);
-        assert(pfn != kNoBlock);
+        if (pfn == kNoBlock) {
+            // free_counts_ said a block exists but the list is empty:
+            // the free lists are corrupt (a stray write into free
+            // block memory is the usual cause). Always-on check — a
+            // silent nullptr here would surface as an unrelated OOM.
+            std::fprintf(stderr,
+                         "buddy corruption: free list of order %u "
+                         "empty with free_counts=%zu\n",
+                         have, free_counts_[have]);
+            std::abort();
+        }
         // Split down, returning the upper buddy at each level.
         while (have > order) {
             --have;
@@ -126,27 +157,56 @@ BuddyAllocator::alloc_pages(unsigned order)
 }
 
 void
+BuddyAllocator::bad_free(const char* what, const void* block,
+                         unsigned order, std::size_t pfn)
+{
+    bad_frees_.add();
+    std::fprintf(stderr,
+                 "buddy checked-free: %s (block=%p order=%u pfn=%zu "
+                 "capacity_pages=%zu)\n",
+                 what, block, order, pfn, total_pages_);
+    std::abort();
+}
+
+void
 BuddyAllocator::free_pages(void* block, unsigned order)
 {
-    assert(block != nullptr && order <= kMaxPageOrder);
-    assert(arena_.contains(block));
+    // Checked free: these are caller bugs, so the checks are always
+    // on (a release-build assert would let the corruption propagate
+    // silently into the free lists).
+    if (block == nullptr)
+        bad_free("null block", block, order, 0);
+    if (order > kMaxPageOrder)
+        bad_free("order out of range", block, order, 0);
+    if (!arena_.contains(block))
+        bad_free("pointer outside the arena", block, order, 0);
+    std::size_t byte_off = static_cast<std::size_t>(
+        static_cast<const std::byte*>(block) - arena_.base());
+    if (byte_off % kPageSize != 0)
+        bad_free("pointer not page-aligned", block, order,
+                 byte_off / kPageSize);
     free_calls_.add();
 
     std::size_t pfn = pfn_of(block);
-    assert((pfn & (order_pages(order) - 1)) == 0);
+    if ((pfn & (order_pages(order) - 1)) != 0)
+        bad_free("pointer not aligned to its order (wrong-order free?)",
+                 block, order, pfn);
+    if (pfn + order_pages(order) > total_pages_)
+        bad_free("block extends past the arena", block, order, pfn);
     const unsigned caller_order = order;
 
     {
         std::lock_guard<SpinLock> guard(lock_);
-#ifndef NDEBUG
-        if (page_state_[pfn] != kStateAllocated) {
-            std::fprintf(stderr,
-                         "buddy double free: pfn=%zu order=%u state=%u "
-                         "block=%p\n",
-                         pfn, order, page_state_[pfn], block);
+        // bad_free aborts, so reporting while the lock is held is
+        // harmless — no destructor ever needs it again.
+        if (page_state_[pfn] != kStateAllocated)
+            bad_free("double free (head page already free)", block,
+                     order, pfn);
+        for (std::size_t i = 1; i < order_pages(order); ++i) {
+            if (page_state_[pfn + i] != kStateAllocated)
+                bad_free("wrong-order free (tail page already free)",
+                         block, order, pfn + i);
         }
-#endif
-        assert(page_state_[pfn] == kStateAllocated);
         while (order < kMaxPageOrder) {
             std::size_t buddy = pfn ^ order_pages(order);
             if (buddy + order_pages(order) > total_pages_)
@@ -192,6 +252,7 @@ BuddyAllocator::stats() const
     s.failed_allocs = failed_allocs_.get();
     s.split_ops = split_ops_.get();
     s.merge_ops = merge_ops_.get();
+    s.bad_frees = bad_frees_.get();
     s.pages_in_use = pages_in_use_.get();
     s.peak_pages_in_use = pages_in_use_.peak();
     s.capacity_pages = total_pages_;

@@ -38,6 +38,10 @@ struct BuddyStatsSnapshot
     std::uint64_t failed_allocs = 0;
     std::uint64_t split_ops = 0;
     std::uint64_t merge_ops = 0;
+    /// Checked-free violations observed (the process aborts on the
+    /// first one; the counter exists so the diagnostic is visible to
+    /// abort handlers and post-mortem tooling).
+    std::uint64_t bad_frees = 0;
     std::int64_t pages_in_use = 0;
     std::int64_t peak_pages_in_use = 0;
     std::size_t capacity_pages = 0;
@@ -50,9 +54,18 @@ class BuddyAllocator
     /**
      * @param capacity_bytes arena size; rounded down to a whole
      *        number of pages. Must hold at least one page.
+     *
+     * When the arena reservation fails (mmap failure or the kArenaMap
+     * fault site), the allocator constructs in a *degraded* state:
+     * valid() is false, capacity_pages() is 0 and every alloc_pages()
+     * call returns nullptr. Nothing throws; embedding allocators see
+     * an ordinary (if immediate) out-of-memory condition.
      */
     explicit BuddyAllocator(std::size_t capacity_bytes);
     ~BuddyAllocator();
+
+    /// False when the backing arena could not be reserved.
+    bool valid() const { return total_pages_ > 0; }
 
     BuddyAllocator(const BuddyAllocator&) = delete;
     BuddyAllocator& operator=(const BuddyAllocator&) = delete;
@@ -115,6 +128,11 @@ class BuddyAllocator
     void remove_free(std::size_t pfn, unsigned order);
     std::size_t pop_free(unsigned order);
 
+    /// Checked-free diagnostic: record the violation, print a clear
+    /// message and abort. Never returns.
+    [[noreturn]] void bad_free(const char* what, const void* block,
+                               unsigned order, std::size_t pfn);
+
     Arena arena_;
     std::size_t total_pages_ = 0;
 
@@ -128,6 +146,7 @@ class BuddyAllocator
     Counter failed_allocs_;
     Counter split_ops_;
     Counter merge_ops_;
+    Counter bad_frees_;
     PeakGauge pages_in_use_;
 };
 

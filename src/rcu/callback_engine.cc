@@ -2,6 +2,7 @@
 
 #include <mutex>
 
+#include "fault/fault_injector.h"
 #include "trace/tracer.h"
 
 namespace prudence {
@@ -115,14 +116,29 @@ void
 CallbackEngine::drainer_main()
 {
     while (running_.load(std::memory_order_acquire)) {
+        if (PRUDENCE_FAULT_POINT(kDrainerStall)) {
+            // Injected lost tick: the drainer sleeps without
+            // processing, growing the backlog exactly like a
+            // descheduled softirq would.
+            PRUDENCE_FAULT_STALL(kDrainerStall);
+            std::this_thread::sleep_for(config_.tick);
+            continue;
+        }
         std::size_t limit = config_.batch_limit;
         if (config_.pressure_probe &&
             config_.pressure_probe() > config_.expedite_threshold) {
-            limit = config_.expedited_batch_limit;
-            expedited_ticks_.add();
-            PRUDENCE_TRACE_EMIT(
-                trace::EventId::kCbExpedite,
-                static_cast<std::uint64_t>(backlog_.get()));
+            if (PRUDENCE_FAULT_POINT(kExpediteDrop)) {
+                // Injected dropped expedite: memory pressure was
+                // observed but the tick proceeds at the normal batch
+                // limit, as if the pressure signal were lost.
+                dropped_expedites_.add();
+            } else {
+                limit = config_.expedited_batch_limit;
+                expedited_ticks_.add();
+                PRUDENCE_TRACE_EMIT(
+                    trace::EventId::kCbExpedite,
+                    static_cast<std::uint64_t>(backlog_.get()));
+            }
         }
         process_ready(limit);
         std::this_thread::sleep_for(config_.tick);
@@ -138,6 +154,7 @@ CallbackEngine::stats() const
     s.backlog = backlog_.get();
     s.peak_backlog = backlog_.peak();
     s.expedited_ticks = expedited_ticks_.get();
+    s.dropped_expedites = dropped_expedites_.get();
     return s;
 }
 

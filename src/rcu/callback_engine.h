@@ -75,6 +75,8 @@ struct CallbackEngineStats
     std::int64_t backlog = 0;
     std::int64_t peak_backlog = 0;
     std::uint64_t expedited_ticks = 0;
+    /// Expedite decisions suppressed by the kExpediteDrop fault site.
+    std::uint64_t dropped_expedites = 0;
 };
 
 /// Per-CPU queues of epoch-tagged deferred callbacks.
@@ -145,6 +147,7 @@ class CallbackEngine
     Counter invoked_;
     PeakGauge backlog_;
     Counter expedited_ticks_;
+    Counter dropped_expedites_;
 
     std::atomic<bool> running_{false};
     std::thread drainer_;

@@ -1,11 +1,26 @@
 #include "rcu/rcu_domain.h"
 
 #include <cassert>
+#include <chrono>
 
+#include "fault/fault_injector.h"
 #include "sync/backoff.h"
 #include "trace/tracer.h"
 
 namespace prudence {
+
+namespace {
+
+std::uint64_t
+steady_now_ns()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+}  // namespace
 
 RcuDomain::RcuDomain(const RcuConfig& config)
     : readers_(config.max_reader_threads),
@@ -100,6 +115,14 @@ RcuDomain::advance()
     GpEpoch t1 = gp_ctr_.fetch_add(1, std::memory_order_seq_cst) + 1;
     PRUDENCE_TRACE_EMIT(trace::EventId::kGpStart, t1);
     gp_span.set_args(t1 - 1);
+    // Publish the in-flight target for the stall detector: timestamp
+    // first so a detector that sees a nonzero target also sees a
+    // plausible start time.
+    gp_start_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+    gp_target_.store(t1, std::memory_order_release);
+    // Injected grace-period delay: stretches this GP so the stall
+    // detector (and OOM backoff paths) can be exercised on demand.
+    PRUDENCE_FAULT_STALL(kGpDelay);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     wait_for_readers(t1);
 
@@ -107,9 +130,11 @@ RcuDomain::advance()
     // the counter before phase 1's increment but had not yet
     // published its slot when phase 1 scanned).
     GpEpoch t2 = gp_ctr_.fetch_add(1, std::memory_order_seq_cst) + 1;
+    gp_target_.store(t2, std::memory_order_release);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     wait_for_readers(t2);
 
+    gp_target_.store(0, std::memory_order_release);
     grace_periods_.add();
     {
         std::lock_guard<std::mutex> lock(waiter_mutex_);
@@ -144,6 +169,27 @@ RcuDomain::gp_thread_main()
         if (gp_interval_.count() > 0)
             std::this_thread::sleep_for(gp_interval_);
     }
+}
+
+GpEpoch
+RcuDomain::gp_in_flight(std::uint64_t* start_ns) const
+{
+    GpEpoch target = gp_target_.load(std::memory_order_acquire);
+    if (start_ns != nullptr)
+        *start_ns = gp_start_ns_.load(std::memory_order_relaxed);
+    return target;
+}
+
+std::vector<GpEpoch>
+RcuDomain::reader_snapshots(GpEpoch target) const
+{
+    std::vector<GpEpoch> held;
+    readers_.for_each_slot([&](const ThreadSlot& slot) {
+        GpEpoch v = slot.value.load(std::memory_order_acquire);
+        if (v != 0 && v < target)
+            held.push_back(v);
+    });
+    return held;
 }
 
 RcuStatsSnapshot

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "rcu/grace_period.h"
 #include "stats/counters.h"
@@ -101,6 +102,25 @@ class RcuDomain : public GracePeriodDomain
     /// Activity counters.
     RcuStatsSnapshot stats() const;
 
+    /**
+     * Grace-period progress probe for the stall detector: the epoch
+     * the in-flight advance() is currently waiting on, or 0 when no
+     * grace period is being computed. (The raw gp_ctr_/completed_
+     * counters cannot answer this — an idle domain sits two ahead of
+     * completed_ by construction.)
+     * @param start_ns when non-null, receives the steady-clock
+     *        timestamp at which the in-flight grace period began.
+     */
+    GpEpoch gp_in_flight(std::uint64_t* start_ns = nullptr) const;
+
+    /**
+     * Snapshot of reader slots holding the in-flight grace period
+     * open: every registered slot whose published epoch v satisfies
+     * 0 < v < target. Advisory (slots change concurrently); used by
+     * the stall detector to name the stalled readers.
+     */
+    std::vector<GpEpoch> reader_snapshots(GpEpoch target) const;
+
   private:
     void wait_for_readers(GpEpoch target);
     void gp_thread_main();
@@ -108,6 +128,10 @@ class RcuDomain : public GracePeriodDomain
     ThreadRegistry readers_;
     std::atomic<GpEpoch> gp_ctr_{1};
     std::atomic<GpEpoch> completed_{0};
+    /// Phase epoch the in-flight advance() waits on (0 = idle).
+    std::atomic<GpEpoch> gp_target_{0};
+    /// Steady-clock ns at which the in-flight advance() started.
+    std::atomic<std::uint64_t> gp_start_ns_{0};
     Counter grace_periods_;
 
     /// Serializes grace-period computation.

@@ -1,0 +1,148 @@
+#include "rcu/stall_detector.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "trace/tracer.h"
+
+namespace prudence {
+
+namespace {
+
+std::chrono::milliseconds
+derive_poll_interval(const StallDetectorConfig& config)
+{
+    if (config.poll_interval.count() > 0)
+        return config.poll_interval;
+    auto derived = config.threshold / 4;
+    return derived.count() < 1 ? std::chrono::milliseconds{1}
+                               : derived;
+}
+
+std::uint64_t
+steady_now_ns()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+}  // namespace
+
+StallDetector::StallDetector(RcuDomain& domain,
+                             const StallDetectorConfig& config)
+    : domain_(domain),
+      threshold_(config.threshold),
+      poll_interval_(derive_poll_interval(config)),
+      log_to_stderr_(config.log_to_stderr)
+{
+    running_.store(true, std::memory_order_release);
+    watchdog_ = std::thread([this] { watchdog_main(); });
+}
+
+StallDetector::~StallDetector()
+{
+    running_.store(false, std::memory_order_release);
+    if (watchdog_.joinable())
+        watchdog_.join();
+}
+
+StallReport
+StallDetector::last_report() const
+{
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    return last_report_;
+}
+
+void
+StallDetector::set_callback(Callback cb)
+{
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    callback_ = std::move(cb);
+}
+
+void
+StallDetector::watchdog_main()
+{
+    // The epoch+start pair we last reported for, so one stall is
+    // reported once per threshold crossing rather than every poll.
+    GpEpoch reported_target = 0;
+    std::uint64_t reported_elapsed_ns = 0;
+
+    const std::uint64_t threshold_ns =
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                threshold_)
+                .count());
+
+    while (running_.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(poll_interval_);
+
+        std::uint64_t start_ns = 0;
+        GpEpoch target = domain_.gp_in_flight(&start_ns);
+        if (target == 0 || start_ns == 0) {
+            reported_target = 0;
+            reported_elapsed_ns = 0;
+            continue;
+        }
+        std::uint64_t now_ns = steady_now_ns();
+        if (now_ns <= start_ns)
+            continue;
+        std::uint64_t elapsed_ns = now_ns - start_ns;
+        if (elapsed_ns < threshold_ns)
+            continue;
+
+        // Same grace period: re-report only after another whole
+        // threshold has elapsed since the previous report.
+        if (target == reported_target &&
+            elapsed_ns < reported_elapsed_ns + threshold_ns) {
+            continue;
+        }
+        reported_target = target;
+        reported_elapsed_ns = elapsed_ns;
+        report_stall(target, start_ns, now_ns);
+    }
+}
+
+void
+StallDetector::report_stall(GpEpoch target, std::uint64_t start_ns,
+                            std::uint64_t now_ns)
+{
+    StallReport report;
+    report.target_epoch = target;
+    report.completed_epoch = domain_.completed_epoch();
+    report.stalled_for = std::chrono::milliseconds{
+        (now_ns - start_ns) / 1000000};
+    report.reader_epochs = domain_.reader_snapshots(target);
+
+    stalls_.add();
+    PRUDENCE_TRACE_EMIT(
+        trace::EventId::kGpStall, target,
+        static_cast<std::uint64_t>(report.stalled_for.count()));
+
+    if (log_to_stderr_) {
+        std::fprintf(stderr,
+                     "rcu: grace-period stall: target epoch %" PRIu64
+                     " in flight for %lld ms (completed %" PRIu64
+                     ", %zu reader slot(s) holding it open:",
+                     target,
+                     static_cast<long long>(report.stalled_for.count()),
+                     report.completed_epoch,
+                     report.reader_epochs.size());
+        for (GpEpoch e : report.reader_epochs)
+            std::fprintf(stderr, " %" PRIu64, e);
+        std::fprintf(stderr, ")\n");
+    }
+
+    Callback cb;
+    {
+        std::lock_guard<std::mutex> lock(report_mutex_);
+        last_report_ = report;
+        cb = callback_;
+    }
+    if (cb)
+        cb(report);
+}
+
+}  // namespace prudence

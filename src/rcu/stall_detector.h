@@ -1,0 +1,119 @@
+/**
+ * @file
+ * RCU grace-period stall detector.
+ *
+ * A watchdog thread polls the domain's in-flight grace-period probe
+ * (RcuDomain::gp_in_flight()). When one grace period stays in flight
+ * longer than the configured threshold, the detector reports a stall:
+ * a kGpStall trace event, an optional stderr line naming the reader
+ * epochs holding the grace period open, a monotonic counter, and an
+ * optional callback (test hook). The kernel analogue is
+ * CONFIG_RCU_CPU_STALL_TIMEOUT's "rcu_sched self-detected stall"
+ * machinery; here the usual culprits are a reader thread parked
+ * inside read_lock() or an injected kGpDelay fault.
+ *
+ * One report is emitted per threshold crossing per grace period: a
+ * grace period that keeps stalling re-reports each time another full
+ * threshold elapses, and a new grace period re-arms detection.
+ */
+#ifndef PRUDENCE_RCU_STALL_DETECTOR_H
+#define PRUDENCE_RCU_STALL_DETECTOR_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "rcu/grace_period.h"
+#include "rcu/rcu_domain.h"
+#include "stats/counters.h"
+
+namespace prudence {
+
+/// Tuning for a StallDetector.
+struct StallDetectorConfig
+{
+    /// A grace period in flight longer than this is a stall.
+    std::chrono::milliseconds threshold{1000};
+
+    /**
+     * Watchdog polling period. Zero (the default) derives it from the
+     * threshold (threshold / 4, floored at 1 ms) so detection lands
+     * well within 2x the threshold.
+     */
+    std::chrono::milliseconds poll_interval{0};
+
+    /// Print a human-readable stall report to stderr.
+    bool log_to_stderr = true;
+};
+
+/// What the detector saw at the moment it declared a stall.
+struct StallReport
+{
+    /// Epoch the stalled advance() is waiting on.
+    GpEpoch target_epoch = 0;
+    /// Domain's completed epoch at report time.
+    GpEpoch completed_epoch = 0;
+    /// How long the grace period had been in flight.
+    std::chrono::milliseconds stalled_for{0};
+    /// Reader-slot epochs (0 < v < target) holding the GP open.
+    std::vector<GpEpoch> reader_epochs;
+};
+
+/**
+ * Watchdog over one RcuDomain. Starts its thread on construction and
+ * joins it on destruction; must not outlive the domain.
+ */
+class StallDetector
+{
+  public:
+    using Callback = std::function<void(const StallReport&)>;
+
+    StallDetector(RcuDomain& domain,
+                  const StallDetectorConfig& config = {});
+    ~StallDetector();
+
+    StallDetector(const StallDetector&) = delete;
+    StallDetector& operator=(const StallDetector&) = delete;
+
+    /// Stalls reported since construction.
+    std::uint64_t stalls_detected() const
+    {
+        return stalls_.get();
+    }
+
+    /// Copy of the most recent report (all zeros if none yet).
+    StallReport last_report() const;
+
+    /**
+     * Invoke @p cb from the watchdog thread on every stall report
+     * (test hook). Replaces any previous callback; pass an empty
+     * function to clear.
+     */
+    void set_callback(Callback cb);
+
+  private:
+    void watchdog_main();
+    void report_stall(GpEpoch target, std::uint64_t start_ns,
+                      std::uint64_t now_ns);
+
+    RcuDomain& domain_;
+    const std::chrono::milliseconds threshold_;
+    const std::chrono::milliseconds poll_interval_;
+    const bool log_to_stderr_;
+
+    Counter stalls_;
+    mutable std::mutex report_mutex_;  ///< guards last_report_ + callback_
+    StallReport last_report_;
+    Callback callback_;
+
+    std::atomic<bool> running_{false};
+    std::thread watchdog_;
+};
+
+}  // namespace prudence
+
+#endif  // PRUDENCE_RCU_STALL_DETECTOR_H

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "fault/fault_injector.h"
 #include "trace/tracer.h"
 
 namespace prudence {
@@ -46,6 +47,11 @@ SlabPool::~SlabPool()
 SlabHeader*
 SlabPool::grow()
 {
+    if (PRUDENCE_FAULT_POINT(kSlabGrow)) {
+        // Injected growth refusal: upstream this is a refill failure,
+        // which the allocators must treat exactly like a buddy OOM.
+        return nullptr;
+    }
     void* pages = buddy_.alloc_pages(geometry_.slab_order);
     if (pages == nullptr)
         return nullptr;

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "fault/fault_injector.h"
 #include "slab/size_classes.h"
 #include "slab/validate.h"
 #include "trace/tracer.h"
@@ -208,6 +209,11 @@ SlubAllocator::alloc_impl(Cache& c)
 bool
 SlubAllocator::refill(Cache& c, ObjectCache& cache)
 {
+    if (PRUDENCE_FAULT_POINT(kRefillFail)) {
+        // Injected refill failure: indistinguishable from every slab
+        // being unusable and the page allocator refusing to grow.
+        return false;
+    }
     NodeLists& node = c.pool.node();
     std::size_t want = c.pool.geometry().refill_target;
     std::size_t moved = 0;

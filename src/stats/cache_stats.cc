@@ -19,6 +19,7 @@ CacheStats::reset()
     shrinks.reset();
     premoves.reset();
     oom_waits.reset();
+    oom_expedites.reset();
     oom_failures.reset();
     slabs.reset();
     live_objects.reset();
@@ -90,6 +91,7 @@ snapshot_cache_stats(const CacheStats& stats, const std::string& name,
     s.shrinks = stats.shrinks.get();
     s.premoves = stats.premoves.get();
     s.oom_waits = stats.oom_waits.get();
+    s.oom_expedites = stats.oom_expedites.get();
     s.oom_failures = stats.oom_failures.get();
     s.current_slabs = stats.slabs.get();
     s.peak_slabs = stats.slabs.peak();

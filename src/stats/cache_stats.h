@@ -44,6 +44,9 @@ struct CacheStats
     /// Allocation attempts that had to wait for a grace period
     /// because the cache was out of memory (Prudence OOM deferral).
     Counter oom_waits;
+    /// OOM expedite passes: safe deferred objects harvested without
+    /// waiting for a new grace period (first escalation rung).
+    Counter oom_expedites;
     /// Allocation attempts that failed outright (OOM).
     Counter oom_failures;
     /// Slabs currently allocated / high-water mark (Fig. 10).
@@ -77,6 +80,7 @@ struct CacheStatsSnapshot
     std::uint64_t shrinks = 0;
     std::uint64_t premoves = 0;
     std::uint64_t oom_waits = 0;
+    std::uint64_t oom_expedites = 0;
     std::uint64_t oom_failures = 0;
     std::int64_t current_slabs = 0;
     std::int64_t peak_slabs = 0;

@@ -34,6 +34,10 @@ event_info(EventId id)
         {"buddy_split", "page", 'i', "order", nullptr},
         {"buddy_merge", "page", 'i', "order", nullptr},
         {"bytes_in_use", "page", 'C', "bytes", nullptr},
+        {"fault_inject", "fault", 'i', "site", "evaluation"},
+        {"gp_stall", "rcu", 'i', "target_epoch", "stalled_ms"},
+        {"oom_expedite", "alloc", 'i', "attempt", nullptr},
+        {"oom_backoff", "alloc", 'i', "attempt", "backoff_us"},
     };
     auto idx = static_cast<std::size_t>(id);
     constexpr auto kTableSize = sizeof(kTable) / sizeof(kTable[0]);

@@ -50,6 +50,16 @@ enum class EventId : std::uint16_t {
     kBuddyMerge,  ///< buddies coalesced (arg0=order after merge)
     kBytesInUse,  ///< counter sample: bytes handed out (arg0=bytes)
 
+    // fault/ + robustness paths.
+    kFaultInject,  ///< injection site fired (arg0=site id,
+                   ///< arg1=evaluation index)
+    kGpStall,      ///< watchdog: grace period exceeded the stall
+                   ///< threshold (arg0=target epoch, arg1=stalled ms)
+    kOomExpedite,  ///< OOM path harvested already-safe deferrals
+                   ///< before waiting (arg0=attempt)
+    kOomBackoff,   ///< OOM retry backing off (arg0=attempt,
+                   ///< arg1=backoff us)
+
     kMaxEvent
 };
 

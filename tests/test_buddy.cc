@@ -210,5 +210,61 @@ TEST_P(BuddyOrderProperty, BlocksAreDisjointAndAligned)
 INSTANTIATE_TEST_SUITE_P(AllOrders, BuddyOrderProperty,
                          ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u, 6u));
 
+// ---------------------------------------------------------------------
+// Checked-free diagnostics: caller bugs abort with a clear message
+// instead of silently corrupting the free lists (the checks are
+// always on, not release-stripped asserts).
+// ---------------------------------------------------------------------
+
+using BuddyCheckedFreeDeathTest = ::testing::Test;
+
+TEST(BuddyCheckedFreeDeathTest, DoubleFreeAborts)
+{
+    BuddyAllocator buddy(kArena);
+    void* p = buddy.alloc_pages(0);
+    ASSERT_NE(p, nullptr);
+    buddy.free_pages(p, 0);
+    EXPECT_DEATH(buddy.free_pages(p, 0), "buddy checked-free: double free");
+}
+
+TEST(BuddyCheckedFreeDeathTest, WrongOrderFreeAborts)
+{
+    BuddyAllocator buddy(kArena);
+    void* p = buddy.alloc_pages(0);
+    ASSERT_NE(p, nullptr);
+    // Freeing a single page as an order-2 block trips either the
+    // alignment check or the tail-page check depending on placement.
+    EXPECT_DEATH(buddy.free_pages(p, 2), "buddy checked-free: ");
+}
+
+TEST(BuddyCheckedFreeDeathTest, ForeignPointerAborts)
+{
+    BuddyAllocator buddy(kArena);
+    int local = 0;
+    EXPECT_DEATH(buddy.free_pages(&local, 0),
+                 "buddy checked-free: pointer outside the arena");
+}
+
+TEST(BuddyCheckedFreeDeathTest, MisalignedPointerAborts)
+{
+    BuddyAllocator buddy(kArena);
+    void* p = buddy.alloc_pages(0);
+    ASSERT_NE(p, nullptr);
+    void* inside = static_cast<std::byte*>(p) + 8;
+    EXPECT_DEATH(buddy.free_pages(inside, 0),
+                 "buddy checked-free: pointer not page-aligned");
+    buddy.free_pages(p, 0);
+}
+
+TEST(BuddyCheckedFreeDeathTest, OrderOutOfRangeAborts)
+{
+    BuddyAllocator buddy(kArena);
+    void* p = buddy.alloc_pages(0);
+    ASSERT_NE(p, nullptr);
+    EXPECT_DEATH(buddy.free_pages(p, kMaxPageOrder + 1),
+                 "buddy checked-free: order out of range");
+    buddy.free_pages(p, 0);
+}
+
 }  // namespace
 }  // namespace prudence

@@ -1,0 +1,569 @@
+/**
+ * @file
+ * prudtorture — rcutorture-style stress harness for the RCU–allocator
+ * co-design.
+ *
+ * Mixed reader / updater / OOM-stress threads hammer one allocator
+ * (Prudence or the SLUB baseline) under deterministic fault injection
+ * for a configurable duration, then quiesce and check invariants:
+ *
+ *  - no use-after-reclaim: a deferred object carries a poison stamp
+ *    (magic + defer epoch); if it comes back from the allocator while
+ *    its grace period is still open, that is a premature reclamation.
+ *  - readers only ever observe live or dying objects (never reused
+ *    memory) inside read-side critical sections.
+ *  - after quiescing, allocator self-validation passes, the buddy
+ *    allocator's integrity check passes, no objects are live and no
+ *    deferrals are outstanding (baseline: callback backlog drained).
+ *  - fault-decision determinism: every site's live trigger count and
+ *    decision fingerprint must equal the offline replay for the same
+ *    (seed, policy, evaluation count) — the same --fault-seed provably
+ *    makes the same decisions, whatever the thread interleaving.
+ *
+ * Exit status is 0 only when every check passes.
+ *
+ * Typical runs:
+ *   prudtorture --duration=30 --fault-seed=42
+ *   prudtorture --allocator=slub --duration=10
+ *   prudtorture --expect-stall --stall-threshold-ms=200 --duration=3
+ */
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/allocator.h"
+#include "core/prudence_allocator.h"
+#include "fault/fault_injector.h"
+#include "page/buddy_allocator.h"
+#include "rcu/rcu_domain.h"
+#include "rcu/stall_detector.h"
+#include "slub/slub_allocator.h"
+
+namespace {
+
+using prudence::fault::FaultInjector;
+using prudence::fault::SiteId;
+using prudence::fault::SitePolicy;
+
+struct Options
+{
+    double duration_s = 30.0;
+    std::uint64_t fault_seed = 42;
+    bool faults = true;
+    double fault_rate = 0.02;
+    unsigned readers = 4;
+    unsigned updaters = 4;
+    unsigned oom_threads = 1;
+    std::string allocator = "prudence";
+    std::size_t arena_mb = 32;
+    std::uint64_t stall_threshold_ms = 1000;
+    bool expect_stall = false;
+};
+
+void
+usage(const char* argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --duration=SECONDS       run time (default 30)\n"
+        "  --fault-seed=N           deterministic decision seed "
+        "(default 42)\n"
+        "  --fault-rate=P           per-site fire probability "
+        "(default 0.02)\n"
+        "  --no-faults              run without arming any site\n"
+        "  --readers=N              reader threads (default 4)\n"
+        "  --updaters=N             updater threads (default 4)\n"
+        "  --oom-threads=N          OOM-stress threads (default 1)\n"
+        "  --allocator=KIND         prudence | slub (default prudence)\n"
+        "  --arena-mb=N             simulated physical memory "
+        "(default 32)\n"
+        "  --stall-threshold-ms=N   stall-detector threshold "
+        "(default 1000)\n"
+        "  --expect-stall           inject one long GP stall and "
+        "require detection\n",
+        argv0);
+}
+
+bool
+flag_value(const char* arg, const char* name, const char** out)
+{
+    std::size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+        *out = arg + n + 1;
+        return true;
+    }
+    return false;
+}
+
+bool
+parse_options(int argc, char** argv, Options& opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char* v = nullptr;
+        if (flag_value(argv[i], "--duration", &v))
+            opt.duration_s = std::atof(v);
+        else if (flag_value(argv[i], "--fault-seed", &v))
+            opt.fault_seed = std::strtoull(v, nullptr, 0);
+        else if (flag_value(argv[i], "--fault-rate", &v))
+            opt.fault_rate = std::atof(v);
+        else if (std::strcmp(argv[i], "--no-faults") == 0)
+            opt.faults = false;
+        else if (flag_value(argv[i], "--readers", &v))
+            opt.readers = static_cast<unsigned>(std::atoi(v));
+        else if (flag_value(argv[i], "--updaters", &v))
+            opt.updaters = static_cast<unsigned>(std::atoi(v));
+        else if (flag_value(argv[i], "--oom-threads", &v))
+            opt.oom_threads = static_cast<unsigned>(std::atoi(v));
+        else if (flag_value(argv[i], "--allocator", &v))
+            opt.allocator = v;
+        else if (flag_value(argv[i], "--arena-mb", &v))
+            opt.arena_mb = static_cast<std::size_t>(std::atoll(v));
+        else if (flag_value(argv[i], "--stall-threshold-ms", &v))
+            opt.stall_threshold_ms = std::strtoull(v, nullptr, 0);
+        else if (std::strcmp(argv[i], "--expect-stall") == 0)
+            opt.expect_stall = true;
+        else {
+            usage(argv[0]);
+            return false;
+        }
+    }
+    if (opt.allocator != "prudence" && opt.allocator != "slub") {
+        usage(argv[0]);
+        return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// The torture object protocol.
+//
+// The first word is clobbered by the slab freelist link while the
+// object is free, so every stamp lives past it. Stamps are accessed
+// through std::atomic_ref: updaters and readers touch them
+// concurrently by design.
+// ---------------------------------------------------------------------
+
+struct TortureObj
+{
+    void* reserved_link;       ///< clobbered by freelist_push
+    std::uint64_t magic;       ///< kLive / kDying
+    std::uint64_t defer_epoch; ///< stamped just before free_deferred
+    std::uint64_t gen;         ///< updater generation (payload)
+};
+
+constexpr std::uint64_t kLive = 0x4C49564531415421ULL;
+constexpr std::uint64_t kDying = 0x4459494E47303042ULL;
+constexpr std::size_t kTortureObjSize = 64;
+static_assert(sizeof(TortureObj) <= kTortureObjSize);
+
+std::uint64_t
+load_u64(std::uint64_t& field, std::memory_order mo)
+{
+    return std::atomic_ref<std::uint64_t>(field).load(mo);
+}
+
+void
+store_u64(std::uint64_t& field, std::uint64_t v, std::memory_order mo)
+{
+    std::atomic_ref<std::uint64_t>(field).store(v, mo);
+}
+
+struct Torture
+{
+    Options opt;
+    prudence::RcuDomain& domain;
+    prudence::Allocator& alloc;
+    prudence::CacheId cache;
+    std::vector<std::atomic<TortureObj*>> slots;
+
+    std::atomic<bool> stop{false};
+
+    std::atomic<std::uint64_t> reads{0};
+    std::atomic<std::uint64_t> updates{0};
+    std::atomic<std::uint64_t> update_allocs_failed{0};
+    std::atomic<std::uint64_t> oom_allocs{0};
+    std::atomic<std::uint64_t> oom_clean_failures{0};
+
+    // Invariant violations (must all be zero at exit).
+    std::atomic<std::uint64_t> epoch_violations{0};
+    std::atomic<std::uint64_t> reader_violations{0};
+
+    Torture(const Options& o, prudence::RcuDomain& d,
+            prudence::Allocator& a, std::size_t nslots)
+        : opt(o), domain(d), alloc(a), slots(nslots)
+    {
+    }
+};
+
+void
+updater_main(Torture& t, unsigned id)
+{
+    std::mt19937_64 rng(t.opt.fault_seed * 1000003 + id);
+    std::uniform_int_distribution<std::size_t> pick(
+        0, t.slots.size() - 1);
+
+    while (!t.stop.load(std::memory_order_relaxed)) {
+        auto* obj =
+            static_cast<TortureObj*>(t.alloc.cache_alloc(t.cache));
+        if (obj == nullptr) {
+            // Graceful degradation under test: OOM (real or injected)
+            // must surface as nullptr, never as a crash.
+            t.update_allocs_failed.fetch_add(1,
+                                             std::memory_order_relaxed);
+            std::this_thread::yield();
+            continue;
+        }
+
+        // Poison check: a recycled object still stamped kDying must
+        // have had its grace period completed, or the allocator
+        // reused it while readers could still hold it.
+        if (load_u64(obj->magic, std::memory_order_acquire) == kDying) {
+            std::uint64_t e =
+                load_u64(obj->defer_epoch, std::memory_order_relaxed);
+            if (e > t.domain.completed_epoch()) {
+                t.epoch_violations.fetch_add(1,
+                                             std::memory_order_relaxed);
+            }
+        }
+
+        store_u64(obj->defer_epoch, 0, std::memory_order_relaxed);
+        store_u64(obj->gen, rng(), std::memory_order_relaxed);
+        store_u64(obj->magic, kLive, std::memory_order_release);
+
+        TortureObj* old = t.slots[pick(rng)].exchange(
+            obj, std::memory_order_acq_rel);
+        if (old != nullptr) {
+            // Stamp before handing over: pre-existing readers may
+            // still dereference the object, but we (the reclaimer)
+            // own its logical state.
+            store_u64(old->defer_epoch, t.domain.defer_epoch(),
+                      std::memory_order_relaxed);
+            store_u64(old->magic, kDying, std::memory_order_release);
+            t.alloc.cache_free_deferred(t.cache, old);
+        }
+        t.updates.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
+reader_main(Torture& t, unsigned id)
+{
+    std::mt19937_64 rng(t.opt.fault_seed * 7000003 + id);
+    std::uniform_int_distribution<std::size_t> pick(
+        0, t.slots.size() - 1);
+
+    while (!t.stop.load(std::memory_order_relaxed)) {
+        prudence::RcuReadGuard guard(t.domain);
+        for (int i = 0; i < 16; ++i) {
+            TortureObj* obj =
+                t.slots[pick(rng)].load(std::memory_order_acquire);
+            if (obj == nullptr)
+                continue;
+            // Because the slot was published when we loaded it and we
+            // are inside a read-side critical section, the object can
+            // be live or dying but never reclaimed-and-reused.
+            std::uint64_t m =
+                load_u64(obj->magic, std::memory_order_acquire);
+            if (m != kLive && m != kDying) {
+                t.reader_violations.fetch_add(
+                    1, std::memory_order_relaxed);
+            }
+            t.reads.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+}
+
+void
+oom_main(Torture& t, unsigned id)
+{
+    std::mt19937_64 rng(t.opt.fault_seed * 9000017 + id);
+    std::vector<void*> held;
+    held.reserve(8192);
+
+    while (!t.stop.load(std::memory_order_relaxed)) {
+        void* p = t.alloc.kmalloc(256);
+        if (p != nullptr) {
+            held.push_back(p);
+            t.oom_allocs.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            // The whole point: exhaustion comes back as a clean
+            // nullptr. Release the hoard so the system recovers.
+            t.oom_clean_failures.fetch_add(1,
+                                           std::memory_order_relaxed);
+            for (void* q : held)
+                t.alloc.kfree(q);
+            held.clear();
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        if (held.size() >= 8192) {
+            for (void* q : held)
+                t.alloc.kfree(q);
+            held.clear();
+        }
+    }
+    for (void* q : held)
+        t.alloc.kfree(q);
+}
+
+// ---------------------------------------------------------------------
+// Fault arming and the determinism report.
+// ---------------------------------------------------------------------
+
+void
+arm_faults(const Options& opt)
+{
+    FaultInjector& fi = FaultInjector::instance();
+    fi.reset(opt.fault_seed);
+    if (!opt.faults)
+        return;
+
+    SitePolicy prob;
+    prob.probability = opt.fault_rate;
+    fi.arm(SiteId::kBuddyAlloc, prob);
+    fi.arm(SiteId::kSlabGrow, prob);
+    fi.arm(SiteId::kRefillFail, prob);
+    fi.arm(SiteId::kLatentStarve, prob);
+
+    SitePolicy slow;
+    slow.probability = std::min(1.0, opt.fault_rate * 5.0);
+    fi.arm(SiteId::kSlowPath, slow);
+
+    SitePolicy drain;
+    drain.every_nth = 5;
+    fi.arm(SiteId::kDrainerStall, drain);
+
+    SitePolicy drop;
+    drop.probability = 0.25;
+    fi.arm(SiteId::kExpediteDrop, drop);
+
+    if (opt.expect_stall) {
+        // One long stall, well past the detector threshold; the run
+        // then requires stalls_detected() >= 1.
+        SitePolicy stall;
+        stall.one_shot = true;
+        stall.delay_ns = opt.stall_threshold_ms * 3 * 1000000ULL;
+        fi.arm(SiteId::kGpDelay, stall);
+    } else {
+        SitePolicy gp;
+        gp.every_nth = 64;
+        gp.delay_ns = 500000;  // 0.5 ms: stretches GPs, below threshold
+        fi.arm(SiteId::kGpDelay, gp);
+    }
+}
+
+/// Print the live per-site report and cross-check it against the
+/// offline replay. @return number of determinism mismatches.
+int
+fault_report(const std::vector<prudence::fault::SiteReport>& reports,
+             std::uint64_t seed)
+{
+    int mismatches = 0;
+    std::printf("\n--- fault sites (seed=%" PRIu64 ") ---\n", seed);
+    std::printf("%-14s %12s %10s %18s  %s\n", "site", "evaluations",
+                "triggers", "fingerprint", "replay");
+    for (const auto& r : reports) {
+        std::uint64_t exp_trig = FaultInjector::expected_triggers(
+            seed, r.id, r.policy, r.evaluations);
+        std::uint64_t exp_fp = FaultInjector::expected_fingerprint(
+            seed, r.id, r.policy, r.evaluations);
+        bool ok = exp_trig == r.triggers && exp_fp == r.fingerprint;
+        if (!ok)
+            ++mismatches;
+        std::printf("%-14s %12" PRIu64 " %10" PRIu64 " 0x%016" PRIx64
+                    "  %s\n",
+                    prudence::fault::site_name(r.id), r.evaluations,
+                    r.triggers, r.fingerprint,
+                    ok ? "match" : "MISMATCH");
+    }
+
+    // Fixed-horizon decision audit: a pure function of the seed and
+    // policies — byte-identical across runs with the same
+    // --fault-seed, whatever the scheduler did.
+    constexpr std::uint64_t kHorizon = 100000;
+    std::printf("--- decision audit (horizon=%" PRIu64
+                ", pure replay) ---\n",
+                kHorizon);
+    for (const auto& r : reports) {
+        std::printf("%-14s triggers=%" PRIu64 " fingerprint=0x%016"
+                    PRIx64 "\n",
+                    prudence::fault::site_name(r.id),
+                    FaultInjector::expected_triggers(seed, r.id,
+                                                     r.policy, kHorizon),
+                    FaultInjector::expected_fingerprint(
+                        seed, r.id, r.policy, kHorizon));
+    }
+    return mismatches;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    Options opt;
+    if (!parse_options(argc, argv, opt))
+        return 2;
+
+#if !defined(PRUDENCE_FAULT_ENABLED)
+    if (opt.faults) {
+        std::fprintf(stderr,
+                     "prudtorture: built with PRUDENCE_FAULT=OFF; "
+                     "running without fault injection\n");
+    }
+#endif
+
+    prudence::RcuConfig rcu_cfg;
+    rcu_cfg.gp_interval = std::chrono::microseconds(200);
+    prudence::RcuDomain domain(rcu_cfg);
+
+    std::unique_ptr<prudence::Allocator> alloc;
+    prudence::SlubAllocator* slub = nullptr;
+    if (opt.allocator == "slub") {
+        prudence::SlubConfig cfg;
+        cfg.arena_bytes = opt.arena_mb << 20;
+        auto owned = std::make_unique<prudence::SlubAllocator>(domain, cfg);
+        slub = owned.get();
+        alloc = std::move(owned);
+    } else {
+        prudence::PrudenceConfig cfg;
+        cfg.arena_bytes = opt.arena_mb << 20;
+        alloc =
+            std::make_unique<prudence::PrudenceAllocator>(domain, cfg);
+    }
+    prudence::CacheId cache =
+        alloc->create_cache("torture.obj", kTortureObjSize);
+
+    prudence::StallDetectorConfig stall_cfg;
+    stall_cfg.threshold =
+        std::chrono::milliseconds(opt.stall_threshold_ms);
+    prudence::StallDetector detector(domain, stall_cfg);
+
+    // Arm faults only after construction so startup itself (arena
+    // reservation, cache creation) is not perturbed.
+    arm_faults(opt);
+
+    Torture t(opt, domain, *alloc, /*nslots=*/2048);
+    t.cache = cache;
+
+    std::printf("prudtorture: allocator=%s arena=%zuMB readers=%u "
+                "updaters=%u oom-threads=%u duration=%.1fs "
+                "fault-seed=%" PRIu64 " faults=%s\n",
+                alloc->kind(), opt.arena_mb, opt.readers, opt.updaters,
+                opt.oom_threads, opt.duration_s, opt.fault_seed,
+                opt.faults ? "on" : "off");
+
+    std::vector<std::thread> threads;
+    for (unsigned i = 0; i < opt.updaters; ++i)
+        threads.emplace_back([&t, i] { updater_main(t, i); });
+    for (unsigned i = 0; i < opt.readers; ++i)
+        threads.emplace_back([&t, i] { reader_main(t, i); });
+    for (unsigned i = 0; i < opt.oom_threads; ++i)
+        threads.emplace_back([&t, i] { oom_main(t, i); });
+
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(opt.duration_s));
+    t.stop.store(true, std::memory_order_relaxed);
+    for (auto& th : threads)
+        th.join();
+
+    // Capture the live fault report, then disarm everything so the
+    // quiesce/validate phase runs unperturbed.
+    FaultInjector& fi = FaultInjector::instance();
+    auto reports = fi.report_all();
+    fi.reset(opt.fault_seed);
+
+    // Drain the published objects (still live) and settle.
+    for (auto& slot : t.slots) {
+        if (TortureObj* obj = slot.exchange(nullptr))
+            alloc->cache_free(cache, obj);
+    }
+    alloc->quiesce();
+
+    // ---- invariant checks ----
+    int failures = 0;
+    auto fail = [&failures](const char* what) {
+        std::fprintf(stderr, "prudtorture: FAILURE: %s\n", what);
+        ++failures;
+    };
+
+    if (t.epoch_violations.load() != 0)
+        fail("object reused before its grace period completed");
+    if (t.reader_violations.load() != 0)
+        fail("reader observed reclaimed memory in a read-side "
+             "critical section");
+
+    std::string verr = alloc->validate();
+    if (!verr.empty()) {
+        std::fprintf(stderr, "prudtorture: FAILURE: validate(): %s\n",
+                     verr.c_str());
+        ++failures;
+    }
+    if (!alloc->page_allocator().check_integrity())
+        fail("buddy allocator integrity check failed");
+
+    std::int64_t live = 0, deferred = 0;
+    for (const auto& s : alloc->snapshots()) {
+        live += s.live_objects;
+        deferred += s.deferred_outstanding;
+    }
+    if (live != 0)
+        fail("live objects remain after quiesce");
+    if (deferred != 0)
+        fail("deferred objects remain after quiesce");
+    if (slub != nullptr && slub->callback_stats().backlog != 0)
+        fail("callback backlog remains after quiesce");
+
+    if (opt.expect_stall && detector.stalls_detected() == 0)
+        fail("expected a grace-period stall; none detected");
+
+    int mismatches = fault_report(reports, opt.fault_seed);
+    if (mismatches != 0)
+        fail("fault decision sequence diverged from offline replay");
+
+    // ---- summary ----
+    auto rcu = domain.stats();
+    auto buddy = alloc->page_allocator().stats();
+    std::printf("\n--- summary ---\n");
+    std::printf("reads=%" PRIu64 " updates=%" PRIu64
+                " update-allocs-failed=%" PRIu64 "\n",
+                t.reads.load(), t.updates.load(),
+                t.update_allocs_failed.load());
+    std::printf("oom-allocs=%" PRIu64 " oom-clean-failures=%" PRIu64
+                "\n",
+                t.oom_allocs.load(), t.oom_clean_failures.load());
+    std::printf("grace-periods=%" PRIu64 " stalls-detected=%" PRIu64
+                "\n",
+                rcu.grace_periods, detector.stalls_detected());
+    std::printf("buddy: allocs=%" PRIu64 " failed=%" PRIu64
+                " bad-frees=%" PRIu64 "\n",
+                buddy.alloc_calls, buddy.failed_allocs,
+                buddy.bad_frees);
+    for (const auto& s : alloc->snapshots()) {
+        if (s.alloc_calls == 0)
+            continue;
+        std::printf("cache %-14s allocs=%" PRIu64 " oom-waits=%" PRIu64
+                    " oom-expedites=%" PRIu64 " oom-failures=%" PRIu64
+                    "\n",
+                    s.cache_name.c_str(), s.alloc_calls, s.oom_waits,
+                    s.oom_expedites, s.oom_failures);
+    }
+
+    if (failures == 0) {
+        std::printf("\nprudtorture: SUCCESS (0 invariant violations)\n");
+        return 0;
+    }
+    std::fprintf(stderr, "\nprudtorture: %d check(s) FAILED\n",
+                 failures);
+    return 1;
+}
