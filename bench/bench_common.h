@@ -100,6 +100,16 @@ class TraceSession
     std::string path_;
 };
 
+/// PRUDENCE_MAGAZINE_CAPACITY override (run_bench.sh A/B knob), or
+/// @p fallback when unset.
+inline std::size_t
+magazine_capacity_env(std::size_t fallback)
+{
+    if (const char* env = std::getenv("PRUDENCE_MAGAZINE_CAPACITY"))
+        return static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+    return fallback;
+}
+
 /// Suite configuration shared by the per-figure binaries.
 inline prudence::SuiteConfig
 suite_config(double scale)
@@ -108,6 +118,8 @@ suite_config(double scale)
     cfg.scale = scale;
     cfg.cpus = 8;
     cfg.repetitions = 1;
+    cfg.magazine_capacity =
+        magazine_capacity_env(cfg.magazine_capacity);
     return cfg;
 }
 

@@ -42,11 +42,15 @@ run_pairs_per_second(bool use_prudence, std::size_t size,
         PrudenceConfig cfg;
         cfg.arena_bytes = std::size_t{1} << 30;
         cfg.cpus = threads;
+        cfg.magazine_capacity = prudence_bench::magazine_capacity_env(
+            cfg.magazine_capacity);
         alloc = make_prudence_allocator(rcu, cfg);
     } else {
         SlubConfig cfg;
         cfg.arena_bytes = std::size_t{1} << 30;
         cfg.cpus = threads;
+        cfg.magazine_capacity = prudence_bench::magazine_capacity_env(
+            cfg.magazine_capacity);
         // Kernel-faithful regime: callbacks become ready in
         // grace-period batches and the softirq drains the ready list
         // at once — deferred frees land on the allocator in bursts

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "api/allocator_factory.h"
+#include "bench_common.h"
 #include "rcu/manual_domain.h"
 #include "slab/geometry.h"
 
@@ -40,6 +41,8 @@ make_alloc(ManualRcuDomain& domain)
     cfg.cpus = 1;
     cfg.callback.background_drainer = false;
     cfg.callback.inline_batch_limit = 0;
+    cfg.magazine_capacity = prudence_bench::magazine_capacity_env(
+        cfg.magazine_capacity);
     return make_slub_allocator(domain, cfg);
 }
 

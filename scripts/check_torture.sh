@@ -33,3 +33,12 @@ ctest --preset "$PRESET" -j "${JOBS:-2}"
     --duration="${DURATION:-20}" \
     --fault-seed="${SEED:-42}" \
     "$@"
+
+# Second pass with the thread-local magazine layer disabled: the
+# per-operation paths (per-op epoch tagging, shared-counter stats)
+# must survive the same fault schedule.
+"$BUILD_DIR/tools/prudtorture" \
+    --duration="${DURATION:-20}" \
+    --fault-seed="${SEED:-42}" \
+    --magazine-capacity=0 \
+    "$@"

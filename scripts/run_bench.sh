@@ -1,0 +1,164 @@
+#!/bin/sh
+# Run the perf-tracking benchmark set (tab01_alloc_cost, fig06_micro,
+# fig13_throughput) once with the thread-local magazine layer enabled
+# (capacity 32, the default) and once disabled (capacity 0), and write
+# a machine-readable summary to bench/results/BENCH_<git-sha>.json.
+#
+# Reported per config:
+#   tab01  — alloc/free hit-cycle ns and ops/sec: mean, p50 and p99
+#            computed over google-benchmark repetitions (REPS);
+#   fig06  — kmalloc/kfree_deferred pairs/s per object size, both
+#            allocators, plus the prudence/slub speedup;
+#   fig13  — per-workload ops/s for both allocators and improvement %.
+#
+# Usage: scripts/run_bench.sh [preset]
+#   preset    default | nofault | ...    (default: default)
+# Environment:
+#   SCALE  workload scale for fig06/fig13        (default: 0.2)
+#   REPS   tab01 google-benchmark repetitions    (default: 5)
+#   JOBS   parallel build jobs                   (default: 2)
+#   OUT    output JSON path (default: bench/results/BENCH_<sha>.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PRESET="${1:-default}"
+case "$PRESET" in
+default) BUILD_DIR=build ;;
+*) BUILD_DIR="build-$PRESET" ;;
+esac
+
+cmake --preset "$PRESET"
+cmake --build --preset "$PRESET" -j "${JOBS:-2}" \
+    --target tab01_alloc_cost fig06_micro fig13_throughput
+
+SHA="$(git rev-parse --short HEAD)"
+SCALE="${SCALE:-0.2}"
+REPS="${REPS:-5}"
+OUT="${OUT:-bench/results/BENCH_${SHA}.json}"
+mkdir -p bench/results
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+for cap in 32 0; do
+    echo "== magazine_capacity=$cap: tab01_alloc_cost =="
+    PRUDENCE_MAGAZINE_CAPACITY=$cap \
+        "$BUILD_DIR/bench/tab01_alloc_cost" \
+        --benchmark_repetitions="$REPS" \
+        --benchmark_report_aggregates_only=false \
+        --benchmark_out="$TMP/tab01_$cap.json" \
+        --benchmark_out_format=json
+    echo "== magazine_capacity=$cap: fig06_micro =="
+    PRUDENCE_MAGAZINE_CAPACITY=$cap \
+        "$BUILD_DIR/bench/fig06_micro" "$SCALE" \
+        | tee "$TMP/fig06_$cap.txt"
+    echo "== magazine_capacity=$cap: fig13_throughput =="
+    PRUDENCE_MAGAZINE_CAPACITY=$cap \
+        "$BUILD_DIR/bench/fig13_throughput" "$SCALE" \
+        | tee "$TMP/fig13_$cap.txt"
+done
+
+python3 - "$TMP" "$OUT" "$SHA" "$SCALE" "$REPS" <<'EOF'
+import json
+import re
+import sys
+
+tmp, out, sha, scale, reps = sys.argv[1:6]
+
+
+def percentile(values, p):
+    """Nearest-rank percentile over the repetition samples."""
+    s = sorted(values)
+    k = max(0, min(len(s) - 1, int(round(p / 100.0 * (len(s) - 1)))))
+    return s[k]
+
+
+def summary(values):
+    return {
+        "mean": sum(values) / len(values),
+        "p50": percentile(values, 50),
+        "p99": percentile(values, 99),
+        "samples": len(values),
+    }
+
+
+def parse_tab01(path):
+    with open(path) as f:
+        doc = json.load(f)
+    cycle_ns, ops = [], []
+    for b in doc.get("benchmarks", []):
+        if b.get("name", "").startswith("BM_AllocPath_Hit") and \
+                b.get("run_type", "iteration") == "iteration":
+            cycle_ns.append(b["real_time"])
+            if "items_per_second" in b:
+                ops.append(b["items_per_second"])
+    result = {}
+    if cycle_ns:
+        result["hit_cycle_ns"] = summary(cycle_ns)
+    if ops:
+        result["hit_ops_per_sec"] = summary(ops)
+    return result
+
+
+def parse_fig06(path):
+    rows = {}
+    pat = re.compile(
+        r"^\s*(\d+)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)"
+        r"\s+([\d.]+)\s*$")
+    with open(path) as f:
+        for line in f:
+            m = pat.match(line)
+            if m:
+                rows[m.group(1)] = {
+                    "slub_pairs_per_sec": float(m.group(2)),
+                    "prudence_pairs_per_sec": float(m.group(4)),
+                    "speedup": float(m.group(6)),
+                }
+    return rows
+
+
+def parse_fig13(path):
+    rows = {}
+    pat = re.compile(
+        r"^([a-z][a-z0-9_]*)\s+([\d.]+)\s+([\d.]+)\s+(-?[\d.]+)"
+        r"\s+(-?[\d.]+)\s*$")
+    with open(path) as f:
+        for line in f:
+            m = pat.match(line)
+            if m:
+                rows[m.group(1)] = {
+                    "slub_ops_per_sec": float(m.group(2)),
+                    "prudence_ops_per_sec": float(m.group(3)),
+                    "improve_percent": float(m.group(4)),
+                }
+    return rows
+
+
+doc = {
+    "sha": sha,
+    "scale": float(scale),
+    "tab01_repetitions": int(reps),
+    "configs": {},
+}
+for cap in ("32", "0"):
+    doc["configs"]["magazine_" + cap] = {
+        "magazine_capacity": int(cap),
+        "tab01_alloc_cost": parse_tab01(f"{tmp}/tab01_{cap}.json"),
+        "fig06_micro": parse_fig06(f"{tmp}/fig06_{cap}.txt"),
+        "fig13_throughput": parse_fig13(f"{tmp}/fig13_{cap}.txt"),
+    }
+
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out}")
+
+on = doc["configs"]["magazine_32"]["tab01_alloc_cost"]
+off = doc["configs"]["magazine_0"]["tab01_alloc_cost"]
+if "hit_cycle_ns" in on and "hit_cycle_ns" in off:
+    a, b = on["hit_cycle_ns"]["p50"], off["hit_cycle_ns"]["p50"]
+    if b > 0:
+        print(f"tab01 hit cycle p50: magazines on {a:.1f} ns, "
+              f"off {b:.1f} ns ({100.0 * (b - a) / b:+.1f}%)")
+EOF

@@ -100,6 +100,17 @@ class Allocator
     virtual void quiesce() = 0;
 
     /**
+     * Flush the calling thread's thread-local caches (magazines and
+     * deferral buffers) back into the shared per-CPU layer. Batched
+     * deferrals buffered by this thread are epoch-tagged *now*, so a
+     * grace period started after this call covers them. No-op for
+     * allocators without a thread-local layer (or with it disabled).
+     * Threads that exit drain implicitly; long-lived threads that
+     * need exact accounting visible to other threads call this.
+     */
+    virtual void drain_thread() {}
+
+    /**
      * Deep structural self-check: walk every slab of every cache and
      * cross-check freelists, latent structures, list membership and
      * object accounting. Exact accounting requires a quiescent

@@ -32,12 +32,18 @@ PrudenceAllocator::PrudenceAllocator(GracePeriodDomain& domain,
       config_(config),
       buddy_(config.arena_bytes),
       owners_(buddy_),
-      cpu_registry_(config.cpus)
+      cpu_registry_(config.cpus),
+      magazine_registry_(ThreadCacheRegistry::Hooks{
+          [this](void* t) {
+              drain_table(*static_cast<ThreadMagazines*>(t));
+          },
+          [](void* t) { delete static_cast<ThreadMagazines*>(t); }})
 {
     for (std::size_t i = 0; i < kNumSizeClasses; ++i) {
         caches_[i] = std::make_unique<Cache>(
             size_class_name(i), kSizeClasses[i], buddy_, owners_,
             cpu_registry_.max_cpus());
+        caches_[i]->index = i;
     }
     cache_count_.store(kNumSizeClasses, std::memory_order_release);
 
@@ -53,6 +59,10 @@ PrudenceAllocator::~PrudenceAllocator()
     running_.store(false, std::memory_order_release);
     if (maintenance_thread_.joinable())
         maintenance_thread_.join();
+    // Reclaim surviving per-thread magazines while the caches they
+    // drain into are still alive (members are destroyed only after
+    // this body runs).
+    magazine_registry_.shutdown();
 }
 
 PrudenceAllocator::Cache&
@@ -123,6 +133,7 @@ PrudenceAllocator::create_cache(const std::string& name,
         throw std::runtime_error("PrudenceAllocator: too many caches");
     caches_[count] = std::make_unique<Cache>(
         name, object_size, buddy_, owners_, cpu_registry_.max_cpus());
+    caches_[count]->index = count;
     cache_count_.store(count + 1, std::memory_order_release);
     return CacheId{count};
 }
@@ -156,6 +167,37 @@ PrudenceAllocator::cache_free_deferred(CacheId cache, void* p)
 void*
 PrudenceAllocator::alloc_impl(Cache& c)
 {
+    if (config_.magazine_capacity > 0) {
+        // Thread-local fast path: no lock, no shared atomic. Stats
+        // accumulate in plain per-thread deltas (flushed at batch
+        // boundaries) and the per-op trace span is skipped — the
+        // batch-boundary events (kMagRefill/kMagFlush) carry the
+        // timing story instead.
+        ThreadMagazines& t = thread_state();
+        Magazine& m = t.ensure(c.index, magazine_capacity_for(c));
+        ++m.stats.alloc_calls;
+        if (void* obj = m.objects.pop()) {
+            ++m.stats.cache_hits;
+            return obj;
+        }
+
+        PRUDENCE_TRACE_SPAN(alloc_span,
+                            trace::HistId::kPrudenceAllocNs,
+                            trace::EventId::kAllocSpan);
+        alloc_span.set_args(c.pool.geometry().object_size);
+        bool oom = false;
+        if (void* obj = magazine_alloc_slow(c, t, m, &oom))
+            return obj;
+        if (!oom || !config_.oom_deferral) {
+            c.pool.stats().oom_failures.add();
+            return nullptr;
+        }
+        // The ladder's reclaim sweeps only see deferrals that have
+        // reached the latent structures; push ours there first.
+        spill_all_defers(t);
+        return oom_ladder(c);
+    }
+
     CacheStats& stats = c.pool.stats();
     stats.alloc_calls.add();
     PRUDENCE_TRACE_SPAN(alloc_span, trace::HistId::kPrudenceAllocNs,
@@ -169,8 +211,16 @@ PrudenceAllocator::alloc_impl(Cache& c)
         stats.oom_failures.add();
         return nullptr;
     }
+    return oom_ladder(c);
+}
 
-    // OOM escalation ladder. Rung 1 — expedite: harvest deferred
+void*
+PrudenceAllocator::oom_ladder(Cache& c)
+{
+    CacheStats& stats = c.pool.stats();
+    bool oom = false;
+
+    // Rung 1 — expedite: harvest deferred
     // objects whose grace period has ALREADY completed, across every
     // cache, without waiting. Under a slow detector this alone often
     // frees whole slabs back to the buddy allocator.
@@ -262,7 +312,8 @@ PrudenceAllocator::alloc_attempt(Cache& c, bool* oom)
         }
     }
 
-    if (config_.merge_on_alloc && merge_caches(c, pc) > 0) {
+    if (config_.merge_on_alloc &&
+        merge_caches(c, pc, domain_.completed_epoch()) > 0) {
         // Algorithm 1 lines 8-11: safe latent objects become the
         // allocation — still served from the object cache.
         void* obj = pc.cache.pop();
@@ -295,7 +346,7 @@ PrudenceAllocator::alloc_attempt(Cache& c, bool* oom)
         misses.add();
     });
 
-    if (!refill(c, pc)) {
+    if (!refill(c, pc, domain_.completed_epoch())) {
         *oom = true;
         return nullptr;
     }
@@ -306,14 +357,13 @@ PrudenceAllocator::alloc_attempt(Cache& c, bool* oom)
 }
 
 std::size_t
-PrudenceAllocator::merge_caches(Cache& c, PerCpu& pc)
+PrudenceAllocator::merge_caches(Cache& c, PerCpu& pc, GpEpoch completed)
 {
     if (PRUDENCE_FAULT_POINT(kLatentStarve)) {
         // Injected latent-ring starvation: pretend no deferred object
         // is safe yet, as under a stalled grace-period detector.
         return 0;
     }
-    GpEpoch completed = domain_.completed_epoch();
     std::size_t merged = 0;
     PRUDENCE_TRACE_CLOCK(merge_now);
     // FIFO appends of a monotone epoch keep the ring mostly ordered;
@@ -345,7 +395,7 @@ PrudenceAllocator::merge_caches(Cache& c, PerCpu& pc)
 }
 
 bool
-PrudenceAllocator::refill(Cache& c, PerCpu& pc)
+PrudenceAllocator::refill(Cache& c, PerCpu& pc, GpEpoch completed)
 {
     if (PRUDENCE_FAULT_POINT(kRefillFail)) {
         // Injected refill failure: indistinguishable from every slab
@@ -362,8 +412,7 @@ PrudenceAllocator::refill(Cache& c, PerCpu& pc)
         // entries still inside their grace period degenerates to
         // one-object refills under high defer rates, putting the
         // node lock on every allocation.
-        std::size_t safe =
-            pc.latent.count_safe(domain_.completed_epoch(), want);
+        std::size_t safe = pc.latent.count_safe(completed, want);
         want = safe >= want ? 1 : want - safe;
     }
 
@@ -371,7 +420,6 @@ PrudenceAllocator::refill(Cache& c, PerCpu& pc)
     std::size_t moved = 0;
     {
         std::lock_guard<SpinLock> node_guard(node.lock);
-        GpEpoch completed = domain_.completed_epoch();
         while (moved < want) {
             SlabHeader* slab = select_slab(c, completed);
             if (slab == nullptr) {
@@ -490,6 +538,20 @@ PrudenceAllocator::select_slab(Cache& c, GpEpoch completed)
 void
 PrudenceAllocator::free_impl(Cache& c, void* p)
 {
+    if (config_.magazine_capacity > 0) {
+        // Thread-local fast path. The live_objects gauge is NOT
+        // decremented here: it counts application-held plus
+        // magazine-held objects and moves only at batch boundaries
+        // (magazine_alloc_slow adds, magazine_flush subtracts).
+        ThreadMagazines& t = thread_state();
+        Magazine& m = t.ensure(c.index, magazine_capacity_for(c));
+        ++m.stats.free_calls;
+        if (m.objects.full())
+            magazine_flush(c, t, m, m.objects.capacity() / 2 + 1);
+        m.objects.push(p);
+        return;
+    }
+
     CacheStats& stats = c.pool.stats();
     stats.free_calls.add();
     stats.live_objects.sub();
@@ -547,6 +609,20 @@ PrudenceAllocator::flush(Cache& c, PerCpu& pc, std::size_t n)
 void
 PrudenceAllocator::free_deferred_impl(Cache& c, void* p)
 {
+    if (config_.magazine_capacity > 0) {
+        // Thread-local fast path: buffer the object with NO epoch
+        // read. The whole buffer is tagged with one defer_epoch()
+        // at spill time — conservative (>= each member's true defer
+        // epoch), so reuse can only be delayed, never premature.
+        ThreadMagazines& t = thread_state();
+        Magazine& m = t.ensure(c.index, magazine_capacity_for(c));
+        ++m.stats.deferred_free_calls;
+        m.defers[m.defer_count++] = p;
+        if (m.defers_full())
+            magazine_spill_defers(c, t, m);
+        return;
+    }
+
     CacheStats& stats = c.pool.stats();
     stats.deferred_free_calls.add();
     stats.live_objects.sub();
@@ -585,7 +661,7 @@ PrudenceAllocator::free_deferred_impl(Cache& c, void* p)
             // Slow path (lines 45-48): make room, merge, retry.
             if (pc.cache.full())
                 flush(c, pc, pc.cache.capacity() / 2 + 1);
-            merge_caches(c, pc);
+            merge_caches(c, pc, domain_.completed_epoch());
             if (!pc.latent.full()) {
                 pc.latent.push(p, epoch, defer_ts);
                 return;
@@ -750,6 +826,296 @@ PrudenceAllocator::merge_slab_latent(Cache& c, SlabHeader* slab,
 }
 
 // ---------------------------------------------------------------------
+// Thread-local magazine layer (DESIGN.md §9)
+// ---------------------------------------------------------------------
+
+ThreadMagazines&
+PrudenceAllocator::thread_state()
+{
+    if (void* table = magazine_registry_.lookup())
+        return *static_cast<ThreadMagazines*>(table);
+    // First touch: resolve the CPU id ONCE — the magazine pins thread
+    // identity, so per-operation CpuRegistry lookups are hoisted out
+    // of the hot path for the life of the thread.
+    auto* t = new ThreadMagazines(cpu_registry_.cpu_id());
+    magazine_registry_.attach(t);
+    return *t;
+}
+
+std::size_t
+PrudenceAllocator::magazine_capacity_for(const Cache& c) const
+{
+    std::size_t cap = config_.magazine_capacity;
+    // Never deeper than the per-CPU cache behind it (one magazine
+    // flush must always fit after one per-CPU flush) nor than the
+    // fixed scratch arrays.
+    cap = std::min(cap, c.pool.geometry().cache_capacity);
+    cap = std::min(cap, kMaxMagazineCapacity);
+    return cap > 0 ? cap : 1;
+}
+
+GpEpoch
+PrudenceAllocator::refresh_completed(ThreadMagazines& t)
+{
+    // Generation check: one acquire load. Only when the domain has
+    // completed another grace period since our last look do we pay
+    // the virtual completed_epoch() call. The domain bumps the
+    // generation *after* publishing the new epoch, so a changed
+    // generation guarantees we read the (at least) corresponding
+    // epoch; an unchanged one gives the cached — stale but
+    // conservative — value.
+    std::uint64_t gen = domain_.completion_generation();
+    if (gen != t.gen_seen) {
+        t.gen_seen = gen;
+        t.cached_completed = domain_.completed_epoch();
+    }
+    return t.cached_completed;
+}
+
+void
+PrudenceAllocator::flush_thread_stats(PerCpu& pc, CacheStats& stats,
+                                      ThreadCacheStats& ts)
+{
+    if (!ts.any())
+        return;
+    // The per-CPU event rates feed the pre-flush aggressiveness
+    // decision; batched updates keep the alloc/free ratio intact.
+    pc.alloc_events += ts.alloc_calls;
+    pc.free_events += ts.free_calls;
+    pc.defer_events += ts.deferred_free_calls;
+    ts.flush_into(stats);
+}
+
+void*
+PrudenceAllocator::magazine_alloc_slow(Cache& c, ThreadMagazines& t,
+                                       Magazine& m, bool* oom)
+{
+    *oom = false;
+    CacheStats& stats = c.pool.stats();
+    PerCpu& pc = *c.cpus[t.cpu];
+    std::size_t want = m.objects.capacity() / 2;
+    if (want == 0)
+        want = 1;
+    std::size_t got = 0;
+    bool refilled = false;
+    {
+        std::lock_guard<SpinLock> guard(pc.lock);
+        flush_thread_stats(pc, stats, m.stats);
+        // Injected slow-path forcing: skip the per-CPU hit so the
+        // merge/refill machinery is exercised even when hot.
+        const bool force_slow = PRUDENCE_FAULT_POINT(kSlowPath);
+        GpEpoch completed = refresh_completed(t);
+        auto take = [&] {
+            while (got < want) {
+                void* obj = pc.cache.pop();
+                if (obj == nullptr)
+                    break;
+                m.objects.push(obj);
+                ++got;
+            }
+        };
+        if (!force_slow)
+            take();
+        if (got < want && config_.merge_on_alloc &&
+            merge_caches(c, pc, completed) > 0) {
+            stats.latent_merge_hits.add();
+            take();
+        }
+        if (force_slow)
+            take();
+        if (got == 0) {
+            if (!refill(c, pc, completed)) {
+                *oom = true;
+                return nullptr;
+            }
+            refilled = true;
+            take();
+        }
+        assert(got > 0);
+        // The gauge counts application-held + magazine-held: these
+        // objects leave shared custody now.
+        stats.live_objects.add(static_cast<std::int64_t>(got));
+        // The triggering allocation is a cache hit unless slabs had
+        // to be touched; later pops from the refilled magazine count
+        // their own hits on the fast path.
+        if (!refilled)
+            ++m.stats.cache_hits;
+    }
+    PRUDENCE_TRACE_EMIT(trace::EventId::kMagRefill, got, t.cpu);
+    void* obj = m.objects.pop();
+    assert(obj != nullptr);
+    return obj;
+}
+
+void
+PrudenceAllocator::magazine_flush(Cache& c, ThreadMagazines& t,
+                                  Magazine& m, std::size_t n)
+{
+    void* victims[kMaxMagazineCapacity];
+    std::size_t k = m.objects.take_oldest(n, victims);
+    if (k == 0)
+        return;
+    CacheStats& stats = c.pool.stats();
+    PerCpu& pc = *c.cpus[t.cpu];
+    {
+        std::lock_guard<SpinLock> guard(pc.lock);
+        flush_thread_stats(pc, stats, m.stats);
+        std::size_t room = pc.cache.capacity() - pc.cache.count();
+        if (room < k) {
+            // Make room with the existing sized flush policy, but
+            // never less than the batch needs (k <= magazine
+            // capacity <= per-CPU capacity, so this always fits).
+            std::size_t spill = pc.cache.capacity() / 2 + 1;
+            if (config_.sized_flush)
+                spill += pc.latent.count();
+            if (spill < k - room)
+                spill = k - room;
+            flush(c, pc, spill);
+        }
+        for (std::size_t i = 0; i < k; ++i)
+            pc.cache.push(victims[i]);
+        stats.live_objects.sub(static_cast<std::int64_t>(k));
+    }
+    PRUDENCE_TRACE_EMIT(trace::EventId::kMagFlush, k, t.cpu);
+}
+
+void
+PrudenceAllocator::magazine_spill_defers(Cache& c, ThreadMagazines& t,
+                                         Magazine& m)
+{
+    std::size_t n = m.defer_count;
+    if (n == 0)
+        return;
+    m.defer_count = 0;
+    CacheStats& stats = c.pool.stats();
+    PerCpu& pc = *c.cpus[t.cpu];
+
+    // ONE grace-period read tags the whole batch (the point of the
+    // buffering). Every member was deferred at or before this
+    // instant, so the tag is >= each member's true defer epoch:
+    // reuse can be delayed by up to one grace period, never early.
+    GpEpoch epoch = domain_.defer_epoch();
+    PRUDENCE_TRACE_EMIT(trace::EventId::kMagDeferSpill, n, epoch);
+    PRUDENCE_TRACE_CLOCK(defer_ts);
+
+    LatentRing::Entry spill[128];
+    std::size_t i = 0;
+    bool accounted = false;
+    for (;;) {
+        std::size_t spilled = 0;
+        {
+            std::lock_guard<SpinLock> guard(pc.lock);
+            if (!accounted) {
+                accounted = true;
+                flush_thread_stats(pc, stats, m.stats);
+                stats.live_objects.sub(
+                    static_cast<std::int64_t>(n));
+                stats.deferred_outstanding.add(
+                    static_cast<std::int64_t>(n));
+            }
+            while (i < n && !pc.latent.full())
+                pc.latent.push(m.defers[i++], epoch, defer_ts);
+            if (i < n) {
+                // Latent cache saturated: same recovery as the
+                // per-op path — make room, merge, then move the
+                // oldest half to latent slabs.
+                if (pc.cache.full())
+                    flush(c, pc, pc.cache.capacity() / 2 + 1);
+                merge_caches(c, pc, refresh_completed(t));
+                while (i < n && !pc.latent.full())
+                    pc.latent.push(m.defers[i++], epoch, defer_ts);
+            }
+            if (i == n) {
+                if (pc.cache.count() + pc.latent.count() >
+                        pc.cache.capacity() &&
+                    config_.idle_preflush) {
+                    // SCHEDULE_IDLE_PREFLUSH
+                    pc.preflush_requested = true;
+                }
+                return;
+            }
+            std::size_t batch = pc.latent.capacity() / 2 + 1;
+            if (batch > 128)
+                batch = 128;
+            while (spilled < batch && !pc.latent.empty()) {
+                spill[spilled++] = pc.latent.front();
+                pc.latent.pop_front();
+            }
+        }
+        spill_entries(c, spill, spilled);
+    }
+}
+
+void
+PrudenceAllocator::spill_all_defers(ThreadMagazines& t)
+{
+    std::size_t count = cache_count_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < count; ++i) {
+        auto& slot = t.mags[i];
+        if (slot && slot->defer_count > 0)
+            magazine_spill_defers(*caches_[i], t, *slot);
+    }
+}
+
+void
+PrudenceAllocator::drain_table(ThreadMagazines& t)
+{
+    std::size_t count = cache_count_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < count; ++i) {
+        auto& slot = t.mags[i];
+        if (!slot)
+            continue;
+        Magazine& m = *slot;
+        Cache& c = *caches_[i];
+        if (m.defer_count > 0)
+            magazine_spill_defers(c, t, m);
+        if (m.objects.count() > 0)
+            magazine_flush(c, t, m, m.objects.count());
+        if (m.stats.any()) {
+            PerCpu& pc = *c.cpus[t.cpu];
+            std::lock_guard<SpinLock> guard(pc.lock);
+            flush_thread_stats(pc, c.pool.stats(), m.stats);
+        }
+    }
+}
+
+void
+PrudenceAllocator::drain_calling_thread() const
+{
+    if (config_.magazine_capacity == 0)
+        return;
+    void* table = magazine_registry_.lookup();
+    if (table == nullptr)
+        return;
+    // Logically const: moves objects between internal caches and
+    // folds stat deltas the shared counters already own.
+    const_cast<PrudenceAllocator*>(this)->drain_table(
+        *static_cast<ThreadMagazines*>(table));
+}
+
+std::size_t
+PrudenceAllocator::magazine_object_count(CacheId cache) const
+{
+    void* table = magazine_registry_.lookup();
+    if (table == nullptr)
+        return 0;
+    auto& t = *static_cast<ThreadMagazines*>(table);
+    auto& slot = t.mags[cache_ref(cache).index];
+    return slot ? slot->objects.count() : 0;
+}
+
+std::size_t
+PrudenceAllocator::magazine_defer_count(CacheId cache) const
+{
+    void* table = magazine_registry_.lookup();
+    if (table == nullptr)
+        return 0;
+    auto& t = *static_cast<ThreadMagazines*>(table);
+    auto& slot = t.mags[cache_ref(cache).index];
+    return slot ? slot->defer_count : 0;
+}
+
+// ---------------------------------------------------------------------
 // Maintenance (idle-time pre-flush, §4.2)
 // ---------------------------------------------------------------------
 
@@ -833,7 +1199,7 @@ PrudenceAllocator::maintenance_pass()
             // Merging first mirrors the paper: grace periods that
             // completed during pre-flushing are harvested before the
             // next allocation needs them.
-            merge_caches(c, pc);
+            merge_caches(c, pc, domain_.completed_epoch());
             if (pc.preflush_requested ||
                 pc.cache.count() + pc.latent.count() >
                     pc.cache.capacity()) {
@@ -910,7 +1276,7 @@ PrudenceAllocator::reclaim_cache(Cache& c, bool fill_caches)
         {
             std::lock_guard<SpinLock> guard(pc.lock);
             if (fill_caches)
-                merge_caches(c, pc);
+                merge_caches(c, pc, completed);
             while (!pc.latent.empty() &&
                    pc.latent.front().epoch <= completed) {
                 spill.push_back(pc.latent.front());
@@ -955,6 +1321,10 @@ PrudenceAllocator::reclaim_cache(Cache& c, bool fill_caches)
 void
 PrudenceAllocator::quiesce()
 {
+    // Drain the calling thread's magazines BEFORE synchronizing so
+    // the batch tags stamped by the spill complete within this very
+    // grace period (other threads' magazines drain at their exit).
+    drain_calling_thread();
     domain_.synchronize();
     std::size_t count = cache_count_.load(std::memory_order_acquire);
     for (std::size_t i = 0; i < count; ++i)
@@ -964,6 +1334,9 @@ PrudenceAllocator::quiesce()
 std::string
 PrudenceAllocator::validate()
 {
+    // The accounting equalities below hold at quiescent points; fold
+    // this thread's magazine contents and stat deltas in first.
+    drain_calling_thread();
     std::size_t count = cache_count_.load(std::memory_order_acquire);
     for (std::size_t i = 0; i < count; ++i) {
         Cache& c = *caches_[i];
@@ -1005,12 +1378,17 @@ PrudenceAllocator::validate()
 CacheStatsSnapshot
 PrudenceAllocator::cache_snapshot(CacheId cache) const
 {
+    // Documented drain point: tests and tools read snapshots for
+    // exact counts, so the calling thread's pending magazine state
+    // (objects, buffered deferrals, stat deltas) is folded in first.
+    drain_calling_thread();
     return cache_ref(cache).pool.snapshot();
 }
 
 std::vector<CacheStatsSnapshot>
 PrudenceAllocator::snapshots() const
 {
+    drain_calling_thread();
     std::size_t count = cache_count_.load(std::memory_order_acquire);
     std::vector<CacheStatsSnapshot> out;
     out.reserve(count);

@@ -29,6 +29,7 @@
 
 #include <array>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -41,12 +42,14 @@
 #include "page/buddy_allocator.h"
 #include "rcu/grace_period.h"
 #include "slab/latent_ring.h"
+#include "slab/magazine.h"
 #include "slab/object_cache.h"
 #include "slab/page_owner.h"
 #include "slab/slab_pool.h"
 #include "sync/cacheline.h"
 #include "sync/cpu_registry.h"
 #include "sync/spinlock.h"
+#include "sync/thread_cache_registry.h"
 
 namespace prudence {
 
@@ -74,6 +77,7 @@ class PrudenceAllocator final : public Allocator
     std::vector<CacheStatsSnapshot> snapshots() const override;
     BuddyAllocator& page_allocator() override { return buddy_; }
     void quiesce() override;
+    void drain_thread() override { drain_calling_thread(); }
     std::string validate() override;
 
     /**
@@ -85,6 +89,15 @@ class PrudenceAllocator final : public Allocator
 
     /// The active configuration (ablation benches report it).
     const PrudenceConfig& config() const { return config_; }
+
+    /// Objects currently held in the calling thread's magazine for
+    /// @p cache (test introspection; 0 when magazines are off or the
+    /// thread has none).
+    std::size_t magazine_object_count(CacheId cache) const;
+
+    /// Deferred objects buffered (not yet epoch-tagged) in the
+    /// calling thread's magazine for @p cache.
+    std::size_t magazine_defer_count(CacheId cache) const;
 
   private:
     /// Per-CPU state: object cache + latent cache + rate estimators.
@@ -98,7 +111,9 @@ class PrudenceAllocator final : public Allocator
 
         /// Event counters for the pre-flush aggressiveness decision
         /// (owner-updated under lock; maintenance reads deltas).
-        std::uint64_t alloc_events = 0;
+        /// Aligned onto their own cache line so maintenance-thread
+        /// reads never contend with the line holding the lock.
+        alignas(kCacheLineSize) std::uint64_t alloc_events = 0;
         std::uint64_t free_events = 0;
         std::uint64_t defer_events = 0;
         std::uint64_t seen_alloc_events = 0;
@@ -115,11 +130,33 @@ class PrudenceAllocator final : public Allocator
         }
     };
 
+    // No false sharing: PerCpu instances occupy whole cache lines,
+    // and the maintenance-read event counters sit on a different
+    // line than the spinlock the owning CPU spins on.
+    static_assert(alignof(PerCpu) == kCacheLineSize,
+                  "PerCpu must be cache-line aligned");
+    static_assert(sizeof(PerCpu) % kCacheLineSize == 0,
+                  "adjacent PerCpu instances must not share a line");
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winvalid-offsetof"
+#endif
+    static_assert(offsetof(PerCpu, alloc_events) % kCacheLineSize == 0,
+                  "event counters must start a fresh cache line");
+    static_assert(offsetof(PerCpu, alloc_events) >= kCacheLineSize,
+                  "lock and event counters must not share a line");
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
+
     /// One slab cache: node-level pool + per-CPU layer.
     struct Cache
     {
         SlabPool pool;
         std::vector<std::unique_ptr<PerCpu>> cpus;
+        /// Position in caches_ (the per-thread magazine tables are
+        /// indexed by it).
+        std::size_t index = 0;
         /// Decaying high-water mark of deferred_outstanding, updated
         /// by maintenance. Smooths the deferred-aware shrink
         /// retention so a momentary drain between grace periods does
@@ -131,7 +168,7 @@ class PrudenceAllocator final : public Allocator
               unsigned ncpus);
     };
 
-    static constexpr std::size_t kMaxCaches = 256;
+    static constexpr std::size_t kMaxCaches = kMaxSlabCaches;
 
     Cache& cache_ref(CacheId id) const;
     Cache* cache_of_object(const void* p) const;
@@ -139,20 +176,66 @@ class PrudenceAllocator final : public Allocator
     void* alloc_impl(Cache& c);
     /// One allocation attempt; sets *oom when memory was exhausted.
     void* alloc_attempt(Cache& c, bool* oom);
+    /// OOM escalation (Algorithm 1 lines 31-32): expedite, then wait
+    /// for grace periods with backoff, re-attempting after each rung;
+    /// records oom_failures and returns nullptr when all rungs fail.
+    void* oom_ladder(Cache& c);
     /// True when any cache has deferred objects outstanding (the OOM
     /// escalation's "is waiting worthwhile?" predicate).
     bool any_cache_has_deferred() const;
     void free_impl(Cache& c, void* p);
     void free_deferred_impl(Cache& c, void* p);
 
-    /// MERGE_CACHES: move grace-period-complete latent objects into
-    /// the object cache. Caller holds pc.lock. @return merged count.
-    std::size_t merge_caches(Cache& c, PerCpu& pc);
+    // ---- thread-local magazine layer (DESIGN.md §9) ----
+
+    /// The calling thread's magazine table, created and registered on
+    /// first use (pins the thread's CPU id at creation).
+    ThreadMagazines& thread_state();
+    /// Magazine capacity for @p c: the config knob clamped to the
+    /// per-CPU cache capacity and kMaxMagazineCapacity.
+    std::size_t magazine_capacity_for(const Cache& c) const;
+    /// The thread's cached completed-epoch snapshot, re-read from the
+    /// domain only when its completion generation has moved. Stale
+    /// values are conservative (<= truth), never unsafe.
+    GpEpoch refresh_completed(ThreadMagazines& t);
+    /// Magazine-empty path: refill from the per-CPU layer (one lock
+    /// acquisition for ~capacity/2 objects) and pop one object.
+    void* magazine_alloc_slow(Cache& c, ThreadMagazines& t,
+                              Magazine& m, bool* oom);
+    /// Magazine-full path: flush @p n cold objects to the per-CPU
+    /// layer under one lock acquisition.
+    void magazine_flush(Cache& c, ThreadMagazines& t, Magazine& m,
+                        std::size_t n);
+    /// Deferral-buffer-full path: tag the whole batch with ONE
+    /// defer_epoch() read (conservative: >= each member's true defer
+    /// epoch) and push it into the per-CPU latent cache, spilling to
+    /// latent slabs when saturated.
+    void magazine_spill_defers(Cache& c, ThreadMagazines& t,
+                               Magazine& m);
+    /// Fold the thread's stat deltas into the shared counters and the
+    /// per-CPU event rates. Caller holds pc.lock.
+    void flush_thread_stats(PerCpu& pc, CacheStats& stats,
+                            ThreadCacheStats& ts);
+    /// Spill every cache's buffered deferrals (OOM path: makes them
+    /// visible to any_cache_has_deferred()/reclaim).
+    void spill_all_defers(ThreadMagazines& t);
+    /// Drain one thread's table completely: spill deferrals, flush
+    /// objects, fold stats. Runs on thread exit and at shutdown.
+    void drain_table(ThreadMagazines& t);
+    /// Drain the *calling* thread's magazines so snapshot/validate/
+    /// quiesce see balanced accounting (documented drain point).
+    void drain_calling_thread() const;
+
+    /// MERGE_CACHES: move latent objects with epoch <= @p completed
+    /// into the object cache. Caller holds pc.lock. @return merged
+    /// count.
+    std::size_t merge_caches(Cache& c, PerCpu& pc, GpEpoch completed);
 
     /// REFILL_OBJECT_CACHE body: move objects from node slabs into
-    /// the cache (grow if necessary). Caller holds pc.lock.
+    /// the cache (grow if necessary). Caller holds pc.lock and
+    /// supplies its completed-epoch view.
     /// @return true when at least one object was added.
-    bool refill(Cache& c, PerCpu& pc);
+    bool refill(Cache& c, PerCpu& pc, GpEpoch completed);
 
     /// Select the refill source slab using deferred-object hints
     /// (node lock held). May merge safe latent-slab entries.
@@ -206,6 +289,10 @@ class PrudenceAllocator final : public Allocator
     BuddyAllocator buddy_;
     PageOwnerTable owners_;
     CpuRegistry cpu_registry_;
+    /// Per-thread magazine tables (drain-on-thread-exit). The
+    /// destructor shuts this down explicitly before any member is
+    /// destroyed, so hook ordering never matters.
+    mutable ThreadCacheRegistry magazine_registry_;
 
     mutable std::mutex caches_mutex_;  ///< guards cache creation only
     std::array<std::unique_ptr<Cache>, kMaxCaches> caches_;

@@ -63,6 +63,18 @@ struct PrudenceConfig
 
     // ---- tuning ----
 
+    /**
+     * Capacity of the thread-local magazines that front the per-CPU
+     * caches (objects per thread per cache, and the deferral-buffer
+     * depth). The fast paths of alloc/free/free_deferred then touch
+     * no lock and no shared atomic, falling into the per-CPU layer
+     * once per ~capacity/2 operations. 0 disables the layer entirely
+     * (every operation goes straight to the per-CPU caches, as in
+     * the pre-magazine allocator). Clamped per cache to the object
+     * cache capacity and to kMaxMagazineCapacity.
+     */
+    std::size_t magazine_capacity = 32;
+
     /// Partial-list slabs examined when selecting a refill source
     /// (§5.4: "Prudence traverses the first 10 slabs").
     std::size_t slab_scan_limit = 10;

@@ -18,6 +18,7 @@
 #ifndef PRUDENCE_RCU_GRACE_PERIOD_H
 #define PRUDENCE_RCU_GRACE_PERIOD_H
 
+#include <atomic>
 #include <cstdint>
 
 namespace prudence {
@@ -51,6 +52,34 @@ class GracePeriodDomain
      * section.
      */
     virtual void synchronize() = 0;
+
+    /**
+     * Generation counter for completed_epoch() snapshots. Bumped
+     * (release) by the domain every time completed_epoch() advances;
+     * starts at 1 so a consumer whose cached generation starts at 0
+     * refreshes on first use. A consumer may cache completed_epoch()
+     * and re-read it only when this counter changes: a stale snapshot
+     * is always <= the true value, so is_safe() built on it errs
+     * toward "not yet safe" — conservative, never unsafe. The win is
+     * that the steady-state check is one acquire load of a plain
+     * atomic instead of a virtual call.
+     */
+    std::uint64_t
+    completion_generation() const
+    {
+        return completion_gen_.load(std::memory_order_acquire);
+    }
+
+  protected:
+    /// Domains call this after publishing a new completed_epoch().
+    void
+    bump_completion_generation()
+    {
+        completion_gen_.fetch_add(1, std::memory_order_release);
+    }
+
+  private:
+    std::atomic<std::uint64_t> completion_gen_{1};
 };
 
 }  // namespace prudence

@@ -40,6 +40,7 @@ class ManualRcuDomain : public GracePeriodDomain
     {
         GpEpoch cur = gp_ctr_.fetch_add(1, std::memory_order_acq_rel);
         completed_.store(cur, std::memory_order_release);
+        bump_completion_generation();
     }
 
     /// With no real readers, synchronize is a single advance.

@@ -98,6 +98,7 @@ QsbrDomain::advance()
         std::lock_guard<std::mutex> lock(waiter_mutex_);
         completed_.store(target - 1, std::memory_order_release);
     }
+    bump_completion_generation();
     waiter_cv_.notify_all();
 }
 

@@ -140,6 +140,7 @@ RcuDomain::advance()
         std::lock_guard<std::mutex> lock(waiter_mutex_);
         completed_.store(t1 - 1, std::memory_order_release);
     }
+    bump_completion_generation();
     waiter_cv_.notify_all();
 }
 

@@ -1,5 +1,6 @@
 #include "slub/slub_allocator.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -28,13 +29,20 @@ SlubAllocator::SlubAllocator(GracePeriodDomain& domain,
     : domain_(domain),
       buddy_(config.arena_bytes),
       owners_(buddy_),
-      cpu_registry_(config.cpus)
+      cpu_registry_(config.cpus),
+      magazine_capacity_(config.magazine_capacity),
+      magazine_registry_(ThreadCacheRegistry::Hooks{
+          [this](void* t) {
+              drain_table(*static_cast<ThreadMagazines*>(t));
+          },
+          [](void* t) { delete static_cast<ThreadMagazines*>(t); }})
 {
     // The kmalloc ladder occupies cache indexes [0, kNumSizeClasses).
     for (std::size_t i = 0; i < kNumSizeClasses; ++i) {
         caches_[i] = std::make_unique<Cache>(
             size_class_name(i), kSizeClasses[i], buddy_, owners_,
             cpu_registry_.max_cpus());
+        caches_[i]->index = i;
     }
     cache_count_.store(kNumSizeClasses, std::memory_order_release);
 
@@ -48,8 +56,11 @@ SlubAllocator::SlubAllocator(GracePeriodDomain& domain,
 
 SlubAllocator::~SlubAllocator()
 {
-    // engine_ is destroyed first (declaration order), draining every
-    // queued deferred free while caches_ still exists.
+    // Reclaim surviving per-thread magazines while the caches they
+    // drain into still exist. Callback-invoked frees bypass the
+    // magazine layer, so the engine drain that follows (engine_ is
+    // destroyed first, declaration order) cannot repopulate them.
+    magazine_registry_.shutdown();
 }
 
 SlubAllocator::Cache&
@@ -134,6 +145,7 @@ SlubAllocator::create_cache(const std::string& name,
         throw std::runtime_error("SlubAllocator: too many caches");
     caches_[count] = std::make_unique<Cache>(
         name, object_size, buddy_, owners_, cpu_registry_.max_cpus());
+    caches_[count]->index = count;
     cache_count_.store(count + 1, std::memory_order_release);
     return CacheId{count};
 }
@@ -170,6 +182,24 @@ SlubAllocator::cache_free_deferred(CacheId cache, void* p)
 void*
 SlubAllocator::alloc_impl(Cache& c)
 {
+    if (magazine_capacity_ > 0) {
+        // Thread-local fast path (no lock, no shared atomic); stats
+        // accumulate as plain per-thread deltas flushed at batch
+        // boundaries. Identical accounting semantics to Prudence's
+        // magazine layer so head-to-head numbers stay comparable.
+        ThreadMagazines& t = thread_state();
+        Magazine& m = t.ensure(c.index, magazine_capacity_for(c));
+        ++m.stats.alloc_calls;
+        if (void* obj = m.objects.pop()) {
+            ++m.stats.cache_hits;
+            return obj;
+        }
+        PRUDENCE_TRACE_SPAN(alloc_span, trace::HistId::kSlubAllocNs,
+                            trace::EventId::kAllocSpan);
+        alloc_span.set_args(c.pool.geometry().object_size);
+        return magazine_alloc_slow(c, t, m);
+    }
+
     CacheStats& stats = c.pool.stats();
     stats.alloc_calls.add();
     PRUDENCE_TRACE_SPAN(alloc_span, trace::HistId::kSlubAllocNs,
@@ -249,6 +279,20 @@ SlubAllocator::refill(Cache& c, ObjectCache& cache)
 void
 SlubAllocator::free_impl(Cache& c, void* p, bool from_callback)
 {
+    if (magazine_capacity_ > 0 && !from_callback) {
+        // Thread-local fast path. Callback-invoked frees bypass it:
+        // the engine's drainer threads never exit, so objects routed
+        // into their magazines would be stranded until allocator
+        // shutdown.
+        ThreadMagazines& t = thread_state();
+        Magazine& m = t.ensure(c.index, magazine_capacity_for(c));
+        ++m.stats.free_calls;
+        if (m.objects.full())
+            magazine_flush(c, t, m, m.objects.capacity() / 2 + 1);
+        m.objects.push(p);
+        return;
+    }
+
     CacheStats& stats = c.pool.stats();
     if (!from_callback) {
         stats.free_calls.add();
@@ -295,6 +339,140 @@ SlubAllocator::flush(Cache& c, ObjectCache& cache, std::size_t n)
         shrink(c);
 }
 
+// ---------------------------------------------------------------------
+// Thread-local magazine layer (DESIGN.md §9; object side only —
+// deferred frees remain per-operation callbacks)
+// ---------------------------------------------------------------------
+
+ThreadMagazines&
+SlubAllocator::thread_state()
+{
+    if (void* table = magazine_registry_.lookup())
+        return *static_cast<ThreadMagazines*>(table);
+    // CPU id resolved once; the magazine pins thread identity.
+    auto* t = new ThreadMagazines(cpu_registry_.cpu_id());
+    magazine_registry_.attach(t);
+    return *t;
+}
+
+std::size_t
+SlubAllocator::magazine_capacity_for(const Cache& c) const
+{
+    std::size_t cap = magazine_capacity_;
+    cap = std::min(cap, c.pool.geometry().cache_capacity);
+    cap = std::min(cap, kMaxMagazineCapacity);
+    return cap > 0 ? cap : 1;
+}
+
+void*
+SlubAllocator::magazine_alloc_slow(Cache& c, ThreadMagazines& t,
+                                   Magazine& m)
+{
+    CacheStats& stats = c.pool.stats();
+    PerCpu& pc = *c.cpus[t.cpu];
+    std::size_t want = m.objects.capacity() / 2;
+    if (want == 0)
+        want = 1;
+    std::size_t got = 0;
+    bool refilled = false;
+    {
+        std::lock_guard<SpinLock> guard(pc.lock);
+        if (m.stats.any())
+            m.stats.flush_into(stats);
+        auto take = [&] {
+            while (got < want) {
+                void* obj = pc.cache.pop();
+                if (obj == nullptr)
+                    break;
+                m.objects.push(obj);
+                ++got;
+            }
+        };
+        take();
+        if (got == 0) {
+            if (!refill(c, pc.cache))
+                return nullptr;  // out of memory
+            refilled = true;
+            take();
+        }
+        assert(got > 0);
+        // live_objects counts application-held + magazine-held;
+        // it moves only at batch boundaries.
+        stats.live_objects.add(static_cast<std::int64_t>(got));
+        if (!refilled)
+            ++m.stats.cache_hits;
+    }
+    PRUDENCE_TRACE_EMIT(trace::EventId::kMagRefill, got, t.cpu);
+    void* obj = m.objects.pop();
+    assert(obj != nullptr);
+    return obj;
+}
+
+void
+SlubAllocator::magazine_flush(Cache& c, ThreadMagazines& t,
+                              Magazine& m, std::size_t n)
+{
+    void* victims[kMaxMagazineCapacity];
+    std::size_t k = m.objects.take_oldest(n, victims);
+    if (k == 0)
+        return;
+    CacheStats& stats = c.pool.stats();
+    PerCpu& pc = *c.cpus[t.cpu];
+    {
+        std::lock_guard<SpinLock> guard(pc.lock);
+        if (m.stats.any())
+            m.stats.flush_into(stats);
+        std::size_t room = pc.cache.capacity() - pc.cache.count();
+        if (room < k) {
+            // Conventional half-cache spill, but never less than the
+            // batch needs (k <= magazine capacity <= cache capacity,
+            // so it always fits afterwards).
+            std::size_t spill = pc.cache.capacity() / 2 + 1;
+            if (spill < k - room)
+                spill = k - room;
+            flush(c, pc.cache, spill);
+        }
+        for (std::size_t i = 0; i < k; ++i)
+            pc.cache.push(victims[i]);
+        stats.live_objects.sub(static_cast<std::int64_t>(k));
+    }
+    PRUDENCE_TRACE_EMIT(trace::EventId::kMagFlush, k, t.cpu);
+}
+
+void
+SlubAllocator::drain_table(ThreadMagazines& t)
+{
+    std::size_t count = cache_count_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < count; ++i) {
+        auto& slot = t.mags[i];
+        if (!slot)
+            continue;
+        Magazine& m = *slot;
+        Cache& c = *caches_[i];
+        assert(m.defer_count == 0 &&
+               "slub deferrals never enter the magazine buffer");
+        if (m.objects.count() > 0)
+            magazine_flush(c, t, m, m.objects.count());
+        if (m.stats.any()) {
+            PerCpu& pc = *c.cpus[t.cpu];
+            std::lock_guard<SpinLock> guard(pc.lock);
+            m.stats.flush_into(c.pool.stats());
+        }
+    }
+}
+
+void
+SlubAllocator::drain_calling_thread() const
+{
+    if (magazine_capacity_ == 0)
+        return;
+    void* table = magazine_registry_.lookup();
+    if (table == nullptr)
+        return;
+    const_cast<SlubAllocator*>(this)->drain_table(
+        *static_cast<ThreadMagazines*>(table));
+}
+
 void
 SlubAllocator::shrink(Cache& c)
 {
@@ -315,12 +493,16 @@ SlubAllocator::shrink(Cache& c)
 CacheStatsSnapshot
 SlubAllocator::cache_snapshot(CacheId cache) const
 {
+    // Documented drain point: fold the calling thread's magazine
+    // contents and stat deltas in so snapshots carry exact counts.
+    drain_calling_thread();
     return cache_ref(cache).pool.snapshot();
 }
 
 std::vector<CacheStatsSnapshot>
 SlubAllocator::snapshots() const
 {
+    drain_calling_thread();
     std::size_t count = cache_count_.load(std::memory_order_acquire);
     std::vector<CacheStatsSnapshot> out;
     out.reserve(count);
@@ -332,12 +514,16 @@ SlubAllocator::snapshots() const
 void
 SlubAllocator::quiesce()
 {
+    drain_calling_thread();
     engine_->drain_all();
 }
 
 std::string
 SlubAllocator::validate()
 {
+    // The accounting equality below holds at quiescent points; fold
+    // this thread's magazine contents and stat deltas in first.
+    drain_calling_thread();
     std::size_t count = cache_count_.load(std::memory_order_acquire);
     for (std::size_t i = 0; i < count; ++i) {
         Cache& c = *caches_[i];

@@ -25,12 +25,14 @@
 #include "page/buddy_allocator.h"
 #include "rcu/callback_engine.h"
 #include "rcu/grace_period.h"
+#include "slab/magazine.h"
 #include "slab/object_cache.h"
 #include "slab/page_owner.h"
 #include "slab/slab_pool.h"
 #include "sync/cacheline.h"
 #include "sync/cpu_registry.h"
 #include "sync/spinlock.h"
+#include "sync/thread_cache_registry.h"
 
 namespace prudence {
 
@@ -47,6 +49,16 @@ struct SlubConfig
      * automatically when expediting is left unconfigured.
      */
     CallbackEngineConfig callback;
+
+    /**
+     * Thread-local magazine capacity (0 = off), mirroring
+     * PrudenceConfig::magazine_capacity so head-to-head benchmarks
+     * compare like fast paths. Only immediate alloc/free go through
+     * magazines; deferred frees remain per-operation callbacks (the
+     * baseline's defining cost), and callback-invoked frees bypass
+     * the layer (engine drainer threads never exit).
+     */
+    std::size_t magazine_capacity = 32;
 };
 
 /// Baseline allocator: SLUB-style caching + callback-based deferral.
@@ -72,6 +84,7 @@ class SlubAllocator final : public Allocator
     std::vector<CacheStatsSnapshot> snapshots() const override;
     BuddyAllocator& page_allocator() override { return buddy_; }
     void quiesce() override;
+    void drain_thread() override { drain_calling_thread(); }
     std::string validate() override;
 
     /// Callback-engine activity (backlog = extended object lifetimes).
@@ -87,11 +100,18 @@ class SlubAllocator final : public Allocator
         explicit PerCpu(std::size_t capacity) : cache(capacity) {}
     };
 
+    static_assert(alignof(PerCpu) == kCacheLineSize,
+                  "PerCpu must be cache-line aligned");
+    static_assert(sizeof(PerCpu) % kCacheLineSize == 0,
+                  "adjacent PerCpu instances must not share a line");
+
     /// One slab cache: node-level pool + per-CPU layer.
     struct Cache
     {
         SlabPool pool;
         std::vector<std::unique_ptr<PerCpu>> cpus;
+        /// Position in caches_ (indexes the per-thread magazines).
+        std::size_t index = 0;
 
         Cache(std::string name, std::size_t object_size,
               BuddyAllocator& buddy, PageOwnerTable& owners,
@@ -103,6 +123,17 @@ class SlubAllocator final : public Allocator
 
     void* alloc_impl(Cache& c);
     void free_impl(Cache& c, void* p, bool from_callback);
+
+    // ---- thread-local magazine layer (same shape as Prudence's;
+    // DESIGN.md §9) ----
+    ThreadMagazines& thread_state();
+    std::size_t magazine_capacity_for(const Cache& c) const;
+    void* magazine_alloc_slow(Cache& c, ThreadMagazines& t,
+                              Magazine& m);
+    void magazine_flush(Cache& c, ThreadMagazines& t, Magazine& m,
+                        std::size_t n);
+    void drain_table(ThreadMagazines& t);
+    void drain_calling_thread() const;
     /// Refill the object cache from node slabs (grows if needed).
     /// Returns true when at least one object was added.
     bool refill(Cache& c, ObjectCache& cache);
@@ -117,10 +148,15 @@ class SlubAllocator final : public Allocator
     BuddyAllocator buddy_;
     PageOwnerTable owners_;
     CpuRegistry cpu_registry_;
+    /// Magazine knob (from SlubConfig; 0 = layer disabled).
+    std::size_t magazine_capacity_;
+    /// Per-thread magazine tables (drain-on-thread-exit). Shut down
+    /// explicitly in the destructor body, before members die.
+    mutable ThreadCacheRegistry magazine_registry_;
 
     /// Hard cap on caches per allocator; keeps cache lookup lock-free
     /// (fixed storage + atomic count).
-    static constexpr std::size_t kMaxCaches = 256;
+    static constexpr std::size_t kMaxCaches = kMaxSlabCaches;
 
     mutable std::mutex caches_mutex_;  ///< guards cache creation only
     std::array<std::unique_ptr<Cache>, kMaxCaches> caches_;

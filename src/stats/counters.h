@@ -2,8 +2,22 @@
  * @file
  * Lightweight statistic counter primitives.
  *
- * All counters use relaxed atomics: they are monotonic event counts
- * whose exact interleaving is irrelevant; only totals are reported.
+ * Memory-order contract (audited — keep it this way): every access
+ * here is std::memory_order_relaxed, never a defaulted seq_cst.
+ * Counters are written by the operation that owns the event and read
+ * by snapshot paths (cache_snapshot()/validate()) that run either at
+ * quiescent points or tolerate an in-flight delta; no reader infers
+ * cross-thread ordering from a counter value, so no fences are owed.
+ * Exact equalities (e.g. live_objects accounting) are only asserted
+ * at quiescent points, where happens-before is established by joins,
+ * locks or barriers — not by these atomics.
+ *
+ * Hot-path note: with the thread-local magazine layer enabled
+ * (DESIGN.md §9) the per-operation paths do not touch these counters
+ * at all — they accumulate plain per-thread deltas (ThreadCacheStats,
+ * single writer) that are folded in here at batch boundaries under
+ * the per-CPU lock. The relaxed RMWs below are then batch-rate, not
+ * op-rate.
  */
 #ifndef PRUDENCE_STATS_COUNTERS_H
 #define PRUDENCE_STATS_COUNTERS_H

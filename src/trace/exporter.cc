@@ -38,6 +38,9 @@ event_info(EventId id)
         {"gp_stall", "rcu", 'i', "target_epoch", "stalled_ms"},
         {"oom_expedite", "alloc", 'i', "attempt", nullptr},
         {"oom_backoff", "alloc", 'i', "attempt", "backoff_us"},
+        {"mag_refill", "alloc", 'i', "count", "cpu"},
+        {"mag_flush", "alloc", 'i', "count", "cpu"},
+        {"mag_defer_spill", "alloc", 'i', "count", "epoch"},
     };
     auto idx = static_cast<std::size_t>(id);
     constexpr auto kTableSize = sizeof(kTable) / sizeof(kTable[0]);

@@ -60,6 +60,14 @@ enum class EventId : std::uint16_t {
     kOomBackoff,   ///< OOM retry backing off (arg0=attempt,
                    ///< arg1=backoff us)
 
+    // Thread-local magazine layer (batch boundaries).
+    kMagRefill,     ///< magazine refilled from the per-CPU layer
+                    ///< (arg0=objects moved, arg1=cpu)
+    kMagFlush,      ///< magazine flushed to the per-CPU layer
+                    ///< (arg0=objects moved, arg1=cpu)
+    kMagDeferSpill, ///< deferral buffer spilled with one batch tag
+                    ///< (arg0=objects, arg1=epoch tag)
+
     kMaxEvent
 };
 

@@ -237,6 +237,8 @@ run_workload(Allocator& alloc, const WorkloadSpec& spec,
     // it, outside the measurement window.
     std::barrier start_line(spec.threads + 1);
     std::barrier finish_line(spec.threads + 1);
+    std::barrier metrics_line(spec.threads + 1);
+    std::barrier flushed_line(spec.threads + 1);
     std::barrier drain_line(spec.threads + 1);
     std::vector<std::thread> threads;
     threads.reserve(spec.threads);
@@ -246,6 +248,13 @@ run_workload(Allocator& alloc, const WorkloadSpec& spec,
             start_line.arrive_and_wait();
             workers[t].timed();
             finish_line.arrive_and_wait();
+            // After the timed metrics are captured, flush this
+            // thread's magazines so the quiesced live snapshot sees
+            // exact standing-object counts (thread-local batches
+            // would otherwise inflate the live gauge).
+            metrics_line.arrive_and_wait();
+            alloc.drain_thread();
+            flushed_line.arrive_and_wait();
             drain_line.arrive_and_wait();
             workers[t].drain();
         });
@@ -263,6 +272,12 @@ run_workload(Allocator& alloc, const WorkloadSpec& spec,
     // activity pollutes the histograms.
     std::vector<trace::MetricSnapshot> timed_metrics =
         active_metrics(/*reset=*/true);
+
+    // Release the workers to flush their thread-local magazines, and
+    // wait until every flush has landed in the shared layers.
+    metrics_line.arrive_and_wait();
+    alloc.drain_thread();
+    flushed_line.arrive_and_wait();
 
     // Workers are parked at drain_line: reclaim every deferred object
     // and snapshot the paper's end-of-run state (live objects still

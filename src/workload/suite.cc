@@ -29,6 +29,7 @@ run_one(const WorkloadSpec& spec, const SuiteConfig& config, bool slub,
         SlubConfig sc;
         sc.arena_bytes = config.arena_bytes;
         sc.cpus = config.cpus;
+        sc.magazine_capacity = config.magazine_capacity;
         // Kernel-like regime: callbacks become ready in grace-period
         // batches and are drained at once (paper §3.1 bursty
         // freeing), with a throttled background drainer as backstop.
@@ -42,6 +43,7 @@ run_one(const WorkloadSpec& spec, const SuiteConfig& config, bool slub,
             : PrudenceConfig{};
         pc.arena_bytes = config.arena_bytes;
         pc.cpus = config.cpus;
+        pc.magazine_capacity = config.magazine_capacity;
         alloc = make_prudence_allocator(rcu, pc);
     }
     return run_workload(*alloc, spec, seed);

@@ -26,6 +26,9 @@ struct SuiteConfig
     std::size_t arena_bytes = std::size_t{1} << 30;
     /// Virtual CPUs per allocator.
     unsigned cpus = 8;
+    /// Thread-local magazine depth for both allocators (0 = off),
+    /// applied uniformly so comparisons stay like-for-like.
+    std::size_t magazine_capacity = 32;
     /// Workload RNG seed.
     std::uint64_t seed = 1;
     /// Repetitions per (workload, allocator); metrics use run 0, the

@@ -315,8 +315,11 @@ TEST(OomEscalation, ExpediteHarvestsAlreadySafeDeferrals)
         alloc.kfree_deferred(held.back());
         held.pop_back();
     }
-    // Complete the grace period: the deferred objects are safe now,
-    // no synchronize() needed — the expedite rung alone must recover.
+    // Spill the thread-local deferral buffer, then complete the grace
+    // period: the deferred objects' batch tag predates the advance,
+    // so they are safe and the expedite rung alone must recover —
+    // no synchronize() needed.
+    alloc.drain_thread();
     domain.advance();
 
     void* obj = alloc.kmalloc(256);

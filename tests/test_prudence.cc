@@ -93,6 +93,10 @@ TEST(Prudence, DeferredObjectReusableAfterGracePeriod)
     void* p = alloc.cache_alloc(id);
     ASSERT_NE(p, nullptr);
     alloc.cache_free_deferred(id, p);
+    // Flush the thread-local deferral buffer so the batch is
+    // epoch-tagged before the grace period below (batched deferral
+    // tags at spill time, not at cache_free_deferred time).
+    alloc.drain_thread();
     domain.advance();
 
     // Eliminating extended lifetimes: p comes back through the latent
@@ -199,6 +203,9 @@ TEST(Prudence, MaintenanceMergesAfterGracePeriod)
 
     void* p = alloc.cache_alloc(id);
     alloc.cache_free_deferred(id, p);
+    // Spill the thread-local deferral buffer so its epoch tag
+    // precedes the grace period the maintenance sweep observes.
+    alloc.drain_thread();
     domain.advance();
     alloc.maintenance_pass();
     // The maintenance sweep merged the safe latent object back into

@@ -66,6 +66,7 @@ struct Options
     unsigned oom_threads = 1;
     std::string allocator = "prudence";
     std::size_t arena_mb = 32;
+    std::size_t magazine_capacity = 32;
     std::uint64_t stall_threshold_ms = 1000;
     bool expect_stall = false;
 };
@@ -88,6 +89,8 @@ usage(const char* argv0)
         "  --allocator=KIND         prudence | slub (default prudence)\n"
         "  --arena-mb=N             simulated physical memory "
         "(default 32)\n"
+        "  --magazine-capacity=N    thread-local magazine depth, "
+        "0 = off (default 32)\n"
         "  --stall-threshold-ms=N   stall-detector threshold "
         "(default 1000)\n"
         "  --expect-stall           inject one long GP stall and "
@@ -129,6 +132,9 @@ parse_options(int argc, char** argv, Options& opt)
             opt.allocator = v;
         else if (flag_value(argv[i], "--arena-mb", &v))
             opt.arena_mb = static_cast<std::size_t>(std::atoll(v));
+        else if (flag_value(argv[i], "--magazine-capacity", &v))
+            opt.magazine_capacity =
+                static_cast<std::size_t>(std::atoll(v));
         else if (flag_value(argv[i], "--stall-threshold-ms", &v))
             opt.stall_threshold_ms = std::strtoull(v, nullptr, 0);
         else if (std::strcmp(argv[i], "--expect-stall") == 0)
@@ -432,12 +438,14 @@ main(int argc, char** argv)
     if (opt.allocator == "slub") {
         prudence::SlubConfig cfg;
         cfg.arena_bytes = opt.arena_mb << 20;
+        cfg.magazine_capacity = opt.magazine_capacity;
         auto owned = std::make_unique<prudence::SlubAllocator>(domain, cfg);
         slub = owned.get();
         alloc = std::move(owned);
     } else {
         prudence::PrudenceConfig cfg;
         cfg.arena_bytes = opt.arena_mb << 20;
+        cfg.magazine_capacity = opt.magazine_capacity;
         alloc =
             std::make_unique<prudence::PrudenceAllocator>(domain, cfg);
     }
