@@ -100,14 +100,22 @@ class TraceSession
     std::string path_;
 };
 
+/// Numeric environment override (run_bench.sh A/B knobs), or
+/// @p fallback when unset.
+inline std::size_t
+size_env(const char* name, std::size_t fallback)
+{
+    if (const char* env = std::getenv(name))
+        return static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+    return fallback;
+}
+
 /// PRUDENCE_MAGAZINE_CAPACITY override (run_bench.sh A/B knob), or
 /// @p fallback when unset.
 inline std::size_t
 magazine_capacity_env(std::size_t fallback)
 {
-    if (const char* env = std::getenv("PRUDENCE_MAGAZINE_CAPACITY"))
-        return static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
-    return fallback;
+    return size_env("PRUDENCE_MAGAZINE_CAPACITY", fallback);
 }
 
 /// Suite configuration shared by the per-figure binaries.
@@ -120,6 +128,9 @@ suite_config(double scale)
     cfg.repetitions = 1;
     cfg.magazine_capacity =
         magazine_capacity_env(cfg.magazine_capacity);
+    cfg.pcp_high_watermark =
+        size_env("PRUDENCE_PCP_HIGH_WATERMARK", cfg.pcp_high_watermark);
+    cfg.pcp_batch = size_env("PRUDENCE_PCP_BATCH", cfg.pcp_batch);
     return cfg;
 }
 

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Figure 14 (repo-local experiment): buddy-lock contention under
+ * multi-threaded slab grow/shrink churn, with and without the
+ * per-CPU page caches (DESIGN.md §10).
+ *
+ * PR 3 made the object fast path lock-free, which moves the
+ * bottleneck down to the page layer: every slab grow/shrink from
+ * every CPU serializes on the buddy allocator's one global spinlock.
+ * This bench drives that layer directly — N threads continuously
+ * allocate and free blocks of the slab-geometry orders (0..3),
+ * holding a small working ring so allocs and frees interleave the
+ * way slab churn does — and reports, per thread count and per
+ * config (PCP on vs off):
+ *
+ *   ns/op            wall time per alloc+free pair, per thread
+ *   lock/op          global buddy-lock acquisitions per operation
+ *   hit_rate         fraction of allocs served CPU-locally
+ *
+ * With PCP on, lock acquisitions collapse by ~pcp_batch× (one
+ * global acquisition refills/drains a whole batch); at 8 threads
+ * that is also a large wall-clock win because the remaining
+ * acquisitions stop queueing behind seven other CPUs.
+ *
+ * Environment: PRUDENCE_PCP_HIGH_WATERMARK / PRUDENCE_PCP_BATCH
+ * override the "on" configuration (defaults 32 / 8).
+ */
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "page/buddy_allocator.h"
+#include "page/page_types.h"
+
+namespace {
+
+struct RunResult
+{
+    double ns_per_op = 0.0;
+    double lock_per_op = 0.0;
+    double hit_rate = 0.0;
+};
+
+/// One churn run: @p threads workers, each performing @p ops
+/// alloc/free pairs over orders 0..kPcpMaxOrder against a fresh
+/// allocator.
+RunResult
+run_churn(unsigned threads, std::size_t ops, std::size_t watermark,
+          std::size_t batch)
+{
+    prudence::BuddyConfig cfg;
+    cfg.capacity_bytes = std::size_t{64} << 20;
+    cfg.cpus = threads;
+    cfg.pcp_high_watermark = watermark;
+    cfg.pcp_batch = batch;
+    prudence::BuddyAllocator buddy(cfg);
+
+    std::atomic<bool> go{false};
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.emplace_back([&buddy, &go, ops] {
+            while (!go.load(std::memory_order_acquire)) {
+            }
+            // Small working ring so allocs and frees interleave like
+            // slab grow/shrink (a pure alloc-all/free-all loop would
+            // let one batch refill serve the whole ring).
+            constexpr std::size_t kRing = 16;
+            void* ring[kRing] = {};
+            unsigned ring_order[kRing] = {};
+            for (std::size_t i = 0; i < ops; ++i) {
+                std::size_t slot = i % kRing;
+                if (ring[slot] != nullptr)
+                    buddy.free_pages(ring[slot], ring_order[slot]);
+                unsigned order =
+                    static_cast<unsigned>(i & prudence::kPcpMaxOrder);
+                ring[slot] = buddy.alloc_pages(order);
+                ring_order[slot] = order;
+            }
+            for (std::size_t slot = 0; slot < kRing; ++slot) {
+                if (ring[slot] != nullptr)
+                    buddy.free_pages(ring[slot], ring_order[slot]);
+            }
+        });
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    go.store(true, std::memory_order_release);
+    for (auto& w : workers)
+        w.join();
+    auto t1 = std::chrono::steady_clock::now();
+
+    auto s = buddy.stats();
+    double total_ops = static_cast<double>(ops) * threads;
+    double wall_ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+    RunResult r;
+    // Per-thread per-op latency: total thread-time / total ops.
+    r.ns_per_op = wall_ns * threads / total_ops;
+    r.lock_per_op =
+        static_cast<double>(s.lock_acquisitions) / total_ops;
+    if (s.pcp_hits + s.pcp_misses > 0) {
+        r.hit_rate = static_cast<double>(s.pcp_hits) /
+                     static_cast<double>(s.pcp_hits + s.pcp_misses);
+    }
+    return r;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    prudence_bench::TraceSession trace_session(argc, argv);
+    double scale = prudence_bench::run_scale(argc, argv);
+    std::size_t watermark =
+        prudence_bench::size_env("PRUDENCE_PCP_HIGH_WATERMARK", 32);
+    std::size_t batch = prudence_bench::size_env("PRUDENCE_PCP_BATCH", 8);
+    if (watermark == 0)
+        watermark = 32;  // the "off" leg is always run explicitly
+
+    auto ops = static_cast<std::size_t>(200000.0 * scale);
+    if (ops < 1000)
+        ops = 1000;
+
+    std::printf("# Figure 14: buddy-lock contention, per-CPU page "
+                "caches on vs off\n");
+    std::printf("# %zu alloc/free pairs per thread, orders 0..%u, "
+                "pcp watermark %zu batch %zu\n",
+                ops, prudence::kPcpMaxOrder, watermark, batch);
+    std::printf("%-8s %-5s %12s %14s %10s\n", "threads", "pcp",
+                "ns_per_op", "lock_per_op", "hit_rate");
+
+    double on8_lock = 0.0, off8_lock = 0.0;
+    double on8_ns = 0.0, off8_ns = 0.0;
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        RunResult on = run_churn(threads, ops, watermark, batch);
+        RunResult off = run_churn(threads, ops, 0, batch);
+        std::printf("%-8u %-5s %12.1f %14.4f %10.3f\n", threads, "on",
+                    on.ns_per_op, on.lock_per_op, on.hit_rate);
+        std::printf("%-8u %-5s %12.1f %14.4f %10.3f\n", threads, "off",
+                    off.ns_per_op, off.lock_per_op, off.hit_rate);
+        if (threads == 8) {
+            on8_lock = on.lock_per_op;
+            off8_lock = off.lock_per_op;
+            on8_ns = on.ns_per_op;
+            off8_ns = off.ns_per_op;
+        }
+    }
+
+    if (on8_lock > 0.0 && on8_ns > 0.0) {
+        std::printf("# 8 threads: lock acquisitions/op %.4f -> %.4f "
+                    "(%.1fx reduction), ns/op %.1f -> %.1f (%.2fx)\n",
+                    off8_lock, on8_lock, off8_lock / on8_lock, off8_ns,
+                    on8_ns, off8_ns / on8_ns);
+    }
+    return 0;
+}

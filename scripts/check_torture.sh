@@ -42,3 +42,12 @@ ctest --preset "$PRESET" -j "${JOBS:-2}"
     --fault-seed="${SEED:-42}" \
     --magazine-capacity=0 \
     "$@"
+
+# Third pass with the per-CPU page caches disabled: slab grow/release
+# takes the legacy single-lock buddy path, so checked-free, the OOM
+# ladder and quiesce accounting must hold without the PCP drain hook.
+"$BUILD_DIR/tools/prudtorture" \
+    --duration="${DURATION:-20}" \
+    --fault-seed="${SEED:-42}" \
+    --pcp-high-watermark=0 \
+    "$@"

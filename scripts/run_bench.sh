@@ -1,8 +1,10 @@
 #!/bin/sh
 # Run the perf-tracking benchmark set (tab01_alloc_cost, fig06_micro,
-# fig13_throughput) once with the thread-local magazine layer enabled
-# (capacity 32, the default) and once disabled (capacity 0), and write
-# a machine-readable summary to bench/results/BENCH_<git-sha>.json.
+# fig13_throughput) over the A/B knob matrix — thread-local magazines
+# (capacity 32 vs 0) × per-CPU page caches (watermark 32 vs 0) — plus
+# the fig14 buddy-lock contention microbench (its own pcp on/off
+# table), and write a machine-readable summary to
+# bench/results/BENCH_<git-sha>.json.
 #
 # Reported per config:
 #   tab01  — alloc/free hit-cycle ns and ops/sec: mean, p50 and p99
@@ -10,13 +12,16 @@
 #   fig06  — kmalloc/kfree_deferred pairs/s per object size, both
 #            allocators, plus the prudence/slub speedup;
 #   fig13  — per-workload ops/s for both allocators and improvement %.
+# Plus:
+#   fig14  — ns/op, buddy-lock acquisitions/op and PCP hit rate per
+#            thread count, pcp on vs off.
 #
 # Usage: scripts/run_bench.sh [preset]
 #   preset    default | nofault | ...    (default: default)
 # Environment:
-#   SCALE  workload scale for fig06/fig13        (default: 0.2)
-#   REPS   tab01 google-benchmark repetitions    (default: 5)
-#   JOBS   parallel build jobs                   (default: 2)
+#   SCALE  workload scale for fig06/fig13/fig14    (default: 0.2)
+#   REPS   tab01 google-benchmark repetitions      (default: 5)
+#   JOBS   parallel build jobs                     (default: 2)
 #   OUT    output JSON path (default: bench/results/BENCH_<sha>.json)
 set -eu
 
@@ -30,7 +35,8 @@ esac
 
 cmake --preset "$PRESET"
 cmake --build --preset "$PRESET" -j "${JOBS:-2}" \
-    --target tab01_alloc_cost fig06_micro fig13_throughput
+    --target tab01_alloc_cost fig06_micro fig13_throughput \
+    fig14_page_contention
 
 SHA="$(git rev-parse --short HEAD)"
 SCALE="${SCALE:-0.2}"
@@ -42,22 +48,33 @@ TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
 for cap in 32 0; do
-    echo "== magazine_capacity=$cap: tab01_alloc_cost =="
-    PRUDENCE_MAGAZINE_CAPACITY=$cap \
-        "$BUILD_DIR/bench/tab01_alloc_cost" \
-        --benchmark_repetitions="$REPS" \
-        --benchmark_report_aggregates_only=false \
-        --benchmark_out="$TMP/tab01_$cap.json" \
-        --benchmark_out_format=json
-    echo "== magazine_capacity=$cap: fig06_micro =="
-    PRUDENCE_MAGAZINE_CAPACITY=$cap \
-        "$BUILD_DIR/bench/fig06_micro" "$SCALE" \
-        | tee "$TMP/fig06_$cap.txt"
-    echo "== magazine_capacity=$cap: fig13_throughput =="
-    PRUDENCE_MAGAZINE_CAPACITY=$cap \
-        "$BUILD_DIR/bench/fig13_throughput" "$SCALE" \
-        | tee "$TMP/fig13_$cap.txt"
+    for pcp in 32 0; do
+        cfg="mag${cap}_pcp${pcp}"
+        echo "== $cfg: tab01_alloc_cost =="
+        PRUDENCE_MAGAZINE_CAPACITY=$cap \
+            PRUDENCE_PCP_HIGH_WATERMARK=$pcp \
+            "$BUILD_DIR/bench/tab01_alloc_cost" \
+            --benchmark_repetitions="$REPS" \
+            --benchmark_report_aggregates_only=false \
+            --benchmark_out="$TMP/tab01_$cfg.json" \
+            --benchmark_out_format=json
+        echo "== $cfg: fig06_micro =="
+        PRUDENCE_MAGAZINE_CAPACITY=$cap \
+            PRUDENCE_PCP_HIGH_WATERMARK=$pcp \
+            "$BUILD_DIR/bench/fig06_micro" "$SCALE" \
+            | tee "$TMP/fig06_$cfg.txt"
+        echo "== $cfg: fig13_throughput =="
+        PRUDENCE_MAGAZINE_CAPACITY=$cap \
+            PRUDENCE_PCP_HIGH_WATERMARK=$pcp \
+            "$BUILD_DIR/bench/fig13_throughput" "$SCALE" \
+            | tee "$TMP/fig13_$cfg.txt"
+    done
 done
+
+# fig14 runs its own pcp on/off legs internally per thread count.
+echo "== fig14_page_contention =="
+"$BUILD_DIR/bench/fig14_page_contention" "$SCALE" \
+    | tee "$TMP/fig14.txt"
 
 python3 - "$TMP" "$OUT" "$SHA" "$SCALE" "$REPS" <<'EOF'
 import json
@@ -135,30 +152,63 @@ def parse_fig13(path):
     return rows
 
 
+def parse_fig14(path):
+    rows = {}
+    pat = re.compile(
+        r"^\s*(\d+)\s+(on|off)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)\s*$")
+    with open(path) as f:
+        for line in f:
+            m = pat.match(line)
+            if m:
+                rows.setdefault("threads_" + m.group(1), {})[
+                    "pcp_" + m.group(2)] = {
+                    "ns_per_op": float(m.group(3)),
+                    "lock_acq_per_op": float(m.group(4)),
+                    "pcp_hit_rate": float(m.group(5)),
+                }
+    return rows
+
+
 doc = {
     "sha": sha,
     "scale": float(scale),
     "tab01_repetitions": int(reps),
     "configs": {},
+    "fig14_page_contention": parse_fig14(f"{tmp}/fig14.txt"),
 }
 for cap in ("32", "0"):
-    doc["configs"]["magazine_" + cap] = {
-        "magazine_capacity": int(cap),
-        "tab01_alloc_cost": parse_tab01(f"{tmp}/tab01_{cap}.json"),
-        "fig06_micro": parse_fig06(f"{tmp}/fig06_{cap}.txt"),
-        "fig13_throughput": parse_fig13(f"{tmp}/fig13_{cap}.txt"),
-    }
+    for pcp in ("32", "0"):
+        cfg = f"mag{cap}_pcp{pcp}"
+        doc["configs"][cfg] = {
+            "magazine_capacity": int(cap),
+            "pcp_high_watermark": int(pcp),
+            "tab01_alloc_cost": parse_tab01(f"{tmp}/tab01_{cfg}.json"),
+            "fig06_micro": parse_fig06(f"{tmp}/fig06_{cfg}.txt"),
+            "fig13_throughput": parse_fig13(f"{tmp}/fig13_{cfg}.txt"),
+        }
 
 with open(out, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)
     f.write("\n")
 print(f"wrote {out}")
 
-on = doc["configs"]["magazine_32"]["tab01_alloc_cost"]
-off = doc["configs"]["magazine_0"]["tab01_alloc_cost"]
+on = doc["configs"]["mag32_pcp32"]["tab01_alloc_cost"]
+off = doc["configs"]["mag0_pcp32"]["tab01_alloc_cost"]
 if "hit_cycle_ns" in on and "hit_cycle_ns" in off:
     a, b = on["hit_cycle_ns"]["p50"], off["hit_cycle_ns"]["p50"]
     if b > 0:
         print(f"tab01 hit cycle p50: magazines on {a:.1f} ns, "
               f"off {b:.1f} ns ({100.0 * (b - a) / b:+.1f}%)")
+
+t8 = doc["fig14_page_contention"].get("threads_8", {})
+if "pcp_on" in t8 and "pcp_off" in t8:
+    on_l = t8["pcp_on"]["lock_acq_per_op"]
+    off_l = t8["pcp_off"]["lock_acq_per_op"]
+    on_ns = t8["pcp_on"]["ns_per_op"]
+    off_ns = t8["pcp_off"]["ns_per_op"]
+    if on_l > 0:
+        print(f"fig14 @8 threads: buddy-lock acq/op {off_l:.4f} -> "
+              f"{on_l:.4f} ({off_l / on_l:.0f}x reduction), "
+              f"ns/op {off_ns:.1f} -> {on_ns:.1f} "
+              f"({off_ns / on_ns:.2f}x)")
 EOF

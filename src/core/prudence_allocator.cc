@@ -30,7 +30,8 @@ PrudenceAllocator::PrudenceAllocator(GracePeriodDomain& domain,
                                      const PrudenceConfig& config)
     : domain_(domain),
       config_(config),
-      buddy_(config.arena_bytes),
+      buddy_(BuddyConfig{config.arena_bytes, config.cpus,
+                         config.pcp_batch, config.pcp_high_watermark}),
       owners_(buddy_),
       cpu_registry_(config.cpus),
       magazine_registry_(ThreadCacheRegistry::Hooks{
@@ -230,6 +231,11 @@ PrudenceAllocator::oom_ladder(Cache& c)
         std::size_t count = cache_count_.load(std::memory_order_acquire);
         for (std::size_t i = 0; i < count; ++i)
             reclaim_cache(*caches_[i], /*fill_caches=*/true);
+        // Memory-pressure hook: pages parked in remote per-CPU page
+        // caches are free capacity too — pull them back before the
+        // retry (the buddy also self-drains on exhaustion, but doing
+        // it here lets whole-slab grows of any order succeed).
+        buddy_.drain_pcp();
         if (void* obj = alloc_attempt(c, &oom))
             return obj;
     }
@@ -256,6 +262,7 @@ PrudenceAllocator::oom_ladder(Cache& c)
                 cache_count_.load(std::memory_order_acquire);
             for (std::size_t i = 0; i < count; ++i)
                 reclaim_cache(*caches_[i], /*fill_caches=*/true);
+            buddy_.drain_pcp();
         }
         if (void* obj = alloc_attempt(c, &oom))
             return obj;
@@ -1329,14 +1336,20 @@ PrudenceAllocator::quiesce()
     std::size_t count = cache_count_.load(std::memory_order_acquire);
     for (std::size_t i = 0; i < count; ++i)
         reclaim_cache(*caches_[i], /*fill_caches=*/false);
+    // Documented drain point (mirrors drain_calling_thread for the
+    // page layer): after a quiesce, free_blocks() and the buddy
+    // integrity totals are exact — no pages parked in per-CPU stashes.
+    buddy_.drain_pcp();
 }
 
 std::string
 PrudenceAllocator::validate()
 {
     // The accounting equalities below hold at quiescent points; fold
-    // this thread's magazine contents and stat deltas in first.
+    // this thread's magazine contents and stat deltas in first, and
+    // return PCP-parked pages so page-level totals are exact too.
     drain_calling_thread();
+    buddy_.drain_pcp();
     std::size_t count = cache_count_.load(std::memory_order_acquire);
     for (std::size_t i = 0; i < count; ++i) {
         Cache& c = *caches_[i];

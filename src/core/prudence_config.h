@@ -75,6 +75,21 @@ struct PrudenceConfig
      */
     std::size_t magazine_capacity = 32;
 
+    /**
+     * Free blocks kept per (CPU, order) in the buddy allocator's
+     * per-CPU page caches (DESIGN.md §10) before a batch is returned
+     * to the global free lists. Slab grow/shrink then takes the
+     * global buddy lock once per ~pcp_batch slabs instead of once per
+     * slab. 0 disables the layer (every page alloc/free serializes on
+     * the global lock, as in the pre-PCP allocator).
+     */
+    std::size_t pcp_high_watermark = 32;
+
+    /// Blocks moved per page-cache refill/drain batch (one global
+    /// buddy-lock acquisition per batch). Clamped to
+    /// [1, 64] and to pcp_high_watermark.
+    std::size_t pcp_batch = 8;
+
     /// Partial-list slabs examined when selecting a refill source
     /// (§5.4: "Prudence traverses the first 10 slabs").
     std::size_t slab_scan_limit = 10;

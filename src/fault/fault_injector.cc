@@ -48,6 +48,8 @@ site_name(SiteId id)
         return "arena_map";
     case SiteId::kBuddyAlloc:
         return "buddy_alloc";
+    case SiteId::kPcpRefill:
+        return "pcp_refill";
     case SiteId::kSlabGrow:
         return "slab_grow";
     case SiteId::kGpDelay:

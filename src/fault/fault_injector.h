@@ -49,6 +49,8 @@ enum class SiteId : std::uint16_t {
     // page/ — the hard memory boundary.
     kArenaMap,    ///< Arena::create: reservation fails at startup
     kBuddyAlloc,  ///< BuddyAllocator::alloc_pages: simulated OOM
+    kPcpRefill,   ///< per-CPU page-cache refill refused (forces the
+                  ///< single-block global fallback path)
 
     // slab/ — slab-cache growth.
     kSlabGrow,  ///< SlabPool::grow: refused (refill failure upstream)

@@ -14,7 +14,8 @@ namespace {
 constexpr std::size_t kNoBlock = static_cast<std::size_t>(-1);
 }  // namespace
 
-BuddyAllocator::BuddyAllocator(std::size_t capacity_bytes)
+BuddyAllocator::BuddyAllocator(const BuddyConfig& config)
+    : cpu_registry_(config.cpus == 0 ? 1 : config.cpus)
 {
     for (auto& head : free_heads_) {
         head.prev = &head;
@@ -22,8 +23,9 @@ BuddyAllocator::BuddyAllocator(std::size_t capacity_bytes)
     }
 
     auto arena =
-        Arena::create(capacity_bytes < kPageSize ? kPageSize
-                                                 : capacity_bytes,
+        Arena::create(config.capacity_bytes < kPageSize
+                          ? kPageSize
+                          : config.capacity_bytes,
                       order_bytes(kMaxPageOrder));
     if (!arena) {
         // Degraded state: no pages to hand out. Every alloc_pages()
@@ -32,12 +34,15 @@ BuddyAllocator::BuddyAllocator(std::size_t capacity_bytes)
         std::fprintf(stderr,
                      "buddy: arena reservation of %zu bytes failed; "
                      "allocator degraded (all allocations will fail)\n",
-                     capacity_bytes);
+                     config.capacity_bytes);
         return;
     }
     arena_ = std::move(*arena);
     total_pages_ = arena_.capacity() / kPageSize;
-    page_state_.assign(total_pages_, kStateAllocated);
+    page_state_ =
+        std::make_unique<std::atomic<std::uint8_t>[]>(total_pages_);
+    for (std::size_t i = 0; i < total_pages_; ++i)
+        set_page_state(i, kStateAllocated);
 
     // Carve the arena into the largest aligned blocks that fit.
     std::size_t pfn = 0;
@@ -50,6 +55,16 @@ BuddyAllocator::BuddyAllocator(std::size_t capacity_bytes)
         }
         push_free(pfn, order);
         pfn += order_pages(order);
+    }
+
+    if (config.pcp_high_watermark > 0) {
+        pcp_high_ = config.pcp_high_watermark;
+        pcp_batch_ = config.pcp_batch == 0 ? 1 : config.pcp_batch;
+        if (pcp_batch_ > kMaxPcpBatch)
+            pcp_batch_ = kMaxPcpBatch;
+        if (pcp_batch_ > pcp_high_)
+            pcp_batch_ = pcp_high_;
+        pcp_ = std::make_unique<PcpCache[]>(cpu_registry_.max_cpus());
     }
 }
 
@@ -71,9 +86,9 @@ BuddyAllocator::addr_of(std::size_t pfn) const
 void
 BuddyAllocator::push_free(std::size_t pfn, unsigned order)
 {
-    page_state_[pfn] = static_cast<std::uint8_t>(order);
+    set_page_state(pfn, static_cast<std::uint8_t>(order));
     for (std::size_t i = 1; i < order_pages(order); ++i)
-        page_state_[pfn + i] = kStateTail;
+        set_page_state(pfn + i, kStateTail);
 
     auto* node = static_cast<FreeBlock*>(addr_of(pfn));
     FreeBlock& head = free_heads_[order];
@@ -105,6 +120,214 @@ BuddyAllocator::pop_free(unsigned order)
     return pfn;
 }
 
+std::size_t
+BuddyAllocator::global_pop(unsigned order)
+{
+    unsigned have = order;
+    while (have <= kMaxPageOrder && free_counts_[have] == 0)
+        ++have;
+    if (have > kMaxPageOrder)
+        return kNoBlock;
+    std::size_t pfn = pop_free(have);
+    if (pfn == kNoBlock) {
+        // free_counts_ said a block exists but the list is empty:
+        // the free lists are corrupt (a stray write into free
+        // block memory is the usual cause). Always-on check — a
+        // silent nullptr here would surface as an unrelated OOM.
+        std::fprintf(stderr,
+                     "buddy corruption: free list of order %u "
+                     "empty with free_counts=%zu\n",
+                     have, free_counts_[have]);
+        std::abort();
+    }
+    // Split down, returning the upper buddy at each level.
+    while (have > order) {
+        --have;
+        split_ops_.add();
+        PRUDENCE_TRACE_EMIT(trace::EventId::kBuddySplit, have);
+        push_free(pfn + order_pages(have), have);
+    }
+    for (std::size_t i = 0; i < order_pages(order); ++i)
+        set_page_state(pfn + i, kStateAllocated);
+    return pfn;
+}
+
+void
+BuddyAllocator::global_push(std::size_t pfn, unsigned order)
+{
+    // Merge upward as long as the buddy is a whole free block of the
+    // same order. A buddy whose head reads kStateAllocated or a PCP
+    // state is unmergeable either way, so the relaxed read racing a
+    // PCP transition is benign (see page_state_ in the header).
+    while (order < kMaxPageOrder) {
+        std::size_t buddy = pfn ^ order_pages(order);
+        if (buddy + order_pages(order) > total_pages_)
+            break;
+        if (page_state(buddy) != static_cast<std::uint8_t>(order))
+            break;
+        remove_free(buddy, order);
+        merge_ops_.add();
+        pfn = pfn < buddy ? pfn : buddy;
+        ++order;
+        PRUDENCE_TRACE_EMIT(trace::EventId::kBuddyMerge, order);
+    }
+    push_free(pfn, order);
+}
+
+void*
+BuddyAllocator::pcp_alloc(unsigned order, bool* refill_refused)
+{
+    PcpCache& c = pcp_[cpu_registry_.cpu_id()];
+    std::lock_guard<SpinLock> cpu_guard(c.lock);
+
+    if (FreeBlock* node = c.heads[order]) {
+        // CPU-local hit: no global lock, no split.
+        c.heads[order] = node->next;
+        --c.counts[order];
+        ++c.hits;
+        std::size_t pfn = pfn_of(node);
+        set_page_state(pfn, kStateAllocated);
+        c.cached_pages -=
+            static_cast<std::int64_t>(order_pages(order));
+        return node;
+    }
+
+    ++c.misses;
+    if (PRUDENCE_FAULT_POINT(kPcpRefill)) {
+        // Injected refill refusal: the batch refill is suppressed and
+        // the caller falls back to the plain single-block global
+        // path, exercising the bypass route under load.
+        *refill_refused = true;
+        return nullptr;
+    }
+
+    // Batched refill: one global-lock acquisition pulls up to
+    // pcp_batch_ blocks; the first goes to the caller, the rest are
+    // stashed. Lock order: pcp[cpu] -> global (everywhere).
+    std::size_t first = kNoBlock;
+    std::size_t stashed = 0;
+    {
+        std::lock_guard<SpinLock> guard(lock_);
+        lock_acquisitions_.add();
+        for (std::size_t i = 0; i < pcp_batch_; ++i) {
+            std::size_t pfn = global_pop(order);
+            if (pfn == kNoBlock)
+                break;
+            if (first == kNoBlock) {
+                first = pfn;
+                continue;
+            }
+            set_page_state(pfn, pcp_state(order));
+            auto* node = static_cast<FreeBlock*>(addr_of(pfn));
+            node->next = c.heads[order];
+            c.heads[order] = node;
+            ++c.counts[order];
+            ++stashed;
+        }
+    }
+    if (first == kNoBlock)
+        return nullptr;  // global lists exhausted
+    ++c.refills;
+    c.cached_pages +=
+        static_cast<std::int64_t>(stashed * order_pages(order));
+    PRUDENCE_TRACE_EMIT(trace::EventId::kPcpRefill, stashed + 1, order);
+    return addr_of(first);
+}
+
+void
+BuddyAllocator::pcp_free(void* block, unsigned order, std::size_t pfn)
+{
+    PcpCache& c = pcp_[cpu_registry_.cpu_id()];
+    std::lock_guard<SpinLock> cpu_guard(c.lock);
+
+    // Checked free, PCP flavor. The block's pages belong to the
+    // caller, so any state other than "allocated" is a caller bug;
+    // a page already sitting in some CPU's stash gets its own
+    // message so the double free is obvious in the abort.
+    std::uint8_t st = page_state(pfn);
+    if (st != kStateAllocated) {
+        if (is_pcp_state(st))
+            bad_free("double free (page resident in a per-CPU page "
+                     "cache)",
+                     block, order, pfn);
+        bad_free("double free (head page already free)", block, order,
+                 pfn);
+    }
+    for (std::size_t i = 1; i < order_pages(order); ++i) {
+        if (page_state(pfn + i) != kStateAllocated)
+            bad_free("wrong-order free (tail page already free)",
+                     block, order, pfn + i);
+    }
+
+    set_page_state(pfn, pcp_state(order));
+    auto* node = static_cast<FreeBlock*>(block);
+    node->next = c.heads[order];
+    c.heads[order] = node;
+    ++c.counts[order];
+    c.cached_pages += static_cast<std::int64_t>(order_pages(order));
+
+    if (c.counts[order] <= pcp_high_)
+        return;
+
+    // Past the high watermark: return a batch to the global lists
+    // under one lock acquisition (merging amortized across the batch).
+    std::size_t batch[kMaxPcpBatch];
+    std::size_t n = 0;
+    while (n < pcp_batch_ && c.heads[order] != nullptr) {
+        FreeBlock* victim = c.heads[order];
+        c.heads[order] = victim->next;
+        --c.counts[order];
+        batch[n++] = pfn_of(victim);
+    }
+    {
+        std::lock_guard<SpinLock> guard(lock_);
+        lock_acquisitions_.add();
+        for (std::size_t i = 0; i < n; ++i)
+            global_push(batch[i], order);
+    }
+    ++c.drains;
+    c.cached_pages -=
+        static_cast<std::int64_t>(n * order_pages(order));
+    PRUDENCE_TRACE_EMIT(trace::EventId::kPcpDrain, n, order);
+}
+
+std::size_t
+BuddyAllocator::drain_pcp()
+{
+    if (!pcp_enabled())
+        return 0;
+    std::size_t moved = 0;
+    for (unsigned cpu = 0; cpu < cpu_registry_.max_cpus(); ++cpu) {
+        PcpCache& c = pcp_[cpu];
+        std::lock_guard<SpinLock> cpu_guard(c.lock);
+        std::size_t blocks = 0;
+        std::int64_t pages = 0;
+        {
+            std::lock_guard<SpinLock> guard(lock_);
+            lock_acquisitions_.add();
+            for (unsigned order = 0; order <= kPcpMaxOrder; ++order) {
+                while (c.heads[order] != nullptr) {
+                    FreeBlock* victim = c.heads[order];
+                    c.heads[order] = victim->next;
+                    --c.counts[order];
+                    global_push(pfn_of(victim), order);
+                    ++blocks;
+                    pages += static_cast<std::int64_t>(
+                        order_pages(order));
+                }
+            }
+        }
+        if (blocks > 0) {
+            ++c.drains;
+            c.cached_pages -= pages;
+            PRUDENCE_TRACE_EMIT(trace::EventId::kPcpDrain, blocks,
+                                 cpu);
+            moved += blocks;
+        }
+    }
+    return moved;
+}
+
 void*
 BuddyAllocator::alloc_pages(unsigned order)
 {
@@ -119,37 +342,36 @@ BuddyAllocator::alloc_pages(unsigned order)
         return nullptr;
     }
 
+    if (pcp_covers(order)) {
+        bool refill_refused = false;
+        if (void* p = pcp_alloc(order, &refill_refused)) {
+            pages_in_use_.add(
+                static_cast<std::int64_t>(order_pages(order)));
+            PRUDENCE_TRACE_EMIT(trace::EventId::kBytesInUse,
+                                bytes_in_use());
+            return p;
+        }
+        (void)refill_refused;  // either way, fall back to the global
+                               // single-block path below
+    }
+
     std::size_t pfn;
     {
         std::lock_guard<SpinLock> guard(lock_);
-        unsigned have = order;
-        while (have <= kMaxPageOrder && free_counts_[have] == 0)
-            ++have;
-        if (have > kMaxPageOrder) {
-            failed_allocs_.add();
-            return nullptr;
-        }
-        pfn = pop_free(have);
-        if (pfn == kNoBlock) {
-            // free_counts_ said a block exists but the list is empty:
-            // the free lists are corrupt (a stray write into free
-            // block memory is the usual cause). Always-on check — a
-            // silent nullptr here would surface as an unrelated OOM.
-            std::fprintf(stderr,
-                         "buddy corruption: free list of order %u "
-                         "empty with free_counts=%zu\n",
-                         have, free_counts_[have]);
-            std::abort();
-        }
-        // Split down, returning the upper buddy at each level.
-        while (have > order) {
-            --have;
-            split_ops_.add();
-            PRUDENCE_TRACE_EMIT(trace::EventId::kBuddySplit, have);
-            push_free(pfn + order_pages(have), have);
-        }
-        for (std::size_t i = 0; i < order_pages(order); ++i)
-            page_state_[pfn + i] = kStateAllocated;
+        lock_acquisitions_.add();
+        pfn = global_pop(order);
+    }
+    if (pfn == kNoBlock && pcp_enabled() && drain_pcp() > 0) {
+        // The global lists are empty but pages were stranded in
+        // (possibly remote) per-CPU stashes. Capacity is a hard
+        // bound, so drain everything and retry before reporting OOM.
+        std::lock_guard<SpinLock> guard(lock_);
+        lock_acquisitions_.add();
+        pfn = global_pop(order);
+    }
+    if (pfn == kNoBlock) {
+        failed_allocs_.add();
+        return nullptr;
     }
     pages_in_use_.add(static_cast<std::int64_t>(order_pages(order)));
     PRUDENCE_TRACE_EMIT(trace::EventId::kBytesInUse, bytes_in_use());
@@ -193,38 +415,33 @@ BuddyAllocator::free_pages(void* block, unsigned order)
                  block, order, pfn);
     if (pfn + order_pages(order) > total_pages_)
         bad_free("block extends past the arena", block, order, pfn);
-    const unsigned caller_order = order;
 
-    {
+    if (pcp_covers(order)) {
+        pcp_free(block, order, pfn);
+    } else {
         std::lock_guard<SpinLock> guard(lock_);
+        lock_acquisitions_.add();
         // bad_free aborts, so reporting while the lock is held is
         // harmless — no destructor ever needs it again.
-        if (page_state_[pfn] != kStateAllocated)
+        std::uint8_t st = page_state(pfn);
+        if (st != kStateAllocated) {
+            if (is_pcp_state(st))
+                bad_free("double free (page resident in a per-CPU "
+                         "page cache)",
+                         block, order, pfn);
             bad_free("double free (head page already free)", block,
                      order, pfn);
+        }
         for (std::size_t i = 1; i < order_pages(order); ++i) {
-            if (page_state_[pfn + i] != kStateAllocated)
+            if (page_state(pfn + i) != kStateAllocated)
                 bad_free("wrong-order free (tail page already free)",
                          block, order, pfn + i);
         }
-        while (order < kMaxPageOrder) {
-            std::size_t buddy = pfn ^ order_pages(order);
-            if (buddy + order_pages(order) > total_pages_)
-                break;
-            if (page_state_[buddy] != static_cast<std::uint8_t>(order))
-                break;
-            remove_free(buddy, order);
-            merge_ops_.add();
-            pfn = pfn < buddy ? pfn : buddy;
-            ++order;
-            PRUDENCE_TRACE_EMIT(trace::EventId::kBuddyMerge, order);
-        }
-        push_free(pfn, order);
+        global_push(pfn, order);
     }
-    // Merged buddies were already counted free; only the caller's own
-    // pages leave the in-use gauge.
-    pages_in_use_.sub(
-        static_cast<std::int64_t>(order_pages(caller_order)));
+    // Only the caller's own pages leave the in-use gauge (merged
+    // buddies and PCP-stashed blocks were already counted free).
+    pages_in_use_.sub(static_cast<std::int64_t>(order_pages(order)));
     PRUDENCE_TRACE_EMIT(trace::EventId::kBytesInUse, bytes_in_use());
 }
 
@@ -253,8 +470,23 @@ BuddyAllocator::stats() const
     s.split_ops = split_ops_.get();
     s.merge_ops = merge_ops_.get();
     s.bad_frees = bad_frees_.get();
-    s.pages_in_use = pages_in_use_.get();
-    s.peak_pages_in_use = pages_in_use_.peak();
+    s.lock_acquisitions = lock_acquisitions_.get();
+    if (pcp_ != nullptr) {
+        for (unsigned cpu = 0; cpu < cpu_registry_.max_cpus(); ++cpu) {
+            PcpCache& c = pcp_[cpu];
+            std::lock_guard<SpinLock> cpu_guard(c.lock);
+            s.pcp_hits += c.hits;
+            s.pcp_misses += c.misses;
+            s.pcp_refills += c.refills;
+            s.pcp_drains += c.drains;
+            s.pcp_cached_pages += c.cached_pages;
+        }
+    }
+    // Coherent level/peak pair — see PeakGauge::sample() for why a
+    // raw get()+peak() pair could report peak < value.
+    auto g = pages_in_use_.sample();
+    s.pages_in_use = g.value;
+    s.peak_pages_in_use = g.peak;
     s.capacity_pages = total_pages_;
     return s;
 }
@@ -266,11 +498,42 @@ BuddyAllocator::free_blocks(unsigned order) const
     return free_counts_[order];
 }
 
+std::size_t
+BuddyAllocator::pcp_cached_blocks(unsigned order) const
+{
+    if (pcp_ == nullptr || order > kPcpMaxOrder)
+        return 0;
+    std::size_t n = 0;
+    for (unsigned cpu = 0; cpu < cpu_registry_.max_cpus(); ++cpu) {
+        PcpCache& c = pcp_[cpu];
+        std::lock_guard<SpinLock> cpu_guard(c.lock);
+        n += c.counts[order];
+    }
+    return n;
+}
+
 bool
 BuddyAllocator::check_integrity() const
 {
-    std::lock_guard<SpinLock> guard(lock_);
+    if (total_pages_ == 0)
+        return true;
+    // Quiescent-point check: freeze every stash and the global lists.
+    // Lock order everywhere is pcp -> global; this is the one place
+    // multiple pcp locks are held, always in index order.
+    const unsigned ncpu = pcp_ != nullptr ? cpu_registry_.max_cpus() : 0;
+    for (unsigned i = 0; i < ncpu; ++i)
+        pcp_[i].lock.lock();
+    lock_.lock();
+    bool ok = check_integrity_locked();
+    lock_.unlock();
+    for (unsigned i = ncpu; i > 0; --i)
+        pcp_[i - 1].lock.unlock();
+    return ok;
+}
 
+bool
+BuddyAllocator::check_integrity_locked() const
+{
     // Walk free lists: heads must be aligned and marked with their
     // order; list lengths must match counters.
     for (unsigned order = 0; order <= kMaxPageOrder; ++order) {
@@ -281,7 +544,7 @@ BuddyAllocator::check_integrity() const
             std::size_t pfn = pfn_of(node);
             if ((pfn & (order_pages(order) - 1)) != 0)
                 return false;
-            if (page_state_[pfn] != static_cast<std::uint8_t>(order))
+            if (page_state(pfn) != static_cast<std::uint8_t>(order))
                 return false;
             ++n;
         }
@@ -289,24 +552,74 @@ BuddyAllocator::check_integrity() const
             return false;
     }
 
+    // Walk the PCP stashes: every node must be an aligned block whose
+    // head carries the PCP state and whose tails read allocated, and
+    // the list lengths must match the per-stash counts.
+    std::size_t pcp_blocks_total = 0;
+    std::size_t pcp_pages_from_stashes = 0;
+    const unsigned ncpu = pcp_ != nullptr ? cpu_registry_.max_cpus() : 0;
+    for (unsigned cpu = 0; cpu < ncpu; ++cpu) {
+        const PcpCache& c = pcp_[cpu];
+        std::size_t cpu_pages = 0;
+        for (unsigned order = 0; order <= kPcpMaxOrder; ++order) {
+            std::size_t n = 0;
+            for (FreeBlock* node = c.heads[order]; node != nullptr;
+                 node = node->next) {
+                std::size_t pfn = pfn_of(node);
+                if ((pfn & (order_pages(order) - 1)) != 0)
+                    return false;
+                if (page_state(pfn) != pcp_state(order))
+                    return false;
+                for (std::size_t i = 1; i < order_pages(order); ++i) {
+                    if (page_state(pfn + i) != kStateAllocated)
+                        return false;
+                }
+                ++n;
+            }
+            if (n != c.counts[order])
+                return false;
+            pcp_blocks_total += n;
+            cpu_pages += n * order_pages(order);
+        }
+        if (cpu_pages !=
+            static_cast<std::size_t>(c.cached_pages))
+            return false;
+        pcp_pages_from_stashes += cpu_pages;
+    }
+    (void)pcp_blocks_total;
+
     // Walk the page-state array: free heads followed by the right
-    // number of tails, no stray tails, and the free/used page totals
-    // must add up to capacity.
+    // number of tails, no stray tails, PCP heads followed by
+    // allocated-marked tails, and the free/pcp/used page totals must
+    // add up to capacity.
     std::size_t free_pages_total = 0;
+    std::size_t pcp_pages_total = 0;
     std::size_t pfn = 0;
     while (pfn < total_pages_) {
-        std::uint8_t st = page_state_[pfn];
+        std::uint8_t st = page_state(pfn);
         if (st == kStateAllocated) {
             ++pfn;
         } else if (st == kStateTail) {
             return false;  // tail without a preceding head
+        } else if (is_pcp_state(st)) {
+            unsigned order = st & ~kStatePcpBase;
+            if (order > kPcpMaxOrder)
+                return false;
+            for (std::size_t i = 1; i < order_pages(order); ++i) {
+                if (pfn + i >= total_pages_ ||
+                    page_state(pfn + i) != kStateAllocated) {
+                    return false;
+                }
+            }
+            pcp_pages_total += order_pages(order);
+            pfn += order_pages(order);
         } else {
             unsigned order = st;
             if (order > kMaxPageOrder)
                 return false;
             for (std::size_t i = 1; i < order_pages(order); ++i) {
                 if (pfn + i >= total_pages_ ||
-                    page_state_[pfn + i] != kStateTail) {
+                    page_state(pfn + i) != kStateTail) {
                     return false;
                 }
             }
@@ -314,9 +627,11 @@ BuddyAllocator::check_integrity() const
             pfn += order_pages(order);
         }
     }
+    if (pcp_pages_total != pcp_pages_from_stashes)
+        return false;
     std::size_t used =
         static_cast<std::size_t>(pages_in_use_.get());
-    return free_pages_total + used == total_pages_;
+    return free_pages_total + pcp_pages_total + used == total_pages_;
 }
 
 }  // namespace prudence

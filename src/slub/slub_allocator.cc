@@ -27,7 +27,8 @@ SlubAllocator::Cache::Cache(std::string name, std::size_t object_size,
 SlubAllocator::SlubAllocator(GracePeriodDomain& domain,
                              const SlubConfig& config)
     : domain_(domain),
-      buddy_(config.arena_bytes),
+      buddy_(BuddyConfig{config.arena_bytes, config.cpus,
+                         config.pcp_batch, config.pcp_high_watermark}),
       owners_(buddy_),
       cpu_registry_(config.cpus),
       magazine_capacity_(config.magazine_capacity),
@@ -516,14 +517,19 @@ SlubAllocator::quiesce()
 {
     drain_calling_thread();
     engine_->drain_all();
+    // Documented drain point: after a quiesce the buddy free-block
+    // totals are exact — no pages parked in per-CPU page caches.
+    buddy_.drain_pcp();
 }
 
 std::string
 SlubAllocator::validate()
 {
     // The accounting equality below holds at quiescent points; fold
-    // this thread's magazine contents and stat deltas in first.
+    // this thread's magazine contents and stat deltas in first, and
+    // return PCP-parked pages so page-level totals are exact too.
     drain_calling_thread();
+    buddy_.drain_pcp();
     std::size_t count = cache_count_.load(std::memory_order_acquire);
     for (std::size_t i = 0; i < count; ++i) {
         Cache& c = *caches_[i];

@@ -59,6 +59,15 @@ struct SlubConfig
      * the layer (engine drainer threads never exit).
      */
     std::size_t magazine_capacity = 32;
+
+    /// Per-CPU page-cache high watermark (0 = off), mirroring
+    /// PrudenceConfig::pcp_high_watermark so both allocators front
+    /// the buddy lock the same way (DESIGN.md §10).
+    std::size_t pcp_high_watermark = 32;
+
+    /// Blocks per page-cache refill/drain batch, mirroring
+    /// PrudenceConfig::pcp_batch.
+    std::size_t pcp_batch = 8;
 };
 
 /// Baseline allocator: SLUB-style caching + callback-based deferral.

@@ -91,6 +91,36 @@ class PeakGauge
         return peak_.load(std::memory_order_relaxed);
     }
 
+    /// A level/peak pair read as one observation.
+    struct Sample
+    {
+        std::int64_t value;
+        std::int64_t peak;
+    };
+
+    /**
+     * Coherent level + peak snapshot.
+     *
+     * Memory-order contract (same family as the Counter contract at
+     * the top of this file): add() raises value_ and peak_ with two
+     * separate relaxed operations, so a racing reader that loads the
+     * pair independently can observe the fetch_add but not yet the
+     * peak CAS and report peak < value — an impossible state. No
+     * fence fixes that (it is a two-variable RMW window, not a
+     * reordering), and none is owed under the relaxed contract;
+     * instead sample() loads the level FIRST and clamps the peak up
+     * to it, which restores the peak >= value invariant for any
+     * single observation. Exact peaks, like every exact equality on
+     * these counters, are only guaranteed at quiescent points.
+     */
+    Sample
+    sample() const
+    {
+        std::int64_t v = value_.load(std::memory_order_relaxed);
+        std::int64_t p = peak_.load(std::memory_order_relaxed);
+        return {v, p < v ? v : p};
+    }
+
     /// Reset both level and peak to zero.
     void
     reset()

@@ -1,7 +1,6 @@
 #include "sync/cpu_registry.h"
 
-#include <utility>
-#include <vector>
+#include <type_traits>
 
 namespace prudence {
 
@@ -13,7 +12,28 @@ std::atomic<std::uint64_t> g_registry_serial{1};
 /// Per-thread cache of (registry serial → cpu id) assignments. The
 /// list is tiny (one entry per allocator instance the thread touches),
 /// so linear search beats a hash map.
-thread_local std::vector<std::pair<std::uint64_t, unsigned>> t_cpu_ids;
+///
+/// This MUST stay usable while other thread-local destructors run:
+/// the thread-exit magazine drain (ThreadCacheRegistry's TLS dtor)
+/// releases slabs into the buddy allocator's per-CPU page caches,
+/// which call cpu_id() — after __call_tls_dtors has already started.
+/// A std::vector here would be destroyed first and read after free,
+/// so the cache is a fixed, trivially destructible POD (no dtor is
+/// ever registered; the storage stays valid until the thread truly
+/// ends). When more registries than kEntries are touched, the oldest
+/// slots are recycled round-robin — the evicted registry just assigns
+/// that thread a fresh id on its next call.
+struct IdCache
+{
+    static constexpr std::size_t kEntries = 16;
+    std::size_t count = 0;
+    std::size_t next_evict = 0;
+    std::uint64_t serials[kEntries];
+    unsigned ids[kEntries];
+};
+static_assert(std::is_trivially_destructible_v<IdCache>,
+              "id cache is read during TLS destruction");
+thread_local IdCache t_cpu_ids;
 
 }  // namespace
 
@@ -26,12 +46,21 @@ CpuRegistry::CpuRegistry(unsigned max_cpus)
 unsigned
 CpuRegistry::cpu_id()
 {
-    for (const auto& [serial, id] : t_cpu_ids) {
-        if (serial == serial_)
-            return id;
+    IdCache& c = t_cpu_ids;
+    for (std::size_t i = 0; i < c.count; ++i) {
+        if (c.serials[i] == serial_)
+            return c.ids[i];
     }
     unsigned id = assign_id();
-    t_cpu_ids.emplace_back(serial_, id);
+    std::size_t slot;
+    if (c.count < IdCache::kEntries) {
+        slot = c.count++;
+    } else {
+        slot = c.next_evict;
+        c.next_evict = (c.next_evict + 1) % IdCache::kEntries;
+    }
+    c.serials[slot] = serial_;
+    c.ids[slot] = id;
     return id;
 }
 

@@ -41,6 +41,8 @@ event_info(EventId id)
         {"mag_refill", "alloc", 'i', "count", "cpu"},
         {"mag_flush", "alloc", 'i', "count", "cpu"},
         {"mag_defer_spill", "alloc", 'i', "count", "epoch"},
+        {"pcp_refill", "page", 'i', "count", "order"},
+        {"pcp_drain", "page", 'i', "count", "order"},
     };
     auto idx = static_cast<std::size_t>(id);
     constexpr auto kTableSize = sizeof(kTable) / sizeof(kTable[0]);

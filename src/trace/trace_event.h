@@ -68,6 +68,13 @@ enum class EventId : std::uint16_t {
     kMagDeferSpill, ///< deferral buffer spilled with one batch tag
                     ///< (arg0=objects, arg1=epoch tag)
 
+    // Per-CPU page caches (buddy-lock batch boundaries).
+    kPcpRefill,  ///< stash refilled from the global free lists
+                 ///< (arg0=blocks moved, arg1=order)
+    kPcpDrain,   ///< stash batch returned to the global free lists
+                 ///< (arg0=blocks moved, arg1=order, or cpu for a
+                 ///< full quiesce drain)
+
     kMaxEvent
 };
 

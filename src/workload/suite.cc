@@ -30,6 +30,8 @@ run_one(const WorkloadSpec& spec, const SuiteConfig& config, bool slub,
         sc.arena_bytes = config.arena_bytes;
         sc.cpus = config.cpus;
         sc.magazine_capacity = config.magazine_capacity;
+        sc.pcp_high_watermark = config.pcp_high_watermark;
+        sc.pcp_batch = config.pcp_batch;
         // Kernel-like regime: callbacks become ready in grace-period
         // batches and are drained at once (paper §3.1 bursty
         // freeing), with a throttled background drainer as backstop.
@@ -44,6 +46,8 @@ run_one(const WorkloadSpec& spec, const SuiteConfig& config, bool slub,
         pc.arena_bytes = config.arena_bytes;
         pc.cpus = config.cpus;
         pc.magazine_capacity = config.magazine_capacity;
+        pc.pcp_high_watermark = config.pcp_high_watermark;
+        pc.pcp_batch = config.pcp_batch;
         alloc = make_prudence_allocator(rcu, pc);
     }
     return run_workload(*alloc, spec, seed);

@@ -29,6 +29,11 @@ struct SuiteConfig
     /// Thread-local magazine depth for both allocators (0 = off),
     /// applied uniformly so comparisons stay like-for-like.
     std::size_t magazine_capacity = 32;
+    /// Per-CPU page-cache high watermark for both allocators
+    /// (0 = off), applied uniformly like magazine_capacity.
+    std::size_t pcp_high_watermark = 32;
+    /// Blocks per page-cache refill/drain batch.
+    std::size_t pcp_batch = 8;
     /// Workload RNG seed.
     std::uint64_t seed = 1;
     /// Repetitions per (workload, allocator); metrics use run 0, the

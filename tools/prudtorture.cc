@@ -67,6 +67,8 @@ struct Options
     std::string allocator = "prudence";
     std::size_t arena_mb = 32;
     std::size_t magazine_capacity = 32;
+    std::size_t pcp_high_watermark = 32;
+    std::size_t pcp_batch = 8;
     std::uint64_t stall_threshold_ms = 1000;
     bool expect_stall = false;
 };
@@ -91,6 +93,10 @@ usage(const char* argv0)
         "(default 32)\n"
         "  --magazine-capacity=N    thread-local magazine depth, "
         "0 = off (default 32)\n"
+        "  --pcp-high-watermark=N   per-CPU page-cache watermark, "
+        "0 = off (default 32)\n"
+        "  --pcp-batch=N            page-cache refill/drain batch "
+        "(default 8)\n"
         "  --stall-threshold-ms=N   stall-detector threshold "
         "(default 1000)\n"
         "  --expect-stall           inject one long GP stall and "
@@ -135,6 +141,11 @@ parse_options(int argc, char** argv, Options& opt)
         else if (flag_value(argv[i], "--magazine-capacity", &v))
             opt.magazine_capacity =
                 static_cast<std::size_t>(std::atoll(v));
+        else if (flag_value(argv[i], "--pcp-high-watermark", &v))
+            opt.pcp_high_watermark =
+                static_cast<std::size_t>(std::atoll(v));
+        else if (flag_value(argv[i], "--pcp-batch", &v))
+            opt.pcp_batch = static_cast<std::size_t>(std::atoll(v));
         else if (flag_value(argv[i], "--stall-threshold-ms", &v))
             opt.stall_threshold_ms = std::strtoull(v, nullptr, 0);
         else if (std::strcmp(argv[i], "--expect-stall") == 0)
@@ -337,6 +348,7 @@ arm_faults(const Options& opt)
     SitePolicy prob;
     prob.probability = opt.fault_rate;
     fi.arm(SiteId::kBuddyAlloc, prob);
+    fi.arm(SiteId::kPcpRefill, prob);
     fi.arm(SiteId::kSlabGrow, prob);
     fi.arm(SiteId::kRefillFail, prob);
     fi.arm(SiteId::kLatentStarve, prob);
@@ -439,6 +451,8 @@ main(int argc, char** argv)
         prudence::SlubConfig cfg;
         cfg.arena_bytes = opt.arena_mb << 20;
         cfg.magazine_capacity = opt.magazine_capacity;
+        cfg.pcp_high_watermark = opt.pcp_high_watermark;
+        cfg.pcp_batch = opt.pcp_batch;
         auto owned = std::make_unique<prudence::SlubAllocator>(domain, cfg);
         slub = owned.get();
         alloc = std::move(owned);
@@ -446,6 +460,8 @@ main(int argc, char** argv)
         prudence::PrudenceConfig cfg;
         cfg.arena_bytes = opt.arena_mb << 20;
         cfg.magazine_capacity = opt.magazine_capacity;
+        cfg.pcp_high_watermark = opt.pcp_high_watermark;
+        cfg.pcp_batch = opt.pcp_batch;
         alloc =
             std::make_unique<prudence::PrudenceAllocator>(domain, cfg);
     }
