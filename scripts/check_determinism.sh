@@ -1,0 +1,57 @@
+#!/bin/sh
+# Determinism regression (process-level twin of tests/test_determinism):
+# two `prudtorture --deterministic` runs with the same --fault-seed
+# must produce byte-identical JSON reports — every fault site's
+# evaluation count, trigger count and decision fingerprint, and every
+# accounting counter in the final snapshots. A third run with a
+# different seed must NOT match, otherwise the check is vacuous.
+#
+# Usage: scripts/check_determinism.sh [preset] [extra prudtorture args...]
+#   preset    default | asan | tsan   (default: default)
+# Environment:
+#   SEED      fault seed              (default: 42)
+#   OPS       updates per run         (default: 50000)
+#   JOBS      parallel build jobs     (default: 2)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PRESET="${1:-default}"
+[ $# -gt 0 ] && shift
+
+case "$PRESET" in
+default) BUILD_DIR=build ;;
+*) BUILD_DIR="build-$PRESET" ;;
+esac
+
+SEED="${SEED:-42}"
+OPS="${OPS:-50000}"
+
+cmake --preset "$PRESET"
+cmake --build --preset "$PRESET" -j "${JOBS:-2}"
+
+run() {
+    run_seed="$1"
+    run_out="$2"
+    shift 2
+    "$BUILD_DIR/tools/prudtorture" --deterministic --ops="$OPS" \
+        --fault-seed="$run_seed" --report-json="$run_out" "$@" \
+        >/dev/null
+}
+
+echo "== determinism: two runs at seed $SEED must match =="
+run "$SEED" "$BUILD_DIR/det-a.json" "$@"
+run "$SEED" "$BUILD_DIR/det-b.json" "$@"
+if ! diff -u "$BUILD_DIR/det-a.json" "$BUILD_DIR/det-b.json"; then
+    echo "FAIL: same seed produced different fingerprints/accounting"
+    exit 1
+fi
+echo "identical: fingerprints + accounting reproduce"
+
+echo "== determinism: seed $((SEED + 1)) must diverge =="
+run "$((SEED + 1))" "$BUILD_DIR/det-c.json" "$@"
+if diff -q "$BUILD_DIR/det-a.json" "$BUILD_DIR/det-c.json" >/dev/null; then
+    echo "FAIL: different seeds produced identical reports (vacuous)"
+    exit 1
+fi
+echo "diverged: seed actually drives the decision stream"

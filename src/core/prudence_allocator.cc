@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "fault/fault_injector.h"
+#include "sim/ref_model.h"
+#include "sim/sim.h"
 #include "slab/size_classes.h"
 #include "slab/validate.h"
 #include "trace/tracer.h"
@@ -373,12 +375,17 @@ PrudenceAllocator::merge_caches(Cache& c, PerCpu& pc, GpEpoch completed)
     }
     std::size_t merged = 0;
     PRUDENCE_TRACE_CLOCK(merge_now);
+    // The `completed` value was read before this call: a delay here
+    // makes it maximally stale, which a correct merge must tolerate
+    // (stale completed is smaller — conservative).
+    PRUDENCE_SIM_YIELD(kLatentMerge);
     // FIFO appends of a monotone epoch keep the ring mostly ordered;
     // stopping at the first unsafe entry never merges an unsafe one
     // and at worst delays later safe entries by one grace period.
     while (!pc.latent.empty() && !pc.cache.full() &&
            pc.latent.front().epoch <= completed) {
         const LatentRing::Entry& e = pc.latent.front();
+        PRUDENCE_SIM_STMT(sim::model_on_reuse(e.object));
         pc.cache.push(e.object);
         PRUDENCE_TRACE_STMT({
             if (e.defer_ts != 0 && merge_now >= e.defer_ts) {
@@ -624,7 +631,20 @@ PrudenceAllocator::free_deferred_impl(Cache& c, void* p)
         ThreadMagazines& t = thread_state();
         Magazine& m = t.ensure(c.index, magazine_capacity_for(c));
         ++m.stats.deferred_free_calls;
+        // Model bookkeeping (sim sessions only): the defer-time epoch
+        // is the floor any later spill tag must respect.
+        PRUDENCE_SIM_STMT(sim::model_on_defer(p, domain_.defer_epoch()));
+        // Deliberate bug kStaleSpillTag: remember the epoch at FIRST
+        // buffer so the (buggy) spill can tag with it. See BugId.
+        PRUDENCE_SIM_STMT(
+            if (m.defer_count == 0 &&
+                sim::bug_enabled(sim::BugId::kStaleSpillTag))
+                m.bug_first_epoch = domain_.defer_epoch());
         m.defers[m.defer_count++] = p;
+        // The buffered-deferral window: grace periods that complete
+        // between here and the spill are what make a stale batch tag
+        // non-conservative.
+        PRUDENCE_SIM_YIELD(kMagDeferBuffer);
         if (m.defers_full())
             magazine_spill_defers(c, t, m);
         return;
@@ -645,6 +665,10 @@ PrudenceAllocator::free_deferred_impl(Cache& c, void* p)
     // object's latent entry (out of band — readers may still be
     // dereferencing the object itself).
     GpEpoch epoch = domain_.defer_epoch();
+    PRUDENCE_SIM_STMT(sim::model_on_defer(p, epoch));
+    // Between the epoch read and the latent push: the tag is fixed
+    // but the object is not yet in shared custody.
+    PRUDENCE_SIM_YIELD(kLatentPush);
 
     PerCpu& pc = *c.cpus[cpu_registry_.cpu_id()];
     LatentRing::Entry spill[128];
@@ -655,6 +679,7 @@ PrudenceAllocator::free_deferred_impl(Cache& c, void* p)
             ++pc.defer_events;
 
             if (!pc.latent.full()) {  // fast path (lines 39-44)
+                PRUDENCE_SIM_STMT(sim::model_on_spill(p, epoch));
                 pc.latent.push(p, epoch, defer_ts);
                 if (pc.cache.count() + pc.latent.count() >
                         pc.cache.capacity() &&
@@ -670,6 +695,7 @@ PrudenceAllocator::free_deferred_impl(Cache& c, void* p)
                 flush(c, pc, pc.cache.capacity() / 2 + 1);
             merge_caches(c, pc, domain_.completed_epoch());
             if (!pc.latent.full()) {
+                PRUDENCE_SIM_STMT(sim::model_on_spill(p, epoch));
                 pc.latent.push(p, epoch, defer_ts);
                 return;
             }
@@ -708,6 +734,10 @@ PrudenceAllocator::spill_entries(Cache& c,
     if (n == 0)
         return;
     PRUDENCE_TRACE_EMIT(trace::EventId::kLatentSpill, n);
+    // The batch is out of the latent ring but not yet in the slab
+    // rings: deferred_outstanding still counts it, but no structure
+    // holds it — the window validate()'s identities must survive.
+    PRUDENCE_SIM_YIELD(kLatentSpill);
     NodeLists& node = c.pool.node();
     bool want_shrink = false;
     {
@@ -905,6 +935,9 @@ PrudenceAllocator::magazine_alloc_slow(Cache& c, ThreadMagazines& t,
         want = 1;
     std::size_t got = 0;
     bool refilled = false;
+    // Refill hand-off: the magazine is empty and this thread is
+    // committed to pulling a batch from shared state.
+    PRUDENCE_SIM_YIELD(kMagRefill);
     {
         std::lock_guard<SpinLock> guard(pc.lock);
         flush_thread_stats(pc, stats, m.stats);
@@ -962,6 +995,9 @@ PrudenceAllocator::magazine_flush(Cache& c, ThreadMagazines& t,
     std::size_t k = m.objects.take_oldest(n, victims);
     if (k == 0)
         return;
+    // Flush hand-off: the victims left the magazine but have not
+    // reached the per-CPU cache; live_objects still counts them.
+    PRUDENCE_SIM_YIELD(kMagFlush);
     CacheStats& stats = c.pool.stats();
     PerCpu& pc = *c.cpus[t.cpu];
     {
@@ -1002,8 +1038,19 @@ PrudenceAllocator::magazine_spill_defers(Cache& c, ThreadMagazines& t,
     // instant, so the tag is >= each member's true defer epoch:
     // reuse can be delayed by up to one grace period, never early.
     GpEpoch epoch = domain_.defer_epoch();
+    // Deliberate bug kStaleSpillTag: tag with the epoch observed when
+    // the batch's FIRST member was buffered. Any grace period that
+    // completed while the batch filled makes this tag smaller than a
+    // later member's true defer epoch — the non-conservative tagging
+    // the model's spill check exists to catch.
+    PRUDENCE_SIM_STMT(
+        if (sim::bug_enabled(sim::BugId::kStaleSpillTag))
+            epoch = m.bug_first_epoch);
     PRUDENCE_TRACE_EMIT(trace::EventId::kMagDeferSpill, n, epoch);
     PRUDENCE_TRACE_CLOCK(defer_ts);
+    // Between fixing the batch tag and publishing the entries: the
+    // window a concurrent grace-period advance must not invalidate.
+    PRUDENCE_SIM_YIELD(kMagSpillTag);
 
     LatentRing::Entry spill[128];
     std::size_t i = 0;
@@ -1020,8 +1067,11 @@ PrudenceAllocator::magazine_spill_defers(Cache& c, ThreadMagazines& t,
                 stats.deferred_outstanding.add(
                     static_cast<std::int64_t>(n));
             }
-            while (i < n && !pc.latent.full())
+            while (i < n && !pc.latent.full()) {
+                PRUDENCE_SIM_STMT(
+                    sim::model_on_spill(m.defers[i], epoch));
                 pc.latent.push(m.defers[i++], epoch, defer_ts);
+            }
             if (i < n) {
                 // Latent cache saturated: same recovery as the
                 // per-op path — make room, merge, then move the
@@ -1029,8 +1079,11 @@ PrudenceAllocator::magazine_spill_defers(Cache& c, ThreadMagazines& t,
                 if (pc.cache.full())
                     flush(c, pc, pc.cache.capacity() / 2 + 1);
                 merge_caches(c, pc, refresh_completed(t));
-                while (i < n && !pc.latent.full())
+                while (i < n && !pc.latent.full()) {
+                    PRUDENCE_SIM_STMT(
+                        sim::model_on_spill(m.defers[i], epoch));
                     pc.latent.push(m.defers[i++], epoch, defer_ts);
+                }
             }
             if (i == n) {
                 if (pc.cache.count() + pc.latent.count() >
@@ -1295,6 +1348,7 @@ PrudenceAllocator::reclaim_cache(Cache& c, bool fill_caches)
             std::lock_guard<SpinLock> node_guard(node.lock);
             for (const auto& e : spill) {
                 SlabHeader* slab = c.pool.slab_of(e.object);
+                PRUDENCE_SIM_STMT(sim::model_on_reuse(e.object));
                 slab->freelist_push(e.object);
                 node.move_to(slab, NodeLists::deferred_aware_kind(slab));
             }

@@ -3,6 +3,7 @@
 #include <mutex>
 
 #include "fault/fault_injector.h"
+#include "sim/sim.h"
 #include "trace/tracer.h"
 
 namespace prudence {
@@ -73,6 +74,10 @@ CallbackEngine::process_cpu(unsigned cpu, std::size_t limit)
         }
         if (n == 0)
             break;
+        // Between collecting the batch and invoking it: the callbacks
+        // are already off the queue, so a concurrent drain_all or
+        // engine teardown must still account for them via backlog_.
+        PRUDENCE_SIM_YIELD(kCbHandOff);
         for (std::size_t i = 0; i < n; ++i)
             batch[i].fn(batch[i].ctx, batch[i].arg);
         invoked_.add(n);

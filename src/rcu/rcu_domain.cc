@@ -4,6 +4,8 @@
 #include <chrono>
 
 #include "fault/fault_injector.h"
+#include "sim/ref_model.h"
+#include "sim/sim.h"
 #include "sync/backoff.h"
 #include "trace/tracer.h"
 
@@ -50,6 +52,11 @@ RcuDomain::read_lock()
         // section performs; pairs with the detector's fence between
         // its counter increment and its slot scan.
         std::atomic_thread_fence(std::memory_order_seq_cst);
+        // Model registration strictly after the real publication: the
+        // model may miss a just-started reader (conservative) but can
+        // never hold one the grace-period scan could not also see.
+        PRUDENCE_SIM_STMT(sim::model_on_reader_lock(
+            reinterpret_cast<std::uintptr_t>(&slot), snapshot));
     }
 }
 
@@ -59,6 +66,11 @@ RcuDomain::read_unlock()
     ThreadSlot& slot = readers_.slot();
     assert(slot.nesting > 0 && "read_unlock without read_lock");
     if (--slot.nesting == 0) {
+        // Model unregistration strictly before the real quiescent
+        // store: once the grace-period scan can observe this reader
+        // gone, the model already agrees.
+        PRUDENCE_SIM_STMT(sim::model_on_reader_unlock(
+            reinterpret_cast<std::uintptr_t>(&slot)));
         // Release ordering: everything read inside the section
         // happens-before the detector observing us quiescent.
         slot.value.store(0, std::memory_order_release);
@@ -126,6 +138,10 @@ RcuDomain::advance()
     std::atomic_thread_fence(std::memory_order_seq_cst);
     wait_for_readers(t1);
 
+    // Between the two reader waits: a delayed reader that raced phase
+    // 1 is exactly what phase 2 exists to close.
+    PRUDENCE_SIM_YIELD(kGpPhase);
+
     // Phase 2: closes the delayed-reader window (a thread that read
     // the counter before phase 1's increment but had not yet
     // published its slot when phase 1 scanned).
@@ -133,6 +149,11 @@ RcuDomain::advance()
     gp_target_.store(t2, std::memory_order_release);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     wait_for_readers(t2);
+
+    // Between the reader waits completing and completed_ publishing:
+    // consumers polling completed_epoch() during this window must keep
+    // treating the grace period as unfinished.
+    PRUDENCE_SIM_YIELD(kGpPublish);
 
     gp_target_.store(0, std::memory_order_release);
     grace_periods_.add();

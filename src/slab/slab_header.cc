@@ -3,6 +3,8 @@
 #include <mutex>
 #include <new>
 
+#include "sim/ref_model.h"
+#include "sim/sim.h"
 #include "sync/cacheline.h"
 
 namespace prudence {
@@ -51,6 +53,11 @@ merge_safe_latent(SlabHeader* slab, GpEpoch completed)
     // counter), so the safe entries form a prefix.
     while (slab->ring_count > 0 &&
            slab->ring_front().epoch <= completed) {
+        // The freelist push makes the object allocatable again: the
+        // model's reuse check runs against the authoritative completed
+        // epoch and the live reader set.
+        PRUDENCE_SIM_STMT(sim::model_on_reuse(
+            slab->object_at(slab->ring_front().index)));
         slab->freelist_push(slab->object_at(slab->ring_front().index));
         slab->ring_pop_front();
         ++merged;

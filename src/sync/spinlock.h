@@ -12,6 +12,7 @@
 
 #include <atomic>
 
+#include "sim/sim.h"
 #include "sync/backoff.h"
 
 namespace prudence {
@@ -29,6 +30,10 @@ class SpinLock
     void
     lock()
     {
+        // Perturbing lock-acquisition order is the cheapest generic
+        // interleaving lever: whoever the sim delays here loses the
+        // race for every per-CPU / node-level critical section.
+        PRUDENCE_SIM_YIELD(kSpinLockAcquire);
         Backoff backoff;
         for (;;) {
             if (!locked_.exchange(true, std::memory_order_acquire))

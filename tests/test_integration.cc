@@ -99,11 +99,39 @@ TEST(Integration, MemorySamplerTracksAllocatorUsage)
     std::vector<void*> objs;
     for (int i = 0; i < 20000; ++i)
         objs.push_back(alloc->cache_alloc(id));
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    // Poll (deadline-bounded) instead of sleeping a fixed interval:
+    // the sampler ticks every 2ms, but under load a fixed sleep races
+    // the sampling thread and makes the test timing-sensitive.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    auto wait_for_sample = [&](auto&& pred) {
+        while (std::chrono::steady_clock::now() < deadline) {
+            auto got = sampler.samples();
+            if (pred(got))
+                return;
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+    };
+    // Barrier 1: the sampler has demonstrably seen the full working
+    // set live.
+    wait_for_sample([](const auto& got) {
+        for (const auto& s : got)
+            if (s.value > 20u << 20)
+                return true;
+        return false;
+    });
     for (void* p : objs)
         alloc->cache_free(id, p);
     alloc->quiesce();
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    // Barrier 2: the sampler has seen the post-reclaim tail (and has
+    // enough samples for the timeline assertions below).
+    wait_for_sample([](const auto& got) {
+        std::uint64_t high = 0;
+        for (const auto& s : got)
+            high = std::max(high, s.value);
+        return got.size() >= 5u && !got.empty() &&
+               got.back().value < high / 2;
+    });
     sampler.stop();
 
     auto samples = sampler.samples();

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "api/allocator_factory.h"
+#include "page/buddy_allocator.h"
 #include "rcu/manual_domain.h"
 
 namespace prudence {
@@ -223,6 +224,140 @@ TEST_P(KmallocProperty, SizesRouteAndRoundTrip)
     }
     EXPECT_EQ(alloc->validate(), "");
 }
+
+/**
+ * Magazine + PCP accounting identity: random op sequences against the
+ * full fast-path stack (thread-local magazines in front of the
+ * per-CPU caches, per-CPU page stashes in front of the buddy lock),
+ * in every on/off combination. At every drain point —
+ * `drain_thread()` followed by enough GP advances to retire the
+ * spilled batches — two identities must hold exactly:
+ *
+ *  - object accounting: `live_objects` equals the oracle's live set
+ *    (magazine-held objects moved back at the batch boundary), and
+ *  - page accounting: global-free + PCP-cached + used == capacity,
+ *    with `check_integrity()` agreeing while the stashes are hot.
+ */
+struct LayerParams
+{
+    std::size_t magazine_capacity;
+    std::size_t pcp_high_watermark;
+    std::uint64_t seed;
+};
+
+class LayerAccountingProperty
+    : public ::testing::TestWithParam<LayerParams>
+{
+};
+
+TEST_P(LayerAccountingProperty, DrainPointIdentitiesHold)
+{
+    const LayerParams& params = GetParam();
+    ManualRcuDomain domain;
+
+    PrudenceConfig cfg;
+    cfg.arena_bytes = 64 << 20;
+    cfg.cpus = 2;
+    cfg.magazine_capacity = params.magazine_capacity;
+    cfg.pcp_high_watermark = params.pcp_high_watermark;
+    cfg.maintenance_interval = std::chrono::microseconds{0};
+    std::unique_ptr<Allocator> alloc =
+        make_prudence_allocator(domain, cfg);
+    CacheId id = alloc->create_cache("layer.prop", 128);
+    BuddyAllocator& buddy = alloc->page_allocator();
+    const std::size_t capacity = buddy.capacity_pages();
+
+    auto check_page_identity = [&](int step) {
+        BuddyStatsSnapshot bs = buddy.stats();
+        std::uint64_t free_pages = 0;
+        for (unsigned o = 0; o <= kMaxPageOrder; ++o)
+            free_pages += buddy.free_blocks(o) << o;
+        std::uint64_t cached_pages = 0;
+        for (unsigned o = 0; o <= kPcpMaxOrder; ++o)
+            cached_pages += buddy.pcp_cached_blocks(o) << o;
+        EXPECT_EQ(cached_pages,
+                  static_cast<std::uint64_t>(bs.pcp_cached_pages))
+            << "step " << step;
+        EXPECT_EQ(free_pages + cached_pages +
+                      static_cast<std::uint64_t>(bs.pages_in_use),
+                  capacity)
+            << "step " << step
+            << ": free+cached+used != capacity";
+        EXPECT_TRUE(buddy.check_integrity()) << "step " << step;
+    };
+
+    std::mt19937_64 rng(params.seed);
+    std::set<void*> live;
+    std::uint64_t defers = 0;
+
+    for (int step = 0; step < 20000; ++step) {
+        int action = static_cast<int>(rng() % 100);
+        if (action < 50 || live.empty()) {
+            void* p = alloc->cache_alloc(id);
+            ASSERT_NE(p, nullptr);
+            ASSERT_TRUE(live.insert(p).second)
+                << "step " << step << ": double handout";
+        } else if (action < 72) {
+            auto it = live.begin();
+            std::advance(it, rng() % live.size());
+            void* p = *it;
+            live.erase(it);
+            alloc->cache_free(id, p);
+        } else if (action < 96) {
+            auto it = live.begin();
+            std::advance(it, rng() % live.size());
+            void* p = *it;
+            live.erase(it);
+            alloc->cache_free_deferred(id, p);
+            ++defers;
+        } else {
+            domain.advance();
+        }
+
+        if (step % 2500 == 2499) {
+            // Drain point: spill the magazines (alloc-side objects
+            // return to the per-CPU cache, deferred batches get their
+            // conservative tag), then retire everything spillable.
+            alloc->drain_thread();
+            domain.advance();
+            domain.advance();
+            auto s = alloc->cache_snapshot(id);
+            EXPECT_EQ(s.live_objects,
+                      static_cast<std::int64_t>(live.size()))
+                << "step " << step;
+            check_page_identity(step);
+            EXPECT_EQ(alloc->validate(), "") << "step " << step;
+        }
+    }
+
+    for (void* p : live)
+        alloc->cache_free(id, p);
+    alloc->quiesce();
+    auto s = alloc->cache_snapshot(id);
+    EXPECT_EQ(s.deferred_free_calls, defers);
+    EXPECT_EQ(s.live_objects, 0);
+    EXPECT_EQ(s.deferred_outstanding, 0);
+    check_page_identity(-1);
+    // After quiesce the stashes are cold too: the global free lists
+    // alone must account for every non-used page.
+    std::uint64_t cached_after = 0;
+    for (unsigned o = 0; o <= kPcpMaxOrder; ++o)
+        cached_after += buddy.pcp_cached_blocks(o) << o;
+    EXPECT_EQ(cached_after, 0u);
+    EXPECT_EQ(alloc->validate(), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LayerAccountingProperty,
+    ::testing::Values(LayerParams{0, 0, 21}, LayerParams{8, 0, 22},
+                      LayerParams{0, 8, 23}, LayerParams{8, 8, 24},
+                      LayerParams{32, 32, 25}),
+    [](const ::testing::TestParamInfo<LayerParams>& info) {
+        return "mag" + std::to_string(info.param.magazine_capacity) +
+               "_pcp" +
+               std::to_string(info.param.pcp_high_watermark) +
+               "_seed" + std::to_string(info.param.seed);
+    });
 
 INSTANTIATE_TEST_SUITE_P(
     Sweep, KmallocProperty,

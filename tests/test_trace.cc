@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "json_checker.h"
 #include "trace/exporter.h"
 #include "trace/histogram.h"
 #include "trace/metrics_registry.h"
@@ -23,181 +24,7 @@
 namespace prudence::trace {
 namespace {
 
-// ---------------------------------------------------------------------
-// Minimal structural JSON validator (no JSON library in the image).
-// Accepts exactly the RFC 8259 grammar shapes the exporter produces;
-// good enough to catch unbalanced braces, missing commas/quotes and
-// bare NaNs, which are the realistic exporter bugs.
-// ---------------------------------------------------------------------
-class JsonChecker
-{
-  public:
-    explicit JsonChecker(const std::string& text) : text_(text) {}
-
-    bool
-    valid()
-    {
-        skip_ws();
-        if (!value())
-            return false;
-        skip_ws();
-        return pos_ == text_.size();
-    }
-
-  private:
-    char
-    peek() const
-    {
-        return pos_ < text_.size() ? text_[pos_] : '\0';
-    }
-
-    void
-    skip_ws()
-    {
-        while (pos_ < text_.size() &&
-               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-                text_[pos_] == '\n' || text_[pos_] == '\r'))
-            ++pos_;
-    }
-
-    bool
-    literal(const char* word)
-    {
-        for (const char* p = word; *p != '\0'; ++p, ++pos_) {
-            if (peek() != *p)
-                return false;
-        }
-        return true;
-    }
-
-    bool
-    string()
-    {
-        if (peek() != '"')
-            return false;
-        ++pos_;
-        while (pos_ < text_.size()) {
-            char c = text_[pos_++];
-            if (c == '"')
-                return true;
-            if (c == '\\') {
-                if (pos_ >= text_.size())
-                    return false;
-                ++pos_;  // accept any escaped character
-            }
-        }
-        return false;  // unterminated
-    }
-
-    bool
-    number()
-    {
-        std::size_t start = pos_;
-        if (peek() == '-')
-            ++pos_;
-        bool digits = false;
-        while (peek() >= '0' && peek() <= '9') {
-            ++pos_;
-            digits = true;
-        }
-        if (peek() == '.') {
-            ++pos_;
-            while (peek() >= '0' && peek() <= '9')
-                ++pos_;
-        }
-        if (peek() == 'e' || peek() == 'E') {
-            ++pos_;
-            if (peek() == '+' || peek() == '-')
-                ++pos_;
-            while (peek() >= '0' && peek() <= '9')
-                ++pos_;
-        }
-        return digits && pos_ > start;
-    }
-
-    bool
-    object()
-    {
-        ++pos_;  // '{'
-        skip_ws();
-        if (peek() == '}') {
-            ++pos_;
-            return true;
-        }
-        for (;;) {
-            skip_ws();
-            if (!string())
-                return false;
-            skip_ws();
-            if (peek() != ':')
-                return false;
-            ++pos_;
-            skip_ws();
-            if (!value())
-                return false;
-            skip_ws();
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            if (peek() == '}') {
-                ++pos_;
-                return true;
-            }
-            return false;
-        }
-    }
-
-    bool
-    array()
-    {
-        ++pos_;  // '['
-        skip_ws();
-        if (peek() == ']') {
-            ++pos_;
-            return true;
-        }
-        for (;;) {
-            skip_ws();
-            if (!value())
-                return false;
-            skip_ws();
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            if (peek() == ']') {
-                ++pos_;
-                return true;
-            }
-            return false;
-        }
-    }
-
-    bool
-    value()
-    {
-        switch (peek()) {
-          case '{':
-            return object();
-          case '[':
-            return array();
-          case '"':
-            return string();
-          case 't':
-            return literal("true");
-          case 'f':
-            return literal("false");
-          case 'n':
-            return literal("null");
-          default:
-            return number();
-        }
-    }
-
-    const std::string& text_;
-    std::size_t pos_ = 0;
-};
+using prudence::test::JsonChecker;
 
 TEST(JsonChecker, SelfTest)
 {

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Golden-file tests for the trace exporters.
+ *
+ * The structural checks in test_trace.cc prove the output is valid
+ * JSON; these tests pin the exact bytes — field ordering, event
+ * ordering, drop-marker placement under ring wraparound, metric
+ * formatting — against checked-in golden files so an accidental
+ * format change (which silently breaks downstream Perfetto/Chrome
+ * tooling and trace-diffing scripts) fails CI.
+ *
+ * The only nondeterministic exporter outputs are the "ts" and "dur"
+ * values (session-clock reads); they are normalized to 0.000 before
+ * comparison. Everything else — names, categories, phases, args,
+ * thread ids, drop counts, separators — must match byte for byte.
+ *
+ * Regenerate after an INTENTIONAL format change with:
+ *   PRUDENCE_UPDATE_GOLDEN=1 ./tests/test_trace_golden
+ * then review the golden diff like any other code change.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "json_checker.h"
+#include "trace/exporter.h"
+#include "trace/metrics_registry.h"
+#include "trace/tracer.h"
+
+namespace prudence::trace {
+namespace {
+
+using prudence::test::JsonChecker;
+
+std::string
+golden_path(const char* file)
+{
+    return std::string(PRUDENCE_TEST_GOLDEN_DIR) + "/" + file;
+}
+
+std::string
+read_file(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/// Zero every "ts" and "dur" value (the only wall-clock-derived
+/// fields) so the remaining bytes are run-independent.
+std::string
+normalize_timestamps(const std::string& json)
+{
+    std::string out;
+    out.reserve(json.size());
+    std::size_t i = 0;
+    while (i < json.size()) {
+        bool matched = false;
+        for (const char* key : {"\"ts\":", "\"dur\":"}) {
+            std::size_t n = std::string(key).size();
+            if (json.compare(i, n, key) == 0) {
+                out.append(key);
+                i += n;
+                while (i < json.size() &&
+                       ((json[i] >= '0' && json[i] <= '9') ||
+                        json[i] == '.'))
+                    ++i;
+                out.append("0.000");
+                matched = true;
+                break;
+            }
+        }
+        if (!matched)
+            out.push_back(json[i++]);
+    }
+    return out;
+}
+
+/// Compare @p got against the named golden file, or rewrite the file
+/// when PRUDENCE_UPDATE_GOLDEN is set.
+void
+check_golden(const char* name, const std::string& got)
+{
+    const std::string path = golden_path(name);
+    if (std::getenv("PRUDENCE_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << got;
+        GTEST_SKIP() << "golden file regenerated: " << path;
+    }
+    const std::string want = read_file(path);
+    ASSERT_FALSE(want.empty())
+        << "missing golden file " << path
+        << " (generate with PRUDENCE_UPDATE_GOLDEN=1)";
+    EXPECT_EQ(got, want) << "exporter output diverged from " << path
+                         << "; if the change is intentional, "
+                            "regenerate with PRUDENCE_UPDATE_GOLDEN=1";
+}
+
+TEST(TraceGolden, ChromeTraceUnderWraparoundWithDrops)
+{
+    stop();
+    // A 12-event sequence into a capacity-8 ring: the 4 oldest events
+    // are overwritten, so the export must carry an events_dropped
+    // marker and exactly the newest 8 events, oldest first.
+    start(/*ring_capacity=*/8);
+    emit(EventId::kGpStart, /*target_epoch=*/1);
+    emit(EventId::kCbEnqueue, /*epoch=*/2, /*cpu=*/0);
+    emit(EventId::kBytesInUse, /*bytes=*/4096);
+    emit(EventId::kBuddySplit, /*order=*/3);
+    emit(EventId::kBuddyMerge, /*order=*/4);
+    emit(EventId::kLatentEnter, /*object=*/0x1234);
+    emit(EventId::kLatentExit, /*object=*/0x1234,
+         /*residency_ns=*/777);
+    emit(EventId::kLatentSpill, /*count=*/5);
+    emit_span(EventId::kGpSpan, /*start_ns=*/0,
+              /*completed_epoch=*/9);
+    emit_span(EventId::kCbBatchDrain, /*start_ns=*/0, /*count=*/6,
+              /*cpu=*/1);
+    emit(EventId::kMagRefill, /*count=*/8, /*cpu=*/0);
+    emit(EventId::kPcpDrain, /*count=*/4, /*order=*/0);
+    stop();
+    EXPECT_EQ(total_dropped(), 4u);
+    EXPECT_EQ(total_recorded(), 8u);
+
+    std::ostringstream os;
+    write_chrome_trace(os);
+    const std::string json = os.str();
+    ASSERT_TRUE(JsonChecker(json).valid()) << json;
+
+    check_golden("chrome_trace.golden.json",
+                 normalize_timestamps(json));
+}
+
+TEST(TraceGolden, MetricsJsonFormatting)
+{
+    stop();
+    MetricsRegistry& reg = MetricsRegistry::instance();
+    reg.reset_all();
+    // Fixed inputs -> fixed percentile estimates: the histogram
+    // summary (count/sum/max/mean/p50/p90/p99) is a pure function of
+    // the recorded values, so it needs no normalization.
+    LatencyHistogram& h = reg.histogram(HistId::kPrudenceAllocNs);
+    for (std::uint64_t v : {100u, 200u, 400u, 800u, 6400u})
+        h.record(v);
+    reg.counter("golden.counter").add(3);
+    reg.gauge("golden.gauge").add(7);
+    reg.gauge("golden.gauge").sub(2);
+    reg.named_histogram("golden.named_ns").record(1000);
+
+    std::ostringstream os;
+    write_metrics_json(os);
+    const std::string json = os.str();
+    ASSERT_TRUE(JsonChecker(json).valid()) << json;
+
+    check_golden("metrics.golden.json", json);
+}
+
+}  // namespace
+}  // namespace prudence::trace

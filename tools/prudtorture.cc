@@ -71,6 +71,16 @@ struct Options
     std::size_t pcp_batch = 8;
     std::uint64_t stall_threshold_ms = 1000;
     bool expect_stall = false;
+    /// Stop after this many updates instead of after --duration
+    /// (0 = duration-bounded).
+    std::uint64_t ops = 0;
+    /// Single-threaded, ops-bounded, no background threads: two runs
+    /// with the same --fault-seed are bit-identical in every fault
+    /// fingerprint and accounting counter.
+    bool deterministic = false;
+    /// Write the machine-readable fingerprint + accounting report
+    /// here ("" = don't).
+    std::string report_json;
 };
 
 void
@@ -100,7 +110,17 @@ usage(const char* argv0)
         "  --stall-threshold-ms=N   stall-detector threshold "
         "(default 1000)\n"
         "  --expect-stall           inject one long GP stall and "
-        "require detection\n",
+        "require detection\n"
+        "  --ops=N                  stop after N updates instead of "
+        "--duration\n"
+        "  --deterministic          1 updater, no readers/OOM/"
+        "background threads;\n"
+        "                           same --fault-seed => identical "
+        "fingerprints\n"
+        "                           and accounting (implies --ops, "
+        "default 50000)\n"
+        "  --report-json=FILE       write fingerprints + accounting "
+        "as JSON\n",
         argv0);
 }
 
@@ -150,6 +170,12 @@ parse_options(int argc, char** argv, Options& opt)
             opt.stall_threshold_ms = std::strtoull(v, nullptr, 0);
         else if (std::strcmp(argv[i], "--expect-stall") == 0)
             opt.expect_stall = true;
+        else if (flag_value(argv[i], "--ops", &v))
+            opt.ops = std::strtoull(v, nullptr, 0);
+        else if (std::strcmp(argv[i], "--deterministic") == 0)
+            opt.deterministic = true;
+        else if (flag_value(argv[i], "--report-json", &v))
+            opt.report_json = v;
         else {
             usage(argv[0]);
             return false;
@@ -158,6 +184,29 @@ parse_options(int argc, char** argv, Options& opt)
     if (opt.allocator != "prudence" && opt.allocator != "slub") {
         usage(argv[0]);
         return false;
+    }
+    if (opt.deterministic) {
+        if (opt.allocator != "prudence") {
+            std::fprintf(stderr,
+                         "prudtorture: --deterministic requires "
+                         "--allocator=prudence (the SLUB baseline's "
+                         "callback drainer is a free-running thread)\n");
+            return false;
+        }
+        if (opt.expect_stall) {
+            std::fprintf(stderr,
+                         "prudtorture: --deterministic excludes "
+                         "--expect-stall (no background GP thread to "
+                         "stall)\n");
+            return false;
+        }
+        // Exactly one mutator, nothing racing it: every fault-site
+        // evaluation happens at a fixed position in program order.
+        opt.updaters = 1;
+        opt.readers = 0;
+        opt.oom_threads = 0;
+        if (opt.ops == 0)
+            opt.ops = 50000;
     }
     return true;
 }
@@ -231,6 +280,16 @@ updater_main(Torture& t, unsigned id)
         0, t.slots.size() - 1);
 
     while (!t.stop.load(std::memory_order_relaxed)) {
+        if (t.opt.ops != 0 &&
+            t.updates.load(std::memory_order_relaxed) >= t.opt.ops)
+            break;
+        // Deterministic mode has no background GP thread; the one
+        // updater drives grace periods itself at a fixed cadence so
+        // epoch completion sits at the same program-order points in
+        // every run.
+        if (t.opt.deterministic &&
+            t.updates.load(std::memory_order_relaxed) % 256 == 255)
+            t.domain.advance();
         auto* obj =
             static_cast<TortureObj*>(t.alloc.cache_alloc(t.cache));
         if (obj == nullptr) {
@@ -238,6 +297,10 @@ updater_main(Torture& t, unsigned id)
             // must surface as nullptr, never as a crash.
             t.update_allocs_failed.fetch_add(1,
                                              std::memory_order_relaxed);
+            // Without a background GP thread an exhausted arena can
+            // only recover through an explicit advance.
+            if (t.opt.deterministic)
+                t.domain.advance();
             std::this_thread::yield();
             continue;
         }
@@ -424,6 +487,84 @@ fault_report(const std::vector<prudence::fault::SiteReport>& reports,
     return mismatches;
 }
 
+/**
+ * Machine-readable run report: every fault site's decision
+ * fingerprint plus the post-quiesce accounting snapshot. Field order
+ * is fixed and no wall-clock-derived value appears, so two
+ * deterministic runs with the same --fault-seed produce byte-
+ * identical files (scripts/check_determinism.sh diffs them).
+ */
+bool
+write_report_json(const std::string& path, const Options& opt,
+                  const std::vector<prudence::fault::SiteReport>& reports,
+                  const Torture& t, prudence::Allocator& alloc)
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "prudtorture: cannot write %s\n",
+                     path.c_str());
+        return false;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"fault_seed\": %" PRIu64 ",\n"
+                 "  \"deterministic\": %s,\n"
+                 "  \"ops\": %" PRIu64 ",\n"
+                 "  \"allocator\": \"%s\",\n",
+                 opt.fault_seed, opt.deterministic ? "true" : "false",
+                 opt.ops, alloc.kind());
+
+    std::fprintf(f, "  \"sites\": [\n");
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        const auto& r = reports[i];
+        std::fprintf(f,
+                     "    {\"site\": \"%s\", \"evaluations\": %" PRIu64
+                     ", \"triggers\": %" PRIu64
+                     ", \"fingerprint\": \"0x%016" PRIx64 "\"}%s\n",
+                     prudence::fault::site_name(r.id), r.evaluations,
+                     r.triggers, r.fingerprint,
+                     i + 1 < reports.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+
+    std::fprintf(f,
+                 "  \"counters\": {\"reads\": %" PRIu64
+                 ", \"updates\": %" PRIu64
+                 ", \"update_allocs_failed\": %" PRIu64 "},\n",
+                 t.reads.load(), t.updates.load(),
+                 t.update_allocs_failed.load());
+
+    const auto snaps = alloc.snapshots();
+    std::fprintf(f, "  \"caches\": [\n");
+    bool first = true;
+    for (const auto& s : snaps) {
+        if (s.alloc_calls == 0 && s.free_calls == 0)
+            continue;
+        std::fprintf(f,
+                     "%s    {\"name\": \"%s\", \"alloc_calls\": %" PRIu64
+                     ", \"free_calls\": %" PRIu64
+                     ", \"deferred_free_calls\": %" PRIu64
+                     ", \"live_objects\": %" PRId64
+                     ", \"deferred_outstanding\": %" PRId64 "}",
+                     first ? "" : ",\n", s.cache_name.c_str(),
+                     s.alloc_calls, s.free_calls, s.deferred_free_calls,
+                     static_cast<std::int64_t>(s.live_objects),
+                     static_cast<std::int64_t>(s.deferred_outstanding));
+        first = false;
+    }
+    std::fprintf(f, "\n  ],\n");
+
+    const auto buddy = alloc.page_allocator().stats();
+    std::fprintf(f,
+                 "  \"buddy\": {\"alloc_calls\": %" PRIu64
+                 ", \"failed_allocs\": %" PRIu64
+                 ", \"bad_frees\": %" PRIu64 "}\n}\n",
+                 buddy.alloc_calls, buddy.failed_allocs,
+                 buddy.bad_frees);
+    std::fclose(f);
+    return true;
+}
+
 }  // namespace
 
 int
@@ -443,6 +584,9 @@ main(int argc, char** argv)
 
     prudence::RcuConfig rcu_cfg;
     rcu_cfg.gp_interval = std::chrono::microseconds(200);
+    // Deterministic mode: no free-running GP thread — the updater
+    // advances grace periods at fixed program-order points.
+    rcu_cfg.background_gp_thread = !opt.deterministic;
     prudence::RcuDomain domain(rcu_cfg);
 
     std::unique_ptr<prudence::Allocator> alloc;
@@ -462,6 +606,8 @@ main(int argc, char** argv)
         cfg.magazine_capacity = opt.magazine_capacity;
         cfg.pcp_high_watermark = opt.pcp_high_watermark;
         cfg.pcp_batch = opt.pcp_batch;
+        if (opt.deterministic)
+            cfg.maintenance_interval = std::chrono::microseconds(0);
         alloc =
             std::make_unique<prudence::PrudenceAllocator>(domain, cfg);
     }
@@ -480,25 +626,46 @@ main(int argc, char** argv)
     Torture t(opt, domain, *alloc, /*nslots=*/2048);
     t.cache = cache;
 
-    std::printf("prudtorture: allocator=%s arena=%zuMB readers=%u "
-                "updaters=%u oom-threads=%u duration=%.1fs "
-                "fault-seed=%" PRIu64 " faults=%s\n",
-                alloc->kind(), opt.arena_mb, opt.readers, opt.updaters,
-                opt.oom_threads, opt.duration_s, opt.fault_seed,
-                opt.faults ? "on" : "off");
+    if (opt.ops != 0)
+        std::printf("prudtorture: allocator=%s arena=%zuMB readers=%u "
+                    "updaters=%u oom-threads=%u ops=%" PRIu64
+                    " deterministic=%s fault-seed=%" PRIu64
+                    " faults=%s\n",
+                    alloc->kind(), opt.arena_mb, opt.readers,
+                    opt.updaters, opt.oom_threads, opt.ops,
+                    opt.deterministic ? "yes" : "no", opt.fault_seed,
+                    opt.faults ? "on" : "off");
+    else
+        std::printf("prudtorture: allocator=%s arena=%zuMB readers=%u "
+                    "updaters=%u oom-threads=%u duration=%.1fs "
+                    "fault-seed=%" PRIu64 " faults=%s\n",
+                    alloc->kind(), opt.arena_mb, opt.readers,
+                    opt.updaters, opt.oom_threads, opt.duration_s,
+                    opt.fault_seed, opt.faults ? "on" : "off");
 
-    std::vector<std::thread> threads;
+    std::vector<std::thread> updaters;
+    std::vector<std::thread> others;
     for (unsigned i = 0; i < opt.updaters; ++i)
-        threads.emplace_back([&t, i] { updater_main(t, i); });
+        updaters.emplace_back([&t, i] { updater_main(t, i); });
     for (unsigned i = 0; i < opt.readers; ++i)
-        threads.emplace_back([&t, i] { reader_main(t, i); });
+        others.emplace_back([&t, i] { reader_main(t, i); });
     for (unsigned i = 0; i < opt.oom_threads; ++i)
-        threads.emplace_back([&t, i] { oom_main(t, i); });
+        others.emplace_back([&t, i] { oom_main(t, i); });
 
-    std::this_thread::sleep_for(
-        std::chrono::duration<double>(opt.duration_s));
-    t.stop.store(true, std::memory_order_relaxed);
-    for (auto& th : threads)
+    if (opt.ops != 0) {
+        // Ops-bounded: the updaters stop themselves at the target;
+        // readers and OOM threads run until the last updater is done.
+        for (auto& th : updaters)
+            th.join();
+        t.stop.store(true, std::memory_order_relaxed);
+    } else {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(opt.duration_s));
+        t.stop.store(true, std::memory_order_relaxed);
+        for (auto& th : updaters)
+            th.join();
+    }
+    for (auto& th : others)
         th.join();
 
     // Capture the live fault report, then disarm everything so the
@@ -554,6 +721,10 @@ main(int argc, char** argv)
     int mismatches = fault_report(reports, opt.fault_seed);
     if (mismatches != 0)
         fail("fault decision sequence diverged from offline replay");
+
+    if (!opt.report_json.empty() &&
+        !write_report_json(opt.report_json, opt, reports, t, *alloc))
+        fail("could not write --report-json file");
 
     // ---- summary ----
     auto rcu = domain.stats();
