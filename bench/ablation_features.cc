@@ -90,6 +90,7 @@ postmark_numbers(const PrudenceConfig& base, double scale)
 int
 main(int argc, char** argv)
 {
+    prudence_bench::TelemetrySession telemetry_session(argc, argv);
     double scale = prudence_bench::run_scale(argc, argv);
     auto pairs = static_cast<std::uint64_t>(100000.0 * scale);
     if (pairs < 1000)

@@ -101,6 +101,7 @@ run(bool use_prudence, std::chrono::microseconds gp_interval,
 int
 main(int argc, char** argv)
 {
+    prudence_bench::TelemetrySession telemetry_session(argc, argv);
     double scale = prudence_bench::run_scale(argc, argv);
     auto pairs = static_cast<std::uint64_t>(150000.0 * scale);
     if (pairs < 1000)

@@ -13,11 +13,15 @@
 #ifndef PRUDENCE_BENCH_BENCH_COMMON_H
 #define PRUDENCE_BENCH_BENCH_COMMON_H
 
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "telemetry/monitor.h"
 #include "trace/exporter.h"
 #include "trace/tracer.h"
 #include "workload/report.h"
@@ -109,6 +113,101 @@ size_env(const char* name, std::size_t fallback)
         return static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
     return fallback;
 }
+
+/// Value of --telemetry=<file>, or empty when not requested.
+inline std::string
+telemetry_path(int argc, char** argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--telemetry=", 12) == 0)
+            return std::string(argv[i] + 12);
+    }
+    if (const char* env = std::getenv("PRUDENCE_BENCH_TELEMETRY"))
+        return std::string(env);
+    return {};
+}
+
+/**
+ * RAII telemetry session for a bench main (DESIGN.md §12): with a
+ * `--telemetry=<file>` argument it runs a background Monitor over the
+ * whole run — process RSS plus the registry-derived age/section
+ * probes are registered up front; benches register per-phase
+ * allocator/domain probes against monitor(). At scope exit it writes
+ * the structured time-series JSON to <file> and CSV to <file>.csv,
+ * and installs the series as Chrome counter tracks so a TraceSession
+ * declared BEFORE this object (destroyed after it) exports them
+ * alongside the event tracks.
+ *
+ * Sampling period: 10 ms (the paper's memory timeline), overridable
+ * via PRUDENCE_TELEMETRY_PERIOD_US. With no flag (or a
+ * PRUDENCE_TELEMETRY=OFF build) it does nothing and monitor()
+ * returns nullptr.
+ */
+class TelemetrySession
+{
+  public:
+    TelemetrySession(int argc, char** argv)
+        : path_(telemetry_path(argc, argv))
+    {
+        if (path_.empty())
+            return;
+#if defined(PRUDENCE_TELEMETRY_ENABLED)
+        prudence::telemetry::MonitorConfig cfg;
+        cfg.period = std::chrono::microseconds(
+            size_env("PRUDENCE_TELEMETRY_PERIOD_US", 10'000));
+        monitor_ =
+            std::make_unique<prudence::telemetry::Monitor>(cfg);
+        group_ = std::make_unique<prudence::telemetry::ProbeGroup>(
+            *monitor_);
+        prudence::telemetry::add_rss_probe(*group_);
+        prudence::telemetry::add_registry_probes(*group_);
+        monitor_->start();
+#else
+        std::cerr << "--telemetry ignored: binary built with "
+                     "PRUDENCE_TELEMETRY=OFF\n";
+        path_.clear();
+#endif
+    }
+
+    ~TelemetrySession()
+    {
+        if (monitor_ == nullptr)
+            return;
+        monitor_->stop();
+        // Counter tracks for a --trace export that happens after this
+        // destructor (TraceSession is declared first in bench mains,
+        // so it is destroyed last). Snapshot by value: the exporter
+        // must not dangle into this dying monitor.
+        prudence::telemetry::install_chrome_counter_export(
+            monitor_->snapshot());
+        std::ofstream json(path_);
+        if (json)
+            monitor_->write_json(json);
+        std::ofstream csv(path_ + ".csv");
+        if (csv)
+            monitor_->write_csv(csv);
+        if (json && csv) {
+            std::cout << "\ntelemetry: " << path_ << " (JSON), "
+                      << path_ << ".csv (" << monitor_->rounds()
+                      << " sampling rounds)\n";
+        } else {
+            std::cerr << "failed to write telemetry to " << path_
+                      << "\n";
+        }
+    }
+
+    TelemetrySession(const TelemetrySession&) = delete;
+    TelemetrySession& operator=(const TelemetrySession&) = delete;
+
+    /// The running monitor, or nullptr when telemetry is off.
+    prudence::telemetry::Monitor* monitor() { return monitor_.get(); }
+    bool active() const { return monitor_ != nullptr; }
+
+  private:
+    std::string path_;
+    std::unique_ptr<prudence::telemetry::Monitor> monitor_;
+    std::unique_ptr<prudence::telemetry::ProbeGroup> group_;
+};
 
 /// PRUDENCE_MAGAZINE_CAPACITY override (run_bench.sh A/B knob), or
 /// @p fallback when unset.

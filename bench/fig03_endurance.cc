@@ -24,6 +24,7 @@
 #include <cstring>
 #include <iomanip>
 #include <iostream>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -47,7 +48,8 @@ struct EnduranceOutcome
 
 EnduranceOutcome
 run_endurance(bool use_prudence, double seconds, std::size_t arena_bytes,
-              unsigned threads)
+              unsigned threads, telemetry::Monitor* monitor,
+              const char* probe_prefix)
 {
     RcuConfig rcfg;
     rcfg.gp_interval = std::chrono::microseconds{500};
@@ -76,6 +78,16 @@ run_endurance(bool use_prudence, double seconds, std::size_t arena_bytes,
     }
 
     CacheId id = alloc->create_cache("endurance_obj", 512);
+
+    // Per-phase probes under --telemetry: "slub."/"prudence."-prefixed
+    // latent/buddy/rcu series, unregistered (group destructor) before
+    // the allocator dies so the sampler never touches a dead engine.
+    std::optional<telemetry::ProbeGroup> probes;
+    if (monitor != nullptr) {
+        probes.emplace(*monitor);
+        alloc->register_telemetry_probes(*probes, probe_prefix);
+        rcu.register_telemetry_probes(*probes, probe_prefix);
+    }
 
     EnduranceOutcome out;
     MemorySampler sampler(
@@ -172,6 +184,10 @@ main(int argc, char** argv)
     // latent-ring events across both runs and exports Perfetto JSON
     // on exit.
     prudence_bench::TraceSession trace_session(argc, argv);
+    // Declared after TraceSession: its destructor runs first, handing
+    // the counter-track series to the trace exporter before the trace
+    // JSON is written.
+    prudence_bench::TelemetrySession telemetry_session(argc, argv);
     double scale = prudence_bench::run_scale(argc, argv);
     double seconds = 12.0 * scale;
     if (seconds < 0.5)
@@ -190,7 +206,8 @@ main(int argc, char** argv)
     std::cout << "# columns: allocator elapsed_ms used_mib\n";
 
     EnduranceOutcome slub =
-        run_endurance(/*use_prudence=*/false, seconds, arena, threads);
+        run_endurance(/*use_prudence=*/false, seconds, arena, threads,
+                      telemetry_session.monitor(), "slub.");
     print_outcome("slub", slub);
     // Drain the registry between phases (atomic exchange) so each
     // allocator's latency summary covers only its own run.
@@ -200,7 +217,8 @@ main(int argc, char** argv)
             /*reset=*/true));
 
     EnduranceOutcome prud =
-        run_endurance(/*use_prudence=*/true, seconds, arena, threads);
+        run_endurance(/*use_prudence=*/true, seconds, arena, threads,
+                      telemetry_session.monitor(), "prudence.");
     print_outcome("prudence", prud);
     // No reset: the prudence-phase numbers stay in the registry for
     // the TraceSession metrics export.

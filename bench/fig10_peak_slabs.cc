@@ -13,6 +13,7 @@ int
 main(int argc, char** argv)
 {
     prudence_bench::TraceSession trace_session(argc, argv);
+    prudence_bench::TelemetrySession telemetry_session(argc, argv);
     double scale = prudence_bench::run_scale(argc, argv);
     prudence_bench::print_banner(
         "Figure 10: peak slab usage",

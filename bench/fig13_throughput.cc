@@ -13,6 +13,7 @@ int
 main(int argc, char** argv)
 {
     prudence_bench::TraceSession trace_session(argc, argv);
+    prudence_bench::TelemetrySession telemetry_session(argc, argv);
     double scale = prudence_bench::run_scale(argc, argv);
     auto cfg = prudence_bench::suite_config(scale);
     cfg.repetitions = 3;  // paper: average of three runs

@@ -116,6 +116,7 @@ int
 main(int argc, char** argv)
 {
     prudence_bench::TraceSession trace_session(argc, argv);
+    prudence_bench::TelemetrySession telemetry_session(argc, argv);
     double scale = prudence_bench::run_scale(argc, argv);
     std::size_t watermark =
         prudence_bench::size_env("PRUDENCE_PCP_HIGH_WATERMARK", 32);

@@ -209,6 +209,7 @@ BENCHMARK(BM_AllocPath_GrowHeavy)->Iterations(200000);
 int
 main(int argc, char** argv)
 {
+    prudence_bench::TelemetrySession telemetry_session(argc, argv);
     std::printf("# Table (paper §3.3): allocation-path cost relative "
                 "to an object-cache hit\n");
     std::printf("# Paper reports: refill ~4x, grow ~14x\n");

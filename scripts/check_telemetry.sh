@@ -1,0 +1,124 @@
+#!/bin/sh
+# Telemetry sampler overhead + artifact check (DESIGN.md §12).
+#
+# A/B: runs fig13_throughput RUNS times without telemetry and RUNS
+# times with a live 10 ms monitor (--telemetry=), takes the median
+# total prudence ops/s of each side and requires the delta to stay
+# under TOLERANCE_PCT (the design budget is < 1%: one steady-clock
+# read per stamp site plus a 100 Hz sampler thread must not move
+# allocator throughput).
+#
+# Also validates the artifact path end to end: a fig03-length run
+# with --telemetry= must produce parseable JSON containing the RSS,
+# latent-bytes and deferred-age series with a bounded point count.
+#
+# Shared-runner numbers are noisy, so the overhead bound only FAILS
+# the script under --strict; the default mode prints the delta and
+# always exits 0 (the artifact checks are always fatal).
+#
+# Usage: scripts/check_telemetry.sh [--strict] [preset]
+# Environment:
+#   SCALE          fig13/fig03 workload scale   (default: 0.1)
+#   RUNS           runs per side, median taken  (default: 3)
+#   TOLERANCE_PCT  allowed throughput delta     (default: 1.0)
+#   JOBS           parallel build jobs          (default: 2)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+STRICT=0
+PRESET=default
+for arg in "$@"; do
+    case "$arg" in
+    --strict) STRICT=1 ;;
+    *) PRESET="$arg" ;;
+    esac
+done
+case "$PRESET" in
+default) BUILD_DIR=build ;;
+*) BUILD_DIR="build-$PRESET" ;;
+esac
+
+SCALE="${SCALE:-0.1}"
+RUNS="${RUNS:-3}"
+TOLERANCE_PCT="${TOLERANCE_PCT:-1.0}"
+
+cmake --preset "$PRESET"
+cmake --build --preset "$PRESET" -j "${JOBS:-2}" \
+    --target fig13_throughput fig03_endurance
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Total prudence ops/s across fig13's workload rows
+# (rows: "<workload> <slub_ops> <prudence_ops> <improve%> ...").
+fig13_total() {
+    awk '/^[a-z][a-z0-9_]* +[0-9.]+ +[0-9.]+ +-?[0-9.]+/ \
+        { sum += $3 } END { printf "%.0f\n", sum }' "$1"
+}
+
+median() {
+    sort -n "$1" | awk '{ v[NR] = $1 }
+        END { print (NR % 2) ? v[(NR + 1) / 2] \
+                             : (v[NR / 2] + v[NR / 2 + 1]) / 2 }'
+}
+
+echo "== fig13 A/B: ${RUNS}x plain vs ${RUNS}x with live monitor =="
+: > "$TMP/plain.txt"
+: > "$TMP/telem.txt"
+i=0
+while [ "$i" -lt "$RUNS" ]; do
+    "$BUILD_DIR/bench/fig13_throughput" "$SCALE" > "$TMP/out.txt"
+    fig13_total "$TMP/out.txt" >> "$TMP/plain.txt"
+    "$BUILD_DIR/bench/fig13_throughput" "$SCALE" \
+        --telemetry="$TMP/fig13_telemetry.json" > "$TMP/out.txt"
+    fig13_total "$TMP/out.txt" >> "$TMP/telem.txt"
+    i=$((i + 1))
+done
+
+PLAIN="$(median "$TMP/plain.txt")"
+TELEM="$(median "$TMP/telem.txt")"
+DELTA="$(awk -v a="$PLAIN" -v b="$TELEM" \
+    'BEGIN { printf "%.2f", (a > 0 ? 100.0 * (a - b) / a : 0) }')"
+echo "fig13 prudence ops/s median: plain=$PLAIN telemetry=$TELEM" \
+     "delta=${DELTA}% (budget ${TOLERANCE_PCT}%)"
+
+FAIL=0
+if awk -v d="$DELTA" -v t="$TOLERANCE_PCT" \
+        'BEGIN { exit !(d > t) }'; then
+    if [ "$STRICT" -eq 1 ]; then
+        echo "FAIL: sampler overhead ${DELTA}% exceeds" \
+             "${TOLERANCE_PCT}% (--strict)"
+        FAIL=1
+    else
+        echo "WARN: sampler overhead ${DELTA}% exceeds" \
+             "${TOLERANCE_PCT}% (report-only; use --strict to fail)"
+    fi
+fi
+
+echo "== fig03 artifact check =="
+"$BUILD_DIR/bench/fig03_endurance" "$SCALE" \
+    --telemetry="$TMP/fig03_telemetry.json" > /dev/null
+python3 - "$TMP/fig03_telemetry.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+names = {s["name"] for s in doc["series"]}
+for want in ("process.rss_bytes", "prudence.alloc.latent_bytes",
+             "slub.alloc.latent_bytes", "age.deferred_mean_ns"):
+    assert want in names, f"series {want} missing from telemetry JSON"
+for s in doc["series"]:
+    # Bounded: the 2:1 fold must keep every series within capacity
+    # (512 complete points + one pending bucket).
+    assert len(s["points"]) <= 513, \
+        f"{s['name']}: {len(s['points'])} points exceed the ring bound"
+    ts = [p["t_first_ms"] for p in s["points"]]
+    assert ts == sorted(ts), f"{s['name']}: timestamps not monotone"
+print(f"fig03 telemetry JSON ok: {len(names)} series, "
+      f"{doc['rounds']} rounds")
+EOF
+
+exit "$FAIL"

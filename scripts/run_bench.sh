@@ -36,7 +36,7 @@ esac
 cmake --preset "$PRESET"
 cmake --build --preset "$PRESET" -j "${JOBS:-2}" \
     --target tab01_alloc_cost fig06_micro fig13_throughput \
-    fig14_page_contention
+    fig14_page_contention fig03_endurance
 
 SHA="$(git rev-parse --short HEAD)"
 SCALE="${SCALE:-0.2}"
@@ -75,6 +75,16 @@ done
 echo "== fig14_page_contention =="
 "$BUILD_DIR/bench/fig14_page_contention" "$SCALE" \
     | tee "$TMP/fig14.txt"
+
+# fig03 endurance leg with the telemetry monitor attached: the
+# RSS/latent-bytes/deferred-age time series land in the summary JSON
+# (the paper's memory-over-time narrative, machine-readable per SHA).
+echo "== fig03_endurance (telemetry) =="
+"$BUILD_DIR/bench/fig03_endurance" "$SCALE" \
+    --telemetry="$TMP/fig03_telemetry.json" > "$TMP/fig03.txt"
+# PRUDENCE_TELEMETRY=OFF builds warn and ignore the flag; keep the
+# summary schema stable with an empty block.
+[ -f "$TMP/fig03_telemetry.json" ] || : > "$TMP/fig03_telemetry.json"
 
 python3 - "$TMP" "$OUT" "$SHA" "$SCALE" "$REPS" <<'EOF'
 import json
@@ -152,6 +162,40 @@ def parse_fig13(path):
     return rows
 
 
+def parse_telemetry(path):
+    """Fold the fig03 telemetry time series into the summary: the
+    RSS-over-time, per-phase latent-bytes and deferred-age series as
+    (t_ms, value) pairs. Bounded by construction (the monitor's 2:1
+    downsampling), so the summary stays a few hundred points per
+    series no matter how long the run was."""
+    keep = (
+        "process.rss_bytes",
+        "slub.alloc.latent_bytes",
+        "prudence.alloc.latent_bytes",
+        "slub.buddy.bytes_in_use",
+        "prudence.buddy.bytes_in_use",
+        "age.deferred_mean_ns",
+        "age.deferred_p99_ns",
+    )
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError):
+        return {}  # telemetry compiled out or leg skipped
+    out = {"period_us": doc["period_us"], "rounds": doc["rounds"],
+           "series": {}}
+    for s in doc["series"]:
+        if s["name"] not in keep:
+            continue
+        out["series"][s["name"]] = {
+            "unit": s["unit"],
+            "samples_per_point": s["samples_per_point"],
+            "points": [[p["t_last_ms"], p["last"]]
+                       for p in s["points"]],
+        }
+    return out
+
+
 def parse_fig14(path):
     rows = {}
     pat = re.compile(
@@ -175,6 +219,7 @@ doc = {
     "tab01_repetitions": int(reps),
     "configs": {},
     "fig14_page_contention": parse_fig14(f"{tmp}/fig14.txt"),
+    "fig03_telemetry": parse_telemetry(f"{tmp}/fig03_telemetry.json"),
 }
 for cap in ("32", "0"):
     for pcp in ("32", "0"):

@@ -25,6 +25,20 @@ namespace prudence {
 
 class BuddyAllocator;
 
+namespace telemetry {
+class ProbeGroup;
+}
+
+class Allocator;
+
+namespace telemetry::detail {
+/// Out-of-line body of the default register_telemetry_probes()
+/// (telemetry/allocator_probes.cc). A free function so Allocator
+/// keeps no out-of-line virtual — its vtable stays weakly emitted.
+void register_default_allocator_probes(Allocator& a, ProbeGroup& group,
+                                       const std::string& prefix);
+}  // namespace telemetry::detail
+
 /// Opaque handle to a named object cache (kmem_cache analogue).
 struct CacheId
 {
@@ -109,6 +123,24 @@ class Allocator
      * need exact accounting visible to other threads call this.
      */
     virtual void drain_thread() {}
+
+    /**
+     * Register this allocator's telemetry probes with @p group, names
+     * prefixed by @p prefix (DESIGN.md §12). The default registers
+     * the signals derivable from the public surface: latent/deferred
+     * object count and bytes (from cache snapshots) plus the backing
+     * page allocator's probes. Implementations override to add
+     * engine-specific signals (the baseline's callback backlog).
+     * No-op when PRUDENCE_TELEMETRY=OFF. Probe closures capture
+     * `this`: the group must not outlive the allocator.
+     */
+    virtual void
+    register_telemetry_probes(telemetry::ProbeGroup& group,
+                              const std::string& prefix = "")
+    {
+        telemetry::detail::register_default_allocator_probes(*this, group,
+                                                             prefix);
+    }
 
     /**
      * Deep structural self-check: walk every slab of every cache and

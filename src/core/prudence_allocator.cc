@@ -11,6 +11,7 @@
 #include "sim/sim.h"
 #include "slab/size_classes.h"
 #include "slab/validate.h"
+#include "telemetry/telemetry.h"
 #include "trace/tracer.h"
 
 namespace prudence {
@@ -374,7 +375,9 @@ PrudenceAllocator::merge_caches(Cache& c, PerCpu& pc, GpEpoch completed)
         return 0;
     }
     std::size_t merged = 0;
-    PRUDENCE_TRACE_CLOCK(merge_now);
+    // Telemetry stamp (raw steady ns), not the session clock: defer_ts
+    // is stamped the same way, and only the difference is consumed.
+    PRUDENCE_TELEM_STAMP(merge_now);
     // The `completed` value was read before this call: a delay here
     // makes it maximally stale, which a correct merge must tolerate
     // (stale completed is smaller — conservative).
@@ -396,6 +399,13 @@ PrudenceAllocator::merge_caches(Cache& c, PerCpu& pc, GpEpoch completed)
                 trace::emit(trace::EventId::kLatentExit,
                             reinterpret_cast<std::uintptr_t>(e.object),
                             residency);
+            }
+        });
+        PRUDENCE_TELEM_STMT({
+            if (e.defer_ts != 0 && merge_now >= e.defer_ts) {
+                trace::MetricsRegistry::instance()
+                    .histogram(trace::HistId::kDeferredAgeNs)
+                    .record(merge_now - e.defer_ts);
             }
         });
         pc.latent.pop_front();
@@ -659,7 +669,7 @@ PrudenceAllocator::free_deferred_impl(Cache& c, void* p)
     defer_span.set_args(c.pool.geometry().object_size);
     PRUDENCE_TRACE_EMIT(trace::EventId::kLatentEnter,
                         reinterpret_cast<std::uintptr_t>(p));
-    PRUDENCE_TRACE_CLOCK(defer_ts);
+    PRUDENCE_TELEM_STAMP(defer_ts);
 
     // Algorithm 1 line 35: stamp the grace-period state on the
     // object's latent entry (out of band — readers may still be
@@ -1047,7 +1057,7 @@ PrudenceAllocator::magazine_spill_defers(Cache& c, ThreadMagazines& t,
         if (sim::bug_enabled(sim::BugId::kStaleSpillTag))
             epoch = m.bug_first_epoch);
     PRUDENCE_TRACE_EMIT(trace::EventId::kMagDeferSpill, n, epoch);
-    PRUDENCE_TRACE_CLOCK(defer_ts);
+    PRUDENCE_TELEM_STAMP(defer_ts);
     // Between fixing the batch tag and publishing the entries: the
     // window a concurrent grace-period advance must not invalidate.
     PRUDENCE_SIM_YIELD(kMagSpillTag);
@@ -1344,6 +1354,20 @@ PrudenceAllocator::reclaim_cache(Cache& c, bool fill_caches)
             }
         }
         if (!spill.empty()) {
+            // Quiesce-driven reclaim is still defer->reclaim: feed the
+            // age histogram here too, or ages would only be observed
+            // on the merge-on-alloc path. One clock read covers the
+            // whole spilled batch.
+            PRUDENCE_TELEM_STMT({
+                std::uint64_t now = telemetry::steady_now_ns();
+                auto& hist =
+                    trace::MetricsRegistry::instance().histogram(
+                        trace::HistId::kDeferredAgeNs);
+                for (const auto& e : spill) {
+                    if (e.defer_ts != 0 && now > e.defer_ts)
+                        hist.record(now - e.defer_ts);
+                }
+            });
             NodeLists& node = c.pool.node();
             std::lock_guard<SpinLock> node_guard(node.lock);
             for (const auto& e : spill) {

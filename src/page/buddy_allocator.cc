@@ -3,10 +3,14 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <mutex>
+#include <string>
 
 #include "fault/fault_injector.h"
 #include "sim/sim.h"
+#include "telemetry/monitor.h"
+#include "telemetry/telemetry.h"
 #include "trace/tracer.h"
 
 namespace prudence {
@@ -190,6 +194,11 @@ BuddyAllocator::pcp_alloc(unsigned order, bool* refill_refused)
         set_page_state(pfn, kStateAllocated);
         c.cached_pages -=
             static_cast<std::int64_t>(order_pages(order));
+        // Inside the covering lock: a stats() holding every lock
+        // observes cached/used move together (snapshot coherence
+        // contract, stats/counters.h).
+        pages_in_use_.add(
+            static_cast<std::int64_t>(order_pages(order)));
         return node;
     }
 
@@ -228,6 +237,12 @@ BuddyAllocator::pcp_alloc(unsigned order, bool* refill_refused)
             c.heads[order] = node;
             ++c.counts[order];
             ++stashed;
+        }
+        if (first != kNoBlock) {
+            // The caller's block leaves "free" for "used" while the
+            // global lock still covers it (snapshot coherence).
+            pages_in_use_.add(
+                static_cast<std::int64_t>(order_pages(order)));
         }
     }
     if (first == kNoBlock)
@@ -270,6 +285,9 @@ BuddyAllocator::pcp_free(void* block, unsigned order, std::size_t pfn)
     c.heads[order] = node;
     ++c.counts[order];
     c.cached_pages += static_cast<std::int64_t>(order_pages(order));
+    // Same covering lock as the cached_pages move above (snapshot
+    // coherence contract, stats/counters.h).
+    pages_in_use_.sub(static_cast<std::int64_t>(order_pages(order)));
 
     if (c.counts[order] <= pcp_high_)
         return;
@@ -354,8 +372,7 @@ BuddyAllocator::alloc_pages(unsigned order)
     if (pcp_covers(order)) {
         bool refill_refused = false;
         if (void* p = pcp_alloc(order, &refill_refused)) {
-            pages_in_use_.add(
-                static_cast<std::int64_t>(order_pages(order)));
+            // pages_in_use_ already updated under pcp_alloc's locks.
             PRUDENCE_TRACE_EMIT(trace::EventId::kBytesInUse,
                                 bytes_in_use());
             return p;
@@ -369,6 +386,9 @@ BuddyAllocator::alloc_pages(unsigned order)
         std::lock_guard<SpinLock> guard(lock_);
         lock_acquisitions_.add();
         pfn = global_pop(order);
+        if (pfn != kNoBlock)
+            pages_in_use_.add(
+                static_cast<std::int64_t>(order_pages(order)));
     }
     if (pfn == kNoBlock && pcp_enabled() && drain_pcp() > 0) {
         // The global lists are empty but pages were stranded in
@@ -377,12 +397,14 @@ BuddyAllocator::alloc_pages(unsigned order)
         std::lock_guard<SpinLock> guard(lock_);
         lock_acquisitions_.add();
         pfn = global_pop(order);
+        if (pfn != kNoBlock)
+            pages_in_use_.add(
+                static_cast<std::int64_t>(order_pages(order)));
     }
     if (pfn == kNoBlock) {
         failed_allocs_.add();
         return nullptr;
     }
-    pages_in_use_.add(static_cast<std::int64_t>(order_pages(order)));
     PRUDENCE_TRACE_EMIT(trace::EventId::kBytesInUse, bytes_in_use());
     return addr_of(pfn);
 }
@@ -447,10 +469,11 @@ BuddyAllocator::free_pages(void* block, unsigned order)
                          block, order, pfn + i);
         }
         global_push(pfn, order);
+        // Only the caller's own pages leave the in-use gauge (merged
+        // buddies were already counted free); the PCP branch above
+        // adjusts the gauge under its own lock.
+        pages_in_use_.sub(static_cast<std::int64_t>(order_pages(order)));
     }
-    // Only the caller's own pages leave the in-use gauge (merged
-    // buddies and PCP-stashed blocks were already counted free).
-    pages_in_use_.sub(static_cast<std::int64_t>(order_pages(order)));
     PRUDENCE_TRACE_EMIT(trace::EventId::kBytesInUse, bytes_in_use());
 }
 
@@ -473,6 +496,8 @@ BuddyStatsSnapshot
 BuddyAllocator::stats() const
 {
     BuddyStatsSnapshot s;
+    // Flow counters are monotone and individually exact; they need no
+    // snapshot coherence.
     s.alloc_calls = alloc_calls_.get();
     s.free_calls = free_calls_.get();
     s.failed_allocs = failed_allocs_.get();
@@ -480,24 +505,91 @@ BuddyAllocator::stats() const
     s.merge_ops = merge_ops_.get();
     s.bad_frees = bad_frees_.get();
     s.lock_acquisitions = lock_acquisitions_.get();
-    if (pcp_ != nullptr) {
-        for (unsigned cpu = 0; cpu < cpu_registry_.max_cpus(); ++cpu) {
-            PcpCache& c = pcp_[cpu];
-            std::lock_guard<SpinLock> cpu_guard(c.lock);
-            s.pcp_hits += c.hits;
-            s.pcp_misses += c.misses;
-            s.pcp_refills += c.refills;
-            s.pcp_drains += c.drains;
-            s.pcp_cached_pages += c.cached_pages;
-        }
+
+    // Quiesce-ordered section (the snapshot coherence contract,
+    // stats/counters.h): hold every PCP lock (index order) plus the
+    // global lock — the same set check_integrity() freezes — so the
+    // level triple (free, cached, used) is read with no mutation
+    // mid-flight and always satisfies
+    //   free_pages + pcp_cached_pages + pages_in_use == capacity.
+    const unsigned ncpu =
+        pcp_ != nullptr ? cpu_registry_.max_cpus() : 0;
+    for (unsigned i = 0; i < ncpu; ++i)
+        pcp_[i].lock.lock();
+    lock_.lock();
+    for (unsigned cpu = 0; cpu < ncpu; ++cpu) {
+        const PcpCache& c = pcp_[cpu];
+        s.pcp_hits += c.hits;
+        s.pcp_misses += c.misses;
+        s.pcp_refills += c.refills;
+        s.pcp_drains += c.drains;
+        s.pcp_cached_pages += c.cached_pages;
+    }
+    for (unsigned order = 0; order <= kMaxPageOrder; ++order) {
+        s.free_blocks[order] = free_counts_[order];
+        s.free_pages += free_counts_[order] * order_pages(order);
     }
     // Coherent level/peak pair — see PeakGauge::sample() for why a
     // raw get()+peak() pair could report peak < value.
     auto g = pages_in_use_.sample();
     s.pages_in_use = g.value;
     s.peak_pages_in_use = g.peak;
+    lock_.unlock();
+    for (unsigned i = ncpu; i > 0; --i)
+        pcp_[i - 1].lock.unlock();
+
     s.capacity_pages = total_pages_;
     return s;
+}
+
+void
+BuddyAllocator::register_telemetry_probes(telemetry::ProbeGroup& group,
+                                          const std::string& prefix)
+{
+#if defined(PRUDENCE_TELEMETRY_ENABLED)
+    // One coherent stats() per sampling round, shared by every probe:
+    // probes run back-to-back on the sampler thread, so a short reuse
+    // window turns up to 14 all-lock acquisitions per round into one.
+    struct SharedSnap
+    {
+        std::mutex m;
+        std::uint64_t stamp_ns = 0;
+        BuddyStatsSnapshot snap;
+    };
+    auto shared = std::make_shared<SharedSnap>();
+    auto fetch = [this, shared]() -> BuddyStatsSnapshot {
+        constexpr std::uint64_t kReuseWindowNs = 500'000;
+        std::lock_guard<std::mutex> guard(shared->m);
+        std::uint64_t now = telemetry::steady_now_ns();
+        if (shared->stamp_ns == 0 ||
+            now - shared->stamp_ns > kReuseWindowNs) {
+            shared->snap = stats();
+            shared->stamp_ns = now;
+        }
+        return shared->snap;
+    };
+
+    group.add(prefix + "buddy.bytes_in_use", "bytes", [fetch] {
+        return static_cast<std::uint64_t>(fetch().pages_in_use) *
+               kPageSize;
+    });
+    group.add(prefix + "buddy.free_pages", "pages", [fetch] {
+        return static_cast<std::uint64_t>(fetch().free_pages);
+    });
+    group.add(prefix + "buddy.pcp_cached_pages", "pages", [fetch] {
+        return static_cast<std::uint64_t>(fetch().pcp_cached_pages);
+    });
+    for (unsigned order = 0; order <= kMaxPageOrder; ++order) {
+        group.add(prefix + "buddy.free_order" + std::to_string(order),
+                  "blocks", [fetch, order] {
+                      return static_cast<std::uint64_t>(
+                          fetch().free_blocks[order]);
+                  });
+    }
+#else
+    (void)group;
+    (void)prefix;
+#endif
 }
 
 std::size_t

@@ -38,6 +38,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "page/arena.h"
 #include "page/page_types.h"
@@ -47,6 +48,10 @@
 #include "sync/spinlock.h"
 
 namespace prudence {
+
+namespace telemetry {
+class ProbeGroup;
+}
 
 /// Highest order served from the per-CPU page caches. Slab geometry
 /// prefers orders <= 3 (SLUB's default ceiling); larger blocks are
@@ -96,6 +101,13 @@ struct BuddyStatsSnapshot
     std::int64_t pages_in_use = 0;
     std::int64_t peak_pages_in_use = 0;
     std::size_t capacity_pages = 0;
+    /// Pages on the global free lists. Read under the quiesce-ordered
+    /// snapshot (stats/counters.h), so
+    ///   free_pages + pcp_cached_pages + pages_in_use == capacity_pages
+    /// holds for every snapshot, even mid-drain.
+    std::size_t free_pages = 0;
+    /// Free blocks per order on the global lists (headroom probes).
+    std::array<std::size_t, kMaxPageOrder + 1> free_blocks{};
 };
 
 /// Binary-buddy allocator with per-order free lists and optional
@@ -154,8 +166,22 @@ class BuddyAllocator
     /// True iff @p p lies inside the managed arena.
     bool contains(const void* p) const { return arena_.contains(p); }
 
-    /// Usage counters snapshot.
+    /**
+     * Usage counters snapshot. The level triple (free_pages,
+     * pcp_cached_pages, pages_in_use) is read under every PCP lock
+     * plus the global lock — the quiesce-ordered path documented in
+     * stats/counters.h — so it always sums to capacity_pages.
+     */
     BuddyStatsSnapshot stats() const;
+
+    /**
+     * Register this allocator's telemetry probes (bytes in use, free
+     * headroom total and per order, PCP occupancy) with @p group,
+     * names prefixed by @p prefix. Probes share one coherent stats()
+     * call per sampling round. No-op when PRUDENCE_TELEMETRY=OFF.
+     */
+    void register_telemetry_probes(telemetry::ProbeGroup& group,
+                                   const std::string& prefix = "");
 
     /**
      * Free blocks currently on the *global* free list of @p order.

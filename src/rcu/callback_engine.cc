@@ -4,6 +4,7 @@
 
 #include "fault/fault_injector.h"
 #include "sim/sim.h"
+#include "telemetry/telemetry.h"
 #include "trace/tracer.h"
 
 namespace prudence {
@@ -36,11 +37,12 @@ void
 CallbackEngine::call(CallbackFn fn, void* ctx, void* arg)
 {
     GpEpoch epoch = domain_.defer_epoch();
+    PRUDENCE_TELEM_STAMP(defer_ts);
     unsigned cpu = cpu_registry_.cpu_id();
     CpuQueue& q = *queues_[cpu];
     {
         std::lock_guard<SpinLock> guard(q.lock);
-        q.queue.push_back({fn, ctx, arg, epoch});
+        q.queue.push_back({fn, ctx, arg, epoch, defer_ts});
     }
     queued_.add();
     backlog_.add();
@@ -78,6 +80,18 @@ CallbackEngine::process_cpu(unsigned cpu, std::size_t limit)
         // are already off the queue, so a concurrent drain_all or
         // engine teardown must still account for them via backlog_.
         PRUDENCE_SIM_YIELD(kCbHandOff);
+        // One clock read covers the whole batch: callback ages are
+        // milliseconds-scale (a grace period at minimum), so the
+        // intra-batch skew is noise.
+        PRUDENCE_TELEM_STMT({
+            std::uint64_t now = telemetry::steady_now_ns();
+            auto& hist = trace::MetricsRegistry::instance().histogram(
+                trace::HistId::kDeferredAgeNs);
+            for (std::size_t i = 0; i < n; ++i) {
+                if (batch[i].defer_ts != 0 && now > batch[i].defer_ts)
+                    hist.record(now - batch[i].defer_ts);
+            }
+        });
         for (std::size_t i = 0; i < n; ++i)
             batch[i].fn(batch[i].ctx, batch[i].arg);
         invoked_.add(n);

@@ -127,6 +127,9 @@ class CallbackEngine
         void* ctx;
         void* arg;
         GpEpoch epoch;
+        /// Telemetry stamp at call() (0 = unstamped; feeds the
+        /// deferred-object age histogram at invocation).
+        std::uint64_t defer_ts;
     };
 
     struct alignas(kCacheLineSize) CpuQueue

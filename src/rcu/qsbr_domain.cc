@@ -3,8 +3,30 @@
 #include <cassert>
 
 #include "sync/backoff.h"
+#include "telemetry/telemetry.h"
+#include "trace/metrics_registry.h"
 
 namespace prudence {
+
+namespace {
+
+/// Record one QSBR "reader section": the interval between successive
+/// quiescence announcements while online (the longest window in which
+/// this thread can hold pre-existing pointers).
+inline void
+record_section(ThreadSlot& slot)
+{
+    if (slot.section_start_ns != 0) {
+        PRUDENCE_TELEM_STMT(
+            trace::MetricsRegistry::instance()
+                .histogram(trace::HistId::kReaderSectionNs)
+                .record(telemetry::steady_now_ns() -
+                        slot.section_start_ns));
+        slot.section_start_ns = 0;
+    }
+}
+
+}  // namespace
 
 QsbrDomain::QsbrDomain(const QsbrConfig& config)
     : threads_(config.max_threads), gp_interval_(config.gp_interval)
@@ -29,13 +51,17 @@ QsbrDomain::online()
     // Coming online counts as an immediate quiescent state.
     slot.value.store(gp_ctr_.load(std::memory_order_seq_cst),
                      std::memory_order_seq_cst);
+    PRUDENCE_TELEM_STAMP(section_start_ns);
+    slot.section_start_ns = section_start_ns;
 }
 
 void
 QsbrDomain::offline()
 {
+    ThreadSlot& slot = threads_.slot();
+    record_section(slot);
     // 0 = not participating; grace periods skip this thread.
-    threads_.slot().value.store(0, std::memory_order_release);
+    slot.value.store(0, std::memory_order_release);
 }
 
 bool
@@ -56,6 +82,9 @@ QsbrDomain::quiescent_state()
     GpEpoch now = gp_ctr_.load(std::memory_order_seq_cst);
     slot.value.store(now, std::memory_order_seq_cst);
     std::atomic_thread_fence(std::memory_order_seq_cst);
+    record_section(slot);
+    PRUDENCE_TELEM_STAMP(section_start_ns);
+    slot.section_start_ns = section_start_ns;
 }
 
 GpEpoch

@@ -7,6 +7,8 @@
 #include "sim/ref_model.h"
 #include "sim/sim.h"
 #include "sync/backoff.h"
+#include "telemetry/monitor.h"
+#include "telemetry/telemetry.h"
 #include "trace/tracer.h"
 
 namespace prudence {
@@ -57,6 +59,8 @@ RcuDomain::read_lock()
         // never hold one the grace-period scan could not also see.
         PRUDENCE_SIM_STMT(sim::model_on_reader_lock(
             reinterpret_cast<std::uintptr_t>(&slot), snapshot));
+        PRUDENCE_TELEM_STAMP(section_start_ns);
+        slot.section_start_ns = section_start_ns;
     }
 }
 
@@ -71,6 +75,14 @@ RcuDomain::read_unlock()
         // gone, the model already agrees.
         PRUDENCE_SIM_STMT(sim::model_on_reader_unlock(
             reinterpret_cast<std::uintptr_t>(&slot)));
+        if (slot.section_start_ns != 0) {
+            PRUDENCE_TELEM_STMT(
+                trace::MetricsRegistry::instance()
+                    .histogram(trace::HistId::kReaderSectionNs)
+                    .record(telemetry::steady_now_ns() -
+                            slot.section_start_ns));
+            slot.section_start_ns = 0;
+        }
         // Release ordering: everything read inside the section
         // happens-before the detector observing us quiescent.
         slot.value.store(0, std::memory_order_release);
@@ -119,6 +131,8 @@ RcuDomain::advance()
 {
     std::lock_guard<std::mutex> gp_lock(gp_mutex_);
 
+    const std::uint64_t adv_start_ns = steady_now_ns();
+
     PRUDENCE_TRACE_SPAN(gp_span, trace::HistId::kGpNs,
                         trace::EventId::kGpSpan);
 
@@ -156,6 +170,11 @@ RcuDomain::advance()
     PRUDENCE_SIM_YIELD(kGpPublish);
 
     gp_target_.store(0, std::memory_order_release);
+    // Last completed grace period's wall duration: a telemetry probe
+    // level ("how slow are grace periods right now"), complementing
+    // the kGpNs histogram's distribution view.
+    last_gp_ns_.store(steady_now_ns() - adv_start_ns,
+                      std::memory_order_relaxed);
     grace_periods_.add();
     {
         std::lock_guard<std::mutex> lock(waiter_mutex_);
@@ -221,7 +240,32 @@ RcuDomain::stats() const
     s.grace_periods = grace_periods_.get();
     s.current_epoch = gp_ctr_.load(std::memory_order_relaxed);
     s.completed_epoch = completed_.load(std::memory_order_relaxed);
+    s.last_gp_ns = last_gp_ns_.load(std::memory_order_relaxed);
     return s;
+}
+
+void
+RcuDomain::register_telemetry_probes(telemetry::ProbeGroup& group,
+                                     const std::string& prefix)
+{
+#if defined(PRUDENCE_TELEMETRY_ENABLED)
+    group.add(prefix + "rcu.grace_periods", "count",
+              [this] { return grace_periods_.get(); });
+    group.add(prefix + "rcu.last_gp_ns", "ns", [this] {
+        return last_gp_ns_.load(std::memory_order_relaxed);
+    });
+    group.add(prefix + "rcu.readers", "threads", [this] {
+        std::uint64_t n = 0;
+        readers_.for_each_slot([&](const ThreadSlot& slot) {
+            if (slot.value.load(std::memory_order_relaxed) != 0)
+                ++n;
+        });
+        return n;
+    });
+#else
+    (void)group;
+    (void)prefix;
+#endif
 }
 
 }  // namespace prudence

@@ -24,6 +24,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -32,6 +33,10 @@
 #include "sync/thread_registry.h"
 
 namespace prudence {
+
+namespace telemetry {
+class ProbeGroup;
+}
 
 /// Tuning for an RcuDomain.
 struct RcuConfig
@@ -60,6 +65,8 @@ struct RcuStatsSnapshot
     std::uint64_t grace_periods = 0;
     GpEpoch current_epoch = 0;
     GpEpoch completed_epoch = 0;
+    /// Wall duration of the most recently completed grace period.
+    std::uint64_t last_gp_ns = 0;
 };
 
 /**
@@ -103,6 +110,14 @@ class RcuDomain : public GracePeriodDomain
     RcuStatsSnapshot stats() const;
 
     /**
+     * Register this domain's telemetry probes (grace-period count,
+     * last grace-period latency, active reader count) with @p group,
+     * names prefixed by @p prefix. No-op when PRUDENCE_TELEMETRY=OFF.
+     */
+    void register_telemetry_probes(telemetry::ProbeGroup& group,
+                                   const std::string& prefix = "");
+
+    /**
      * Grace-period progress probe for the stall detector: the epoch
      * the in-flight advance() is currently waiting on, or 0 when no
      * grace period is being computed. (The raw gp_ctr_/completed_
@@ -132,6 +147,8 @@ class RcuDomain : public GracePeriodDomain
     std::atomic<GpEpoch> gp_target_{0};
     /// Steady-clock ns at which the in-flight advance() started.
     std::atomic<std::uint64_t> gp_start_ns_{0};
+    /// Wall duration of the last completed grace period.
+    std::atomic<std::uint64_t> last_gp_ns_{0};
     Counter grace_periods_;
 
     /// Serializes grace-period computation.

@@ -7,6 +7,7 @@
 #include "fault/fault_injector.h"
 #include "slab/size_classes.h"
 #include "slab/validate.h"
+#include "telemetry/monitor.h"
 #include "trace/tracer.h"
 
 namespace prudence {
@@ -567,6 +568,19 @@ CallbackEngineStats
 SlubAllocator::callback_stats() const
 {
     return engine_->stats();
+}
+
+void
+SlubAllocator::register_telemetry_probes(telemetry::ProbeGroup& group,
+                                         const std::string& prefix)
+{
+#if defined(PRUDENCE_TELEMETRY_ENABLED)
+    group.add(prefix + "rcu.cb_backlog", "callbacks", [this] {
+        std::int64_t backlog = engine_->backlog();
+        return backlog > 0 ? static_cast<std::uint64_t>(backlog) : 0;
+    });
+#endif
+    Allocator::register_telemetry_probes(group, prefix);
 }
 
 }  // namespace prudence

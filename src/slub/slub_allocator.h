@@ -96,6 +96,11 @@ class SlubAllocator final : public Allocator
     void drain_thread() override { drain_calling_thread(); }
     std::string validate() override;
 
+    /// Default probes plus the baseline's distinguishing signal: the
+    /// callback-engine backlog (the paper's §3 growth curve).
+    void register_telemetry_probes(telemetry::ProbeGroup& group,
+                                   const std::string& prefix = "") override;
+
     /// Callback-engine activity (backlog = extended object lifetimes).
     CallbackEngineStats callback_stats() const;
 

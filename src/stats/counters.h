@@ -18,6 +18,24 @@
  * single writer) that are folded in here at batch boundaries under
  * the per-CPU lock. The relaxed RMWs below are then batch-rate, not
  * op-rate.
+ *
+ * Snapshot coherence contract (telemetry probes, DESIGN.md §12):
+ * counters are FLOWS and gauges are LEVELS, and the two have
+ * different snapshot rules. A flow read in isolation is always
+ * meaningful (monotone, individually exact). A *set* of levels that
+ * must satisfy an identity — the buddy allocator's
+ * free + pcp_cached + used == capacity is the canonical case — must
+ * be read through a quiesce-ordered path: the snapshot takes every
+ * lock that covers a mutation of any member of the set (buddy: all
+ * PCP locks in index order, then the global lock — the same order
+ * check_integrity() uses), and every mutation site moves the affected
+ * levels *inside* its covering lock, never before or after it. Under
+ * that discipline a sampler thread polling mid-drain still observes
+ * the identity exactly; without it, a level pair read between a
+ * list unhook and the gauge update reports phantom gains or losses.
+ * BuddyAllocator::stats() implements this path; probe closures built
+ * on it (register_telemetry_probes) share one snapshot per sampling
+ * round rather than re-acquiring the lock set per probe.
  */
 #ifndef PRUDENCE_STATS_COUNTERS_H
 #define PRUDENCE_STATS_COUNTERS_H

@@ -6,18 +6,22 @@
  * runs. MemorySampler polls a user-supplied probe (here: buddy
  * allocator bytes in use) on a background thread and records
  * (elapsed, value) points.
+ *
+ * Since the telemetry monitor subsumed this role (DESIGN.md §12),
+ * MemorySampler is a thin adapter: one telemetry::Monitor, one probe,
+ * a series deep enough that fig03-length runs never downsample, and a
+ * samples() view in the historical (elapsed_ms, value) shape. The
+ * fig03 output format is unchanged.
  */
 #ifndef PRUDENCE_STATS_MEMORY_SAMPLER_H
 #define PRUDENCE_STATS_MEMORY_SAMPLER_H
 
-#include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
-#include <thread>
 #include <vector>
+
+#include "telemetry/monitor.h"
 
 namespace prudence {
 
@@ -60,18 +64,12 @@ class MemorySampler
     /// Copy of all samples collected so far.
     std::vector<MemorySample> samples() const;
 
-  private:
-    void run();
+    /// The underlying monitor (attach extra probes or watermarks).
+    telemetry::Monitor& monitor() { return monitor_; }
 
-    Probe probe_;
-    std::chrono::milliseconds period_;
-    std::atomic<bool> running_{false};
-    std::mutex wake_mutex_;
-    std::condition_variable wake_cv_;  ///< interrupts the period wait
-    std::thread thread_;
-    mutable std::mutex samples_mutex_;
-    std::vector<MemorySample> samples_;
-    std::chrono::steady_clock::time_point start_time_;
+  private:
+    telemetry::Monitor monitor_;
+    telemetry::ProbeId probe_id_;
 };
 
 }  // namespace prudence

@@ -32,6 +32,10 @@ struct alignas(kCacheLineSize) ThreadSlot
     std::atomic<std::uint64_t> value{0};
     /// Owner-thread-only scratch (RCU: read-side nesting depth).
     std::uint32_t nesting = 0;
+    /// Owner-thread-only telemetry stamp: steady-clock ns at the
+    /// outermost section entry (0 = unstamped; RCU: read_lock, QSBR:
+    /// the previous quiescence announcement).
+    std::uint64_t section_start_ns = 0;
     /// True while a live thread owns this slot.
     std::atomic<bool> in_use{false};
 };

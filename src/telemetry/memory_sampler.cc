@@ -1,0 +1,64 @@
+#include "stats/memory_sampler.h"
+
+#include <utility>
+
+namespace prudence {
+
+namespace {
+
+telemetry::MonitorConfig
+sampler_config(std::chrono::milliseconds period)
+{
+    telemetry::MonitorConfig config;
+    config.period =
+        std::chrono::duration_cast<std::chrono::microseconds>(period);
+    // Deep enough that a fig03-length run (minutes at 10 ms) never
+    // folds: samples() then returns every raw point, exactly like the
+    // pre-telemetry sampler did.
+    config.series_capacity = std::size_t{1} << 20;
+    return config;
+}
+
+}  // namespace
+
+MemorySampler::MemorySampler(Probe probe,
+                             std::chrono::milliseconds period)
+    : monitor_(sampler_config(period)),
+      probe_id_(monitor_.add_probe("memory.bytes_in_use", "bytes",
+                                   std::move(probe)))
+{
+}
+
+MemorySampler::~MemorySampler()
+{
+    stop();
+}
+
+void
+MemorySampler::start()
+{
+    monitor_.start();
+}
+
+void
+MemorySampler::stop()
+{
+    monitor_.stop();
+}
+
+std::vector<MemorySample>
+MemorySampler::samples() const
+{
+    telemetry::SeriesSnapshot s = monitor_.series(probe_id_);
+    std::uint64_t origin = monitor_.start_time_ns();
+    std::vector<MemorySample> out;
+    out.reserve(s.points.size());
+    for (const telemetry::SeriesPoint& p : s.points) {
+        double elapsed_ms =
+            static_cast<double>(p.t_first_ns - origin) / 1e6;
+        out.push_back({elapsed_ms, p.first});
+    }
+    return out;
+}
+
+}  // namespace prudence

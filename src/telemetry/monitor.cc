@@ -1,0 +1,428 @@
+#include "telemetry/monitor.h"
+
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "telemetry/telemetry.h"
+#include "trace/exporter.h"
+#include "trace/metrics_registry.h"
+#include "trace/tracer.h"
+
+namespace prudence::telemetry {
+
+Monitor::Monitor(const MonitorConfig& config) : config_(config)
+{
+    if (config_.period.count() <= 0)
+        config_.period = std::chrono::microseconds{10'000};
+}
+
+Monitor::~Monitor()
+{
+    stop();
+}
+
+ProbeId
+Monitor::add_probe(std::string name, std::string unit, ProbeFn fn)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    probes_.push_back(ProbeSlot{std::move(name), std::move(unit),
+                                std::move(fn), true,
+                                TimeSeries(config_.series_capacity)});
+    return probes_.size() - 1;
+}
+
+void
+Monitor::remove_probe(ProbeId id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (id >= probes_.size())
+        return;
+    probes_[id].active = false;
+    // Destroy the closure now: it captures subsystem references that
+    // may be about to dangle. The series stays for export.
+    probes_[id].fn = nullptr;
+}
+
+std::size_t
+Monitor::add_watermark(WatermarkRule rule)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    rules_.push_back(RuleState{std::move(rule), false, false, 0, 0});
+    return rules_.size() - 1;
+}
+
+std::uint64_t
+Monitor::watermark_fires(std::size_t rule_index) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rule_index < rules_.size() ? rules_[rule_index].fires : 0;
+}
+
+void
+Monitor::sample_locked(
+    std::uint64_t t_ns,
+    std::vector<std::pair<std::size_t, std::uint64_t>>& fired)
+{
+    if (start_time_ns_ == 0)
+        start_time_ns_ = t_ns;
+    ++rounds_;
+    for (ProbeSlot& p : probes_) {
+        if (!p.active || !p.fn)
+            continue;
+        std::uint64_t v = p.fn();
+        p.series.append(t_ns, v);
+
+        // Watermark evaluation: hysteresis state machine per rule.
+        // idle -> (breach) pending -> (held for_at_least) fired ->
+        // (value leaves the breach region) idle again.
+        for (std::size_t r = 0; r < rules_.size(); ++r) {
+            RuleState& rs = rules_[r];
+            if (rs.rule.probe != p.name)
+                continue;
+            bool breach =
+                rs.rule.kind == WatermarkRule::Kind::kAbove
+                    ? v > rs.rule.threshold
+                    : v < rs.rule.threshold;
+            if (!breach) {
+                rs.in_excursion = false;  // re-arm
+                rs.breach_pending = false;
+                continue;
+            }
+            if (rs.in_excursion)
+                continue;  // already fired this excursion
+            if (!rs.breach_pending) {
+                rs.breach_pending = true;
+                rs.pending_since_ns = t_ns;
+            }
+            auto held_ns = t_ns - rs.pending_since_ns;
+            auto need_ns = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    rs.rule.for_at_least)
+                    .count());
+            if (held_ns >= need_ns) {
+                rs.in_excursion = true;
+                rs.breach_pending = false;
+                ++rs.fires;
+                fired.emplace_back(r, v);
+            }
+        }
+    }
+}
+
+void
+Monitor::sample_once()
+{
+    sample_at(steady_now_ns());
+}
+
+void
+Monitor::sample_at(std::uint64_t t_ns)
+{
+    std::vector<std::pair<std::size_t, std::uint64_t>> fired;
+    std::vector<
+        std::function<void(const WatermarkRule&, std::uint64_t)>>
+        callbacks;
+    std::vector<WatermarkRule> rules_copy;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sample_locked(t_ns, fired);
+        for (auto& [r, v] : fired) {
+            callbacks.push_back(rules_[r].rule.on_fire);
+            rules_copy.push_back(rules_[r].rule);
+            rules_copy.back().on_fire = nullptr;
+        }
+    }
+    // Fire outside the mutex: the trace event marks the excursion in
+    // the timeline, the registry counter makes it countable, and the
+    // callback is the (future) reclamation controller's hook.
+    for (std::size_t i = 0; i < fired.size(); ++i) {
+        PRUDENCE_TRACE_EMIT(trace::EventId::kWatermark,
+                            fired[i].first, fired[i].second);
+        trace::MetricsRegistry::instance()
+            .counter("telemetry.watermark_fires")
+            .add();
+        if (callbacks[i])
+            callbacks[i](rules_copy[i], fired[i].second);
+    }
+}
+
+void
+Monitor::start()
+{
+    bool expected = false;
+    if (!running_.compare_exchange_strong(expected, true))
+        return;
+    detail::g_active_monitors.fetch_add(1, std::memory_order_relaxed);
+    thread_ = std::thread([this] { run(); });
+}
+
+void
+Monitor::stop()
+{
+    bool expected = true;
+    if (!running_.compare_exchange_strong(expected, false))
+        return;
+    // Taking the mutex (even empty) orders the running_ store against
+    // the sampler's predicate check: it cannot read stale `true` and
+    // then enter a full-period wait that this notify would miss.
+    {
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+    }
+    wake_cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+    detail::g_active_monitors.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
+Monitor::run()
+{
+    auto next = std::chrono::steady_clock::now();
+    while (running_.load(std::memory_order_acquire)) {
+        sample_once();
+        next += config_.period;
+        // Interruptible period wait: stop() flips running_ and
+        // notifies, so shutdown costs microseconds, not a period.
+        std::unique_lock<std::mutex> lock(wake_mutex_);
+        wake_cv_.wait_until(lock, next, [this] {
+            return !running_.load(std::memory_order_acquire);
+        });
+    }
+    // Tail sample: every series' last point lands at stop time, not
+    // up to one period before it.
+    sample_once();
+}
+
+std::uint64_t
+Monitor::start_time_ns() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return start_time_ns_;
+}
+
+std::uint64_t
+Monitor::rounds() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rounds_;
+}
+
+std::vector<SeriesSnapshot>
+Monitor::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<SeriesSnapshot> out;
+    out.reserve(probes_.size());
+    for (const ProbeSlot& p : probes_) {
+        out.push_back(SeriesSnapshot{p.name, p.unit, p.active,
+                                     p.series.samples_per_point(),
+                                     p.series.total_samples(),
+                                     p.series.points()});
+    }
+    return out;
+}
+
+SeriesSnapshot
+Monitor::series(ProbeId id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (id >= probes_.size())
+        return {};
+    const ProbeSlot& p = probes_[id];
+    return SeriesSnapshot{p.name, p.unit, p.active,
+                          p.series.samples_per_point(),
+                          p.series.total_samples(),
+                          p.series.points()};
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+Monitor::latest() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    for (const ProbeSlot& p : probes_) {
+        if (p.active && !p.series.empty())
+            out.emplace_back(p.name, p.series.last_value());
+    }
+    return out;
+}
+
+namespace {
+
+/// Milliseconds with microsecond precision, deterministic.
+void
+put_ms(std::ostream& os, std::uint64_t ns, std::uint64_t origin_ns)
+{
+    std::uint64_t rel = ns >= origin_ns ? ns - origin_ns : 0;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                  static_cast<unsigned long long>(rel / 1'000'000),
+                  static_cast<unsigned long long>((rel / 1000) % 1000));
+    os << buf;
+}
+
+void
+put_mean(std::ostream& os, double mean)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.3f", mean);
+    os << buf;
+}
+
+}  // namespace
+
+void
+Monitor::write_csv(std::ostream& os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    os << "series,unit,active,t_first_ms,t_last_ms,first,last,min,"
+          "max,count,mean\n";
+    for (const ProbeSlot& p : probes_) {
+        for (const SeriesPoint& pt : p.series.points()) {
+            os << p.name << "," << p.unit << ","
+               << (p.active ? 1 : 0) << ",";
+            put_ms(os, pt.t_first_ns, start_time_ns_);
+            os << ",";
+            put_ms(os, pt.t_last_ns, start_time_ns_);
+            os << "," << pt.first << "," << pt.last << "," << pt.min
+               << "," << pt.max << "," << pt.count << ",";
+            put_mean(os, pt.mean());
+            os << "\n";
+        }
+    }
+}
+
+void
+Monitor::write_json(std::ostream& os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    os << "{\"version\":1,\"period_us\":"
+       << config_.period.count() << ",\"rounds\":" << rounds_
+       << ",\"series\":[";
+    bool first_series = true;
+    for (const ProbeSlot& p : probes_) {
+        if (!first_series)
+            os << ",";
+        first_series = false;
+        os << "\n{\"name\":\"" << p.name << "\",\"unit\":\"" << p.unit
+           << "\",\"active\":" << (p.active ? "true" : "false")
+           << ",\"samples_per_point\":" << p.series.samples_per_point()
+           << ",\"total_samples\":" << p.series.total_samples()
+           << ",\"points\":[";
+        bool first_pt = true;
+        for (const SeriesPoint& pt : p.series.points()) {
+            if (!first_pt)
+                os << ",";
+            first_pt = false;
+            os << "\n {\"t_first_ms\":";
+            put_ms(os, pt.t_first_ns, start_time_ns_);
+            os << ",\"t_last_ms\":";
+            put_ms(os, pt.t_last_ns, start_time_ns_);
+            os << ",\"first\":" << pt.first << ",\"last\":" << pt.last
+               << ",\"min\":" << pt.min << ",\"max\":" << pt.max
+               << ",\"count\":" << pt.count << ",\"mean\":";
+            put_mean(os, pt.mean());
+            os << "}";
+        }
+        os << "]}";
+    }
+    os << "]}\n";
+}
+
+// ---------------------------------------------------------------------
+// Built-in probes.
+// ---------------------------------------------------------------------
+
+void
+add_registry_probes(ProbeGroup& group, const std::string& prefix)
+{
+    auto hist_probe = [](trace::HistId id, bool p99) {
+        return [id, p99]() -> std::uint64_t {
+            auto s = trace::MetricsRegistry::instance()
+                         .histogram(id)
+                         .snapshot(false);
+            double v = p99 ? s.p99 : s.mean();
+            return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v);
+        };
+    };
+    group.add(prefix + "age.deferred_mean_ns", "ns",
+              hist_probe(trace::HistId::kDeferredAgeNs, false));
+    group.add(prefix + "age.deferred_p99_ns", "ns",
+              hist_probe(trace::HistId::kDeferredAgeNs, true));
+    group.add(prefix + "rcu.reader_section_p99_ns", "ns",
+              hist_probe(trace::HistId::kReaderSectionNs, true));
+}
+
+void
+add_rss_probe(ProbeGroup& group, const std::string& name)
+{
+    group.add(name, "bytes", []() -> std::uint64_t {
+        std::FILE* f = std::fopen("/proc/self/statm", "r");
+        if (f == nullptr)
+            return 0;
+        unsigned long long total = 0, resident = 0;
+        int n = std::fscanf(f, "%llu %llu", &total, &resident);
+        std::fclose(f);
+        if (n != 2)
+            return 0;
+#if defined(_SC_PAGESIZE)
+        long page = sysconf(_SC_PAGESIZE);
+        if (page <= 0)
+            page = 4096;
+#else
+        long page = 4096;
+#endif
+        return static_cast<std::uint64_t>(resident) *
+               static_cast<std::uint64_t>(page);
+    });
+}
+
+// ---------------------------------------------------------------------
+// Chrome counter-track export.
+// ---------------------------------------------------------------------
+
+namespace {
+
+void
+put_us_chrome(std::ostream& os, std::uint64_t ns)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned long long>(ns % 1000));
+    os << buf;
+}
+
+}  // namespace
+
+void
+install_chrome_counter_export(std::vector<SeriesSnapshot> series)
+{
+    trace::set_extra_chrome_events_writer(
+        [series = std::move(series)](std::ostream& os, bool& first) {
+            std::uint64_t origin = trace::session_origin_ns();
+            if (origin == 0)
+                return;  // no trace session to align with
+            for (const SeriesSnapshot& s : series) {
+                for (const SeriesPoint& pt : s.points) {
+                    if (pt.t_last_ns < origin)
+                        continue;  // sampled before the session
+                    if (!first)
+                        os << ",\n";
+                    first = false;
+                    os << "{\"name\":\"" << s.name
+                       << "\",\"cat\":\"telemetry\",\"ph\":\"C\","
+                          "\"pid\":1,\"tid\":0,\"ts\":";
+                    put_us_chrome(os, pt.t_last_ns - origin);
+                    os << ",\"args\":{\"value\":" << pt.last << "}}";
+                }
+            }
+        });
+}
+
+}  // namespace prudence::telemetry

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * The multi-probe telemetry monitor (DESIGN.md §12).
+ *
+ * Layers register named numeric probes; one sampler thread polls
+ * every active probe each period into a bounded per-probe TimeSeries
+ * (2:1 downsampling on overflow, so an hours-long run still fits in
+ * fixed memory with full-run coverage). On top of the samples:
+ *
+ *  - Watermark rules ("latent_bytes > X for Y ms", "headroom < Z")
+ *    are evaluated at sample time. A rule fires once per excursion
+ *    (hysteresis: it re-arms only after the probe leaves the breach
+ *    region), emitting a kWatermark trace event, bumping a registry
+ *    counter and invoking the registered callback — the future
+ *    reclamation controller's hook.
+ *  - Exporters: CSV and JSON time-series files (bench --telemetry=),
+ *    and Chrome/Perfetto counter tracks merged into the trace export.
+ *
+ * Threading: probe functions run on the sampler thread (or the
+ * caller of sample_once()) under the monitor mutex; they may take
+ * subsystem locks (buddy, cache stats) but must not call back into
+ * this Monitor. Watermark callbacks run on the sampler thread after
+ * the mutex is released; they may use the Monitor but must not
+ * destroy it.
+ *
+ * Probe lifetime: remove_probe()/ProbeGroup destruction deactivates a
+ * probe — its closure (which captures subsystem references) is
+ * destroyed immediately, but the recorded series is retained for
+ * export. Benchmarks that construct one allocator per phase therefore
+ * keep every phase's series in the final file.
+ */
+#ifndef PRUDENCE_TELEMETRY_MONITOR_H
+#define PRUDENCE_TELEMETRY_MONITOR_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/time_series.h"
+
+namespace prudence::telemetry {
+
+/// A numeric probe: returns the current value of one signal.
+using ProbeFn = std::function<std::uint64_t()>;
+
+/// Handle to a registered probe (index; never reused by a Monitor).
+using ProbeId = std::size_t;
+
+/// Construction parameters for Monitor.
+struct MonitorConfig
+{
+    /// Sampling period (paper's memory timeline: 10 ms).
+    std::chrono::microseconds period{10'000};
+    /// Retained points per probe before 2:1 folding (even, >= 4).
+    std::size_t series_capacity = 512;
+};
+
+/// Declarative alert on one probe's sampled value.
+struct WatermarkRule
+{
+    enum class Kind { kAbove, kBelow };
+
+    std::string probe;           ///< probe name the rule watches
+    Kind kind = Kind::kAbove;    ///< breach direction
+    std::uint64_t threshold = 0; ///< breach boundary (exclusive)
+    /// Breach must persist this long before the rule fires (0 =
+    /// fire on the first breaching sample).
+    std::chrono::milliseconds for_at_least{0};
+    /// Invoked once per excursion with the breaching value. Runs on
+    /// the sampling thread, outside the monitor mutex.
+    std::function<void(const WatermarkRule&, std::uint64_t value)>
+        on_fire;
+};
+
+/// Exported view of one probe's series.
+struct SeriesSnapshot
+{
+    std::string name;
+    std::string unit;
+    bool active = false;  ///< false once the probe was removed
+    std::size_t samples_per_point = 1;
+    std::uint64_t total_samples = 0;
+    std::vector<SeriesPoint> points;
+};
+
+/// Background multi-probe sampler with bounded per-probe series.
+class Monitor
+{
+  public:
+    explicit Monitor(const MonitorConfig& config = {});
+    ~Monitor();
+
+    Monitor(const Monitor&) = delete;
+    Monitor& operator=(const Monitor&) = delete;
+
+    /**
+     * Register a probe. @p unit is documentation carried into the
+     * exports ("bytes", "pages", "objects", "ns", ...). Safe while
+     * the sampler runs; the probe joins the next sampling round.
+     */
+    ProbeId add_probe(std::string name, std::string unit, ProbeFn fn);
+
+    /**
+     * Deactivate a probe: its closure is destroyed (no further
+     * calls), its series is retained for export. Safe while the
+     * sampler runs; idempotent.
+     */
+    void remove_probe(ProbeId id);
+
+    /// Register a watermark rule. @return rule index.
+    std::size_t add_watermark(WatermarkRule rule);
+
+    /// Times rule @p rule_index has fired (one per excursion).
+    std::uint64_t watermark_fires(std::size_t rule_index) const;
+
+    /**
+     * Begin periodic background sampling (idempotent). The first
+     * sample is taken immediately; while running, stamp sites
+     * (PRUDENCE_TELEM_STAMP) are armed process-wide.
+     */
+    void start();
+
+    /**
+     * Stop sampling and join the thread (idempotent, prompt). One
+     * final sample is taken so every series covers the instant
+     * sampling ended.
+     */
+    void stop();
+
+    /// True between start() and stop().
+    bool running() const
+    {
+        return running_.load(std::memory_order_acquire);
+    }
+
+    /// Take one sampling round now (steady clock). Usable without
+    /// start() for externally-paced sampling.
+    void sample_once();
+
+    /**
+     * Take one sampling round with an injected timestamp
+     * (deterministic tests and golden exporter files). Timestamps
+     * must be non-decreasing across calls.
+     */
+    void sample_at(std::uint64_t t_ns);
+
+    /// Steady-clock ns of the first sample (0 before any sample).
+    std::uint64_t start_time_ns() const;
+    /// Sampling rounds taken so far.
+    std::uint64_t rounds() const;
+    /// Configured sampling period.
+    std::chrono::microseconds period() const { return config_.period; }
+
+    /// Copy of every series (active and retained), registration order.
+    std::vector<SeriesSnapshot> snapshot() const;
+    /// Copy of one probe's series.
+    SeriesSnapshot series(ProbeId id) const;
+    /// Most recent raw value of each probe (prudstat's data source):
+    /// pairs of (name, last value), active probes only.
+    std::vector<std::pair<std::string, std::uint64_t>> latest() const;
+
+    /**
+     * Exporters. CSV is one row per point in long format; JSON is the
+     * structured document run_bench.sh folds into BENCH_<sha>.json.
+     * Timestamps are exported relative to the first sample.
+     */
+    void write_csv(std::ostream& os) const;
+    void write_json(std::ostream& os) const;
+
+  private:
+    struct ProbeSlot
+    {
+        std::string name;
+        std::string unit;
+        ProbeFn fn;  ///< empty once removed
+        bool active = false;
+        TimeSeries series;
+    };
+
+    struct RuleState
+    {
+        WatermarkRule rule;
+        bool in_excursion = false;   ///< fired, awaiting re-arm
+        bool breach_pending = false; ///< breaching, duration not met
+        std::uint64_t pending_since_ns = 0;
+        std::uint64_t fires = 0;
+    };
+
+    void sample_locked(std::uint64_t t_ns,
+                       std::vector<std::pair<std::size_t,
+                                             std::uint64_t>>& fired);
+    void run();
+
+    MonitorConfig config_;
+
+    mutable std::mutex mutex_;
+    std::vector<ProbeSlot> probes_;
+    std::vector<RuleState> rules_;
+    std::uint64_t start_time_ns_ = 0;
+    std::uint64_t rounds_ = 0;
+
+    std::atomic<bool> running_{false};
+    std::mutex wake_mutex_;
+    std::condition_variable wake_cv_;  ///< interrupts the period wait
+    std::thread thread_;
+};
+
+/**
+ * RAII batch of probe registrations: every probe added through the
+ * group is removed (deactivated, series retained) when the group is
+ * destroyed. Subsystem register_telemetry_probes() hooks take one of
+ * these so probe lifetime follows the subsystem's.
+ */
+class ProbeGroup
+{
+  public:
+    explicit ProbeGroup(Monitor& monitor) : monitor_(monitor) {}
+    ~ProbeGroup()
+    {
+        for (ProbeId id : ids_)
+            monitor_.remove_probe(id);
+    }
+
+    ProbeGroup(const ProbeGroup&) = delete;
+    ProbeGroup& operator=(const ProbeGroup&) = delete;
+
+    ProbeId
+    add(std::string name, std::string unit, ProbeFn fn)
+    {
+        ProbeId id = monitor_.add_probe(std::move(name),
+                                        std::move(unit), std::move(fn));
+        ids_.push_back(id);
+        return id;
+    }
+
+    Monitor& monitor() { return monitor_; }
+
+  private:
+    Monitor& monitor_;
+    std::vector<ProbeId> ids_;
+};
+
+/**
+ * Register process-wide probes derived from the metrics registry:
+ * deferred-object age and reader-section duration summaries (mean and
+ * p99 of the corresponding histograms). These work even when the
+ * allocator instances are out of reach (suite-driven benchmarks).
+ */
+void add_registry_probes(ProbeGroup& group,
+                         const std::string& prefix = "");
+
+/// Register a probe reading this process's resident set size from
+/// /proc/self/statm (0 where unavailable).
+void add_rss_probe(ProbeGroup& group,
+                   const std::string& name = "process.rss_bytes");
+
+/**
+ * Install @p series as Chrome 'C' (counter) events appended to every
+ * subsequent trace export (write_chrome_trace()), one counter track
+ * per series, timestamps rebased onto the trace session clock.
+ * Points sampled before the trace session started are skipped.
+ * Typically called with Monitor::snapshot() at session teardown,
+ * before the TraceSession exports.
+ */
+void install_chrome_counter_export(std::vector<SeriesSnapshot> series);
+
+}  // namespace prudence::telemetry
+
+#endif  // PRUDENCE_TELEMETRY_MONITOR_H

@@ -1,0 +1,83 @@
+#include "telemetry/prudstat.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+namespace prudence::telemetry {
+
+std::string
+humanize(std::uint64_t value)
+{
+    if (value < 10'000)
+        return std::to_string(value);
+    static const char* kSuffix[] = {"K", "M", "G", "T", "P"};
+    double v = static_cast<double>(value);
+    std::size_t i = 0;
+    v /= 1024.0;
+    while (v >= 10'000.0 && i + 1 < sizeof(kSuffix) / sizeof(*kSuffix)) {
+        v /= 1024.0;
+        ++i;
+    }
+    char buf[32];
+    // One decimal below 100 ("4.2M"), integral above ("831M").
+    if (v < 100.0)
+        std::snprintf(buf, sizeof(buf), "%.1f%s", v, kSuffix[i]);
+    else
+        std::snprintf(buf, sizeof(buf), "%.0f%s", v, kSuffix[i]);
+    return buf;
+}
+
+void
+PrudstatView::latch_columns()
+{
+    auto latest = monitor_.latest();
+    for (const auto& [name, value] : latest) {
+        (void)value;
+        bool known = std::any_of(
+            columns_.begin(), columns_.end(),
+            [&](const Column& c) { return c.probe == name; });
+        if (known)
+            continue;
+        Column col;
+        col.probe = name;
+        auto dot = name.rfind('.');
+        col.label =
+            dot == std::string::npos ? name : name.substr(dot + 1);
+        if (col.label.size() > 12)
+            col.label.resize(12);
+        col.width =
+            std::max<int>(7, static_cast<int>(col.label.size()) + 1);
+        columns_.push_back(std::move(col));
+    }
+}
+
+void
+PrudstatView::render_header(std::ostream& os) const
+{
+    for (const Column& col : columns_)
+        os << std::setw(col.width) << col.label;
+    os << '\n';
+}
+
+void
+PrudstatView::render(std::ostream& os)
+{
+    if (rows_ % kHeaderInterval == 0) {
+        latch_columns();  // newly registered probes join here
+        render_header(os);
+    }
+    auto latest = monitor_.latest();
+    for (const Column& col : columns_) {
+        auto it = std::find_if(
+            latest.begin(), latest.end(),
+            [&](const auto& p) { return p.first == col.probe; });
+        os << std::setw(col.width)
+           << (it == latest.end() ? std::string("-")
+                                  : humanize(it->second));
+    }
+    os << std::endl;  // flush: prudstat is a live view
+    ++rows_;
+}
+
+}  // namespace prudence::telemetry

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * prudstat: a vmstat/slabtop-style console renderer over a live
+ * Monitor (DESIGN.md §12).
+ *
+ * Each tick prints one row with the most recent raw value of every
+ * probe, humanized (4.2M, 1.1G) so per-layer occupancy, deferred-age
+ * and grace-period columns fit a terminal. The header names columns
+ * by the probe-name tail (the part after the last '.') and is
+ * re-printed every kHeaderInterval rows, like vmstat.
+ *
+ * The column set is latched from the monitor on the first render so
+ * rows stay aligned even as probes churn; probes registered later
+ * join on the next header reprint, removed probes render "-".
+ */
+#ifndef PRUDENCE_TELEMETRY_PRUDSTAT_H
+#define PRUDENCE_TELEMETRY_PRUDSTAT_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "telemetry/monitor.h"
+
+namespace prudence::telemetry {
+
+/// Humanize a raw value: "831", "4.2K", "17.5M", "2.1G" (power of
+/// 1024 for byte-ish magnitudes; exact below 10000).
+std::string humanize(std::uint64_t value);
+
+/// Console view over a running Monitor.
+class PrudstatView
+{
+  public:
+    /// Rows between header reprints.
+    static constexpr std::size_t kHeaderInterval = 20;
+
+    explicit PrudstatView(const Monitor& monitor) : monitor_(monitor) {}
+
+    /// Print one tick: the header when due, then one value row.
+    void render(std::ostream& os);
+
+    /// Rows rendered so far.
+    std::size_t rows() const { return rows_; }
+
+  private:
+    struct Column
+    {
+        std::string probe;  ///< full probe name
+        std::string label;  ///< shortened header label
+        int width = 0;
+    };
+
+    void latch_columns();
+    void render_header(std::ostream& os) const;
+
+    const Monitor& monitor_;
+    std::vector<Column> columns_;
+    std::size_t rows_ = 0;
+};
+
+}  // namespace prudence::telemetry
+
+#endif  // PRUDENCE_TELEMETRY_PRUDSTAT_H

@@ -1,0 +1,20 @@
+#include "telemetry/telemetry.h"
+
+#include <chrono>
+
+namespace prudence::telemetry {
+
+namespace detail {
+std::atomic<int> g_active_monitors{0};
+}  // namespace detail
+
+std::uint64_t
+steady_now_ns()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+}  // namespace prudence::telemetry

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Bounded time series with DAMON-style 2:1 downsampling.
+ *
+ * A TimeSeries holds at most `capacity` points. Every point is an
+ * aggregate of `samples_per_point` consecutive raw samples (initially
+ * 1, i.e. points are raw). When the ring fills, adjacent point pairs
+ * are folded in place — halving the point count and doubling
+ * samples_per_point — so an hours-long run always fits in the same
+ * memory while still covering the whole run (the DAMON region-split
+ * trade-off applied to the time axis: resolution degrades, coverage
+ * never does).
+ *
+ * Folding preserves, exactly and at every resolution:
+ *  - the first and last raw sample (value and timestamp),
+ *  - the global minimum and maximum,
+ *  - the total raw-sample count and sum (hence the mean),
+ *  - timestamp monotonicity across points.
+ */
+#ifndef PRUDENCE_TELEMETRY_TIME_SERIES_H
+#define PRUDENCE_TELEMETRY_TIME_SERIES_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace prudence::telemetry {
+
+/// One time-series point: an aggregate of >= 1 raw samples.
+struct SeriesPoint
+{
+    std::uint64_t t_first_ns = 0;  ///< timestamp of the first sample
+    std::uint64_t t_last_ns = 0;   ///< timestamp of the last sample
+    std::uint64_t first = 0;       ///< first sampled value
+    std::uint64_t last = 0;        ///< last sampled value
+    std::uint64_t min = 0;         ///< smallest sampled value
+    std::uint64_t max = 0;         ///< largest sampled value
+    std::uint64_t count = 0;       ///< raw samples folded in
+    double sum = 0.0;              ///< sum of sampled values
+
+    double
+    mean() const
+    {
+        return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+
+    /// Aggregate of one raw sample.
+    static SeriesPoint
+    of(std::uint64_t t_ns, std::uint64_t v)
+    {
+        return {t_ns, t_ns, v, v, v, v, 1,
+                static_cast<double>(v)};
+    }
+
+    /// Aggregate of two adjacent-in-time aggregates (a before b).
+    static SeriesPoint
+    merged(const SeriesPoint& a, const SeriesPoint& b)
+    {
+        return {a.t_first_ns,
+                b.t_last_ns,
+                a.first,
+                b.last,
+                a.min < b.min ? a.min : b.min,
+                a.max > b.max ? a.max : b.max,
+                a.count + b.count,
+                a.sum + b.sum};
+    }
+};
+
+/// Fixed-capacity series of SeriesPoints with 2:1 fold on overflow.
+class TimeSeries
+{
+  public:
+    /// @param capacity maximum retained points; rounded up to an even
+    ///        value >= 4 so folds always halve exactly.
+    explicit TimeSeries(std::size_t capacity)
+        : capacity_(capacity < 4 ? 4 : capacity + (capacity & 1))
+    {
+    }
+
+    /// Record one raw sample. Timestamps must be non-decreasing.
+    void
+    append(std::uint64_t t_ns, std::uint64_t value)
+    {
+        ++total_samples_;
+        last_t_ns_ = t_ns;
+        last_value_ = value;
+        if (pending_count_ == 0) {
+            pending_ = SeriesPoint::of(t_ns, value);
+        } else {
+            pending_ =
+                SeriesPoint::merged(pending_, SeriesPoint::of(t_ns, value));
+        }
+        ++pending_count_;
+        if (pending_count_ < samples_per_point_)
+            return;
+        flush_pending();
+    }
+
+    /// Retained points, oldest first. The partially-accumulated
+    /// pending bucket (if any) is included as the final point so the
+    /// series always covers every sample taken.
+    std::vector<SeriesPoint>
+    points() const
+    {
+        std::vector<SeriesPoint> out = points_;
+        if (pending_count_ > 0)
+            out.push_back(pending_);
+        return out;
+    }
+
+    std::size_t capacity() const { return capacity_; }
+    /// Raw samples aggregated per complete point at the current
+    /// resolution (doubles on every fold).
+    std::size_t samples_per_point() const { return samples_per_point_; }
+    /// Raw samples ever recorded.
+    std::uint64_t total_samples() const { return total_samples_; }
+    /// Timestamp/value of the most recent raw sample.
+    std::uint64_t last_t_ns() const { return last_t_ns_; }
+    std::uint64_t last_value() const { return last_value_; }
+    bool empty() const { return total_samples_ == 0; }
+
+  private:
+    void
+    flush_pending()
+    {
+        points_.push_back(pending_);
+        pending_count_ = 0;
+        if (points_.size() < capacity_)
+            return;
+        // 2:1 fold: merge adjacent pairs in place. Size is even
+        // (capacity is even), so this halves exactly.
+        std::size_t half = points_.size() / 2;
+        for (std::size_t i = 0; i < half; ++i)
+            points_[i] =
+                SeriesPoint::merged(points_[2 * i], points_[2 * i + 1]);
+        points_.resize(half);
+        samples_per_point_ *= 2;
+    }
+
+    std::size_t capacity_;
+    std::size_t samples_per_point_ = 1;
+    std::vector<SeriesPoint> points_;
+    SeriesPoint pending_{};
+    std::size_t pending_count_ = 0;
+    std::uint64_t total_samples_ = 0;
+    std::uint64_t last_t_ns_ = 0;
+    std::uint64_t last_value_ = 0;
+};
+
+}  // namespace prudence::telemetry
+
+#endif  // PRUDENCE_TELEMETRY_TIME_SERIES_H

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <utility>
 
 #include "trace/tracer.h"
@@ -43,6 +44,7 @@ event_info(EventId id)
         {"mag_defer_spill", "alloc", 'i', "count", "epoch"},
         {"pcp_refill", "page", 'i', "count", "order"},
         {"pcp_drain", "page", 'i', "count", "order"},
+        {"watermark", "telemetry", 'i', "rule", "value"},
     };
     auto idx = static_cast<std::size_t>(id);
     constexpr auto kTableSize = sizeof(kTable) / sizeof(kTable[0]);
@@ -127,7 +129,24 @@ put_hist(std::ostream& os, const HistogramSnapshot& h)
     os << buf;
 }
 
+/// Installed extra-events writer (telemetry counter tracks).
+std::mutex g_extra_writer_mutex;
+std::function<void(std::ostream&, bool&)>&
+extra_writer()
+{
+    static std::function<void(std::ostream&, bool&)> w;
+    return w;
+}
+
 }  // namespace
+
+void
+set_extra_chrome_events_writer(
+    std::function<void(std::ostream&, bool& first)> writer)
+{
+    std::lock_guard<std::mutex> lock(g_extra_writer_mutex);
+    extra_writer() = std::move(writer);
+}
 
 void
 write_chrome_trace(std::ostream& os)
@@ -176,6 +195,13 @@ write_chrome_trace(std::ostream& os)
             os << ",\n";
         first = false;
         put_event(os, t.tid, t.event);
+    }
+    {
+        // Telemetry counter tracks (and any other installed
+        // extension) render alongside the event tracks.
+        std::lock_guard<std::mutex> lock(g_extra_writer_mutex);
+        if (extra_writer())
+            extra_writer()(os, first);
     }
     os << "],\"displayTimeUnit\":\"ns\"}\n";
 }

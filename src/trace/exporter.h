@@ -12,6 +12,7 @@
 #ifndef PRUDENCE_TRACE_EXPORTER_H
 #define PRUDENCE_TRACE_EXPORTER_H
 
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -19,6 +20,21 @@
 #include "trace/metrics_registry.h"
 
 namespace prudence::trace {
+
+/**
+ * Extension hook: a writer appending extra Chrome trace events (the
+ * telemetry layer's counter tracks) to every write_chrome_trace().
+ * The writer emits zero or more comma-separated JSON event objects;
+ * `first` tells it whether a leading comma is needed and must be
+ * cleared once something was written. Pass nullptr to uninstall.
+ */
+void set_extra_chrome_events_writer(
+    std::function<void(std::ostream&, bool& first)> writer);
+
+/// Steady-clock ns at which the current/most recent trace session
+/// started (0 when no session ever started). Lets externally-stamped
+/// timelines (telemetry counters) rebase onto the session clock.
+std::uint64_t session_origin_ns();
 
 /// Write the merged rings as Chrome trace-event JSON. Events are
 /// sorted by timestamp; each ring becomes one tid with a thread_name

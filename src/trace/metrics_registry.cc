@@ -26,6 +26,10 @@ hist_name(HistId id)
         return "slab.latent_residency_ns";
       case HistId::kOomWaitNs:
         return "prudence.oom_wait_ns";
+      case HistId::kDeferredAgeNs:
+        return "alloc.deferred_age_ns";
+      case HistId::kReaderSectionNs:
+        return "rcu.reader_section_ns";
       case HistId::kCount:
         break;
     }

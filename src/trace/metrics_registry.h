@@ -37,6 +37,9 @@ enum class HistId : std::size_t {
     kCbDrainBatch,       ///< rcu: ready callbacks invoked per drain
     kLatentResidencyNs,  ///< slab: time an object sat in a latent ring
     kOomWaitNs,          ///< prudence: allocation stalls on grace periods
+    kDeferredAgeNs,      ///< telemetry: defer-to-reclaim age (latent
+                         ///< merge or callback invocation)
+    kReaderSectionNs,    ///< telemetry: rcu read-side section duration
     kCount
 };
 

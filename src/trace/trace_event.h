@@ -75,6 +75,10 @@ enum class EventId : std::uint16_t {
                  ///< (arg0=blocks moved, arg1=order, or cpu for a
                  ///< full quiesce drain)
 
+    // telemetry/ — monitor watermark rules.
+    kWatermark,  ///< a watermark rule fired (arg0=rule index,
+                 ///< arg1=breaching value); once per excursion
+
     kMaxEvent
 };
 

@@ -85,6 +85,12 @@ now_ns()
            detail::g_session_origin_ns.load(std::memory_order_relaxed);
 }
 
+std::uint64_t
+session_origin_ns()
+{
+    return detail::g_session_origin_ns.load(std::memory_order_relaxed);
+}
+
 TraceRing&
 local_ring()
 {

@@ -35,6 +35,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <memory>
 #include <random>
 #include <string>
@@ -48,6 +49,8 @@
 #include "rcu/rcu_domain.h"
 #include "rcu/stall_detector.h"
 #include "slub/slub_allocator.h"
+#include "telemetry/monitor.h"
+#include "telemetry/prudstat.h"
 
 namespace {
 
@@ -81,6 +84,10 @@ struct Options
     /// Write the machine-readable fingerprint + accounting report
     /// here ("" = don't).
     std::string report_json;
+    /// Live vmstat-style console view (DESIGN.md §12) while the
+    /// torture runs.
+    bool prudstat = false;
+    std::uint64_t prudstat_interval_ms = 500;
 };
 
 void
@@ -120,7 +127,11 @@ usage(const char* argv0)
         "                           and accounting (implies --ops, "
         "default 50000)\n"
         "  --report-json=FILE       write fingerprints + accounting "
-        "as JSON\n",
+        "as JSON\n"
+        "  --prudstat               live vmstat-style per-layer view "
+        "while running\n"
+        "  --prudstat-interval-ms=N row interval for --prudstat "
+        "(default 500)\n",
         argv0);
 }
 
@@ -176,6 +187,10 @@ parse_options(int argc, char** argv, Options& opt)
             opt.deterministic = true;
         else if (flag_value(argv[i], "--report-json", &v))
             opt.report_json = v;
+        else if (std::strcmp(argv[i], "--prudstat") == 0)
+            opt.prudstat = true;
+        else if (flag_value(argv[i], "--prudstat-interval-ms", &v))
+            opt.prudstat_interval_ms = std::strtoull(v, nullptr, 0);
         else {
             usage(argv[0]);
             return false;
@@ -643,6 +658,43 @@ main(int argc, char** argv)
                     opt.updaters, opt.oom_threads, opt.duration_s,
                     opt.fault_seed, opt.faults ? "on" : "off");
 
+    // Live per-layer console view: a Monitor polls the allocator,
+    // domain and registry probes; a printer thread renders one
+    // prudstat row per interval until the torture phase ends.
+#if defined(PRUDENCE_TELEMETRY_ENABLED)
+    std::unique_ptr<prudence::telemetry::Monitor> stat_monitor;
+    std::unique_ptr<prudence::telemetry::ProbeGroup> stat_probes;
+    std::thread stat_thread;
+    std::atomic<bool> stat_stop{false};
+    if (opt.prudstat) {
+        prudence::telemetry::MonitorConfig mcfg;
+        mcfg.period = std::chrono::microseconds(
+            opt.prudstat_interval_ms * 1000);
+        stat_monitor =
+            std::make_unique<prudence::telemetry::Monitor>(mcfg);
+        stat_probes =
+            std::make_unique<prudence::telemetry::ProbeGroup>(
+                *stat_monitor);
+        alloc->register_telemetry_probes(*stat_probes);
+        domain.register_telemetry_probes(*stat_probes);
+        prudence::telemetry::add_registry_probes(*stat_probes);
+        stat_monitor->start();
+        stat_thread = std::thread([&opt, &stat_monitor, &stat_stop] {
+            prudence::telemetry::PrudstatView view(*stat_monitor);
+            while (!stat_stop.load(std::memory_order_relaxed)) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    opt.prudstat_interval_ms));
+                view.render(std::cout);
+            }
+        });
+    }
+#else
+    if (opt.prudstat)
+        std::fprintf(stderr,
+                     "prudtorture: built with PRUDENCE_TELEMETRY=OFF; "
+                     "--prudstat disabled\n");
+#endif
+
     std::vector<std::thread> updaters;
     std::vector<std::thread> others;
     for (unsigned i = 0; i < opt.updaters; ++i)
@@ -667,6 +719,19 @@ main(int argc, char** argv)
     }
     for (auto& th : others)
         th.join();
+
+#if defined(PRUDENCE_TELEMETRY_ENABLED)
+    if (stat_thread.joinable()) {
+        stat_stop.store(true, std::memory_order_relaxed);
+        stat_thread.join();
+        stat_monitor->stop();
+        // Deactivate the probe closures (they capture the allocator
+        // and domain) before the quiesce/validate phase below.
+        stat_probes.reset();
+        std::printf("prudstat: %" PRIu64 " sampling rounds\n",
+                    stat_monitor->rounds());
+    }
+#endif
 
     // Capture the live fault report, then disarm everything so the
     // quiesce/validate phase runs unperturbed.
