@@ -36,7 +36,7 @@ esac
 cmake --preset "$PRESET"
 cmake --build --preset "$PRESET" -j "${JOBS:-2}" \
     --target tab01_alloc_cost fig06_micro fig13_throughput \
-    fig14_page_contention fig03_endurance
+    fig14_page_contention fig03_endurance ablation_governor
 
 SHA="$(git rev-parse --short HEAD)"
 SCALE="${SCALE:-0.2}"
@@ -85,6 +85,13 @@ echo "== fig03_endurance (telemetry) =="
 # PRUDENCE_TELEMETRY=OFF builds warn and ignore the flag; keep the
 # summary schema stable with an empty block.
 [ -f "$TMP/fig03_telemetry.json" ] || : > "$TMP/fig03_telemetry.json"
+
+# Governor ablation: static knobs vs. the adaptive reclamation
+# governor under a fixed offered load (DESIGN.md §13). Peak footprint,
+# deferred-age p99 and reader p99 per leg land in the summary.
+echo "== ablation_governor =="
+"$BUILD_DIR/bench/ablation_governor" "$SCALE" \
+    | tee "$TMP/ablation_governor.txt"
 
 python3 - "$TMP" "$OUT" "$SHA" "$SCALE" "$REPS" <<'EOF'
 import json
@@ -196,6 +203,31 @@ def parse_telemetry(path):
     return out
 
 
+def parse_ablation_governor(path):
+    """`leg <name> pairs_s <v> peak_mib <v> defer_p99_ms <v>
+    reader_p99_us <v>` rows, one per leg."""
+    rows = {}
+    pat = re.compile(
+        r"^leg\s+(\w+)\s+pairs_s\s+([\d.]+)\s+peak_mib\s+([\d.]+)"
+        r"\s+defer_p99_ms\s+([\d.]+)\s+reader_p99_us\s+([\d.]+)\s*$")
+    with open(path) as f:
+        for line in f:
+            m = pat.match(line)
+            if m:
+                rows[m.group(1)] = {
+                    "pairs_per_sec": float(m.group(2)),
+                    "peak_mib": float(m.group(3)),
+                    "defer_p99_ms": float(m.group(4)),
+                    "reader_p99_us": float(m.group(5)),
+                }
+    if "static" in rows and "governed" in rows and \
+            rows["static"]["peak_mib"] > 0:
+        rows["peak_reduction_percent"] = 100.0 * (
+            1.0 - rows["governed"]["peak_mib"] /
+            rows["static"]["peak_mib"])
+    return rows
+
+
 def parse_fig14(path):
     rows = {}
     pat = re.compile(
@@ -220,6 +252,8 @@ doc = {
     "configs": {},
     "fig14_page_contention": parse_fig14(f"{tmp}/fig14.txt"),
     "fig03_telemetry": parse_telemetry(f"{tmp}/fig03_telemetry.json"),
+    "ablation_governor":
+        parse_ablation_governor(f"{tmp}/ablation_governor.txt"),
 }
 for cap in ("32", "0"):
     for pcp in ("32", "0"):
@@ -244,6 +278,14 @@ if "hit_cycle_ns" in on and "hit_cycle_ns" in off:
     if b > 0:
         print(f"tab01 hit cycle p50: magazines on {a:.1f} ns, "
               f"off {b:.1f} ns ({100.0 * (b - a) / b:+.1f}%)")
+
+gov = doc["ablation_governor"]
+if "peak_reduction_percent" in gov:
+    print(f"ablation_governor: peak {gov['static']['peak_mib']:.0f} "
+          f"MiB static -> {gov['governed']['peak_mib']:.0f} MiB "
+          f"governed ({gov['peak_reduction_percent']:+.1f}%), "
+          f"defer p99 {gov['static']['defer_p99_ms']:.1f} -> "
+          f"{gov['governed']['defer_p99_ms']:.1f} ms")
 
 t8 = doc["fig14_page_contention"].get("threads_8", {})
 if "pcp_on" in t8 and "pcp_off" in t8:

@@ -142,6 +142,29 @@ class Allocator
                                                              prefix);
     }
 
+    // ---- reclamation-pressure actuators (governor surface,
+    // DESIGN.md §13) ----
+
+    /**
+     * Restrict deferral admission to @p pct percent of the nominal
+     * capacity (100 = nominal; implementations clamp the floor).
+     * Prudence resizes every latent ring's spill boundary so deferred
+     * objects move to slabs (and thence to reclaim) earlier; the
+     * baseline, whose only deferral store is the callback backlog,
+     * treats any value < 100 as a request to drain more eagerly.
+     * Idempotent per value; safe from any thread; quiesce() resets to
+     * nominal.
+     */
+    virtual void set_deferred_admission(unsigned pct) { (void)pct; }
+
+    /**
+     * Harvest every deferral whose grace period has already completed,
+     * without blocking on a new one — the expedite rung shared by the
+     * governor's critical level and the OOM ladder. @return an
+     * implementation-defined progress count (0 = nothing to do).
+     */
+    virtual std::size_t reclaim_ready() { return 0; }
+
     /**
      * Deep structural self-check: walk every slab of every cache and
      * cross-check freelists, latent structures, list membership and

@@ -138,6 +138,12 @@ PrudenceAllocator::create_cache(const std::string& name,
     caches_[count] = std::make_unique<Cache>(
         name, object_size, buddy_, owners_, cpu_registry_.max_cpus());
     caches_[count]->index = count;
+    // A cache created while the governor holds admission below
+    // nominal starts at the restricted boundary too.
+    if (latent_admission_pct_.load(std::memory_order_relaxed) < 100) {
+        for (auto& pc_ptr : caches_[count]->cpus)
+            apply_admission(pc_ptr->latent);
+    }
     cache_count_.store(count + 1, std::memory_order_release);
     return CacheId{count};
 }
@@ -227,18 +233,16 @@ PrudenceAllocator::oom_ladder(Cache& c)
     // Rung 1 — expedite: harvest deferred
     // objects whose grace period has ALREADY completed, across every
     // cache, without waiting. Under a slow detector this alone often
-    // frees whole slabs back to the buddy allocator.
+    // frees whole slabs back to the buddy allocator. reclaim_ready()
+    // is the same harvest the governor runs at its critical level —
+    // the ladder is the terminal rungs of that one escalation story,
+    // and the listener lets the governor fold us into it.
     if (any_cache_has_deferred()) {
         stats.oom_expedites.add();
         PRUDENCE_TRACE_EMIT(trace::EventId::kOomExpedite, 0);
-        std::size_t count = cache_count_.load(std::memory_order_acquire);
-        for (std::size_t i = 0; i < count; ++i)
-            reclaim_cache(*caches_[i], /*fill_caches=*/true);
-        // Memory-pressure hook: pages parked in remote per-CPU page
-        // caches are free capacity too — pull them back before the
-        // retry (the buddy also self-drains on exhaustion, but doing
-        // it here lets whole-slab grows of any order succeed).
-        buddy_.drain_pcp();
+        if (pressure_listener_)
+            pressure_listener_(1);
+        reclaim_ready();
         if (void* obj = alloc_attempt(c, &oom))
             return obj;
     }
@@ -253,6 +257,8 @@ PrudenceAllocator::oom_ladder(Cache& c)
         if (!any_cache_has_deferred())
             break;  // nothing will ever become safe; fail now
         stats.oom_waits.add();
+        if (pressure_listener_)
+            pressure_listener_(2);
         {
             // The stall covers the grace period AND pulling the now-
             // safe objects back — both gate the retry.
@@ -261,11 +267,7 @@ PrudenceAllocator::oom_ladder(Cache& c)
             domain_.synchronize();
             // Everything deferred before the wait is now reclaimable;
             // pull it back so the retry can find memory.
-            std::size_t count =
-                cache_count_.load(std::memory_order_acquire);
-            for (std::size_t i = 0; i < count; ++i)
-                reclaim_cache(*caches_[i], /*fill_caches=*/true);
-            buddy_.drain_pcp();
+            reclaim_ready();
         }
         if (void* obj = alloc_attempt(c, &oom))
             return obj;
@@ -281,7 +283,68 @@ PrudenceAllocator::oom_ladder(Cache& c)
 
     // Rung 3 — clean failure: nullptr to the caller, never an abort.
     stats.oom_failures.add();
+    if (pressure_listener_)
+        pressure_listener_(3);
     return nullptr;
+}
+
+std::size_t
+PrudenceAllocator::reclaim_ready()
+{
+    // The shared expedite rung (governor critical level + OOM ladder
+    // rung 1/2): pull every grace-period-complete deferral back into
+    // circulation and un-park remote PCP pages, without waiting for a
+    // new grace period.
+    std::size_t count = cache_count_.load(std::memory_order_acquire);
+    std::int64_t before = 0;
+    for (std::size_t i = 0; i < count; ++i)
+        before += caches_[i]->pool.stats().deferred_outstanding.get();
+    for (std::size_t i = 0; i < count; ++i)
+        reclaim_cache(*caches_[i], /*fill_caches=*/true);
+    // Memory-pressure hook: pages parked in remote per-CPU page
+    // caches are free capacity too — pull them back (the buddy also
+    // self-drains on exhaustion, but doing it here lets whole-slab
+    // grows of any order succeed).
+    std::size_t drained = buddy_.drain_pcp();
+    std::int64_t after = 0;
+    for (std::size_t i = 0; i < count; ++i)
+        after += caches_[i]->pool.stats().deferred_outstanding.get();
+    std::int64_t merged = before - after;
+    return (merged > 0 ? static_cast<std::size_t>(merged) : 0) +
+           drained;
+}
+
+void
+PrudenceAllocator::apply_admission(LatentRing& ring) const
+{
+    unsigned pct = latent_admission_pct_.load(std::memory_order_relaxed);
+    // set_limit clamps to [1, capacity], so pct rounding to 0 is safe.
+    ring.set_limit(ring.capacity() * pct / 100);
+}
+
+void
+PrudenceAllocator::set_deferred_admission(unsigned pct)
+{
+    if (pct > 100)
+        pct = 100;
+    unsigned floor = config_.latent_admission_floor_pct;
+    if (floor > 100)
+        floor = 100;
+    if (pct < floor)
+        pct = floor;
+    latent_admission_pct_.store(pct, std::memory_order_relaxed);
+    // Apply eagerly under each per-CPU lock so the hot paths keep
+    // consulting a plain member (at_limit()) with no extra loads.
+    // Rings above the new boundary are not force-spilled here; the
+    // next deferral on that CPU spills them down (or reclaim does).
+    std::size_t count = cache_count_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < count; ++i) {
+        for (auto& pc_ptr : caches_[i]->cpus) {
+            PerCpu& pc = *pc_ptr;
+            std::lock_guard<SpinLock> guard(pc.lock);
+            apply_admission(pc.latent);
+        }
+    }
 }
 
 bool
@@ -688,7 +751,9 @@ PrudenceAllocator::free_deferred_impl(Cache& c, void* p)
             std::lock_guard<SpinLock> guard(pc.lock);
             ++pc.defer_events;
 
-            if (!pc.latent.full()) {  // fast path (lines 39-44)
+            // at_limit(), not full(): the admission boundary is the
+            // governor-resizable spill threshold (capacity nominally).
+            if (!pc.latent.at_limit()) {  // fast path (lines 39-44)
                 PRUDENCE_SIM_STMT(sim::model_on_spill(p, epoch));
                 pc.latent.push(p, epoch, defer_ts);
                 if (pc.cache.count() + pc.latent.count() >
@@ -704,7 +769,7 @@ PrudenceAllocator::free_deferred_impl(Cache& c, void* p)
             if (pc.cache.full())
                 flush(c, pc, pc.cache.capacity() / 2 + 1);
             merge_caches(c, pc, domain_.completed_epoch());
-            if (!pc.latent.full()) {
+            if (!pc.latent.at_limit()) {
                 PRUDENCE_SIM_STMT(sim::model_on_spill(p, epoch));
                 pc.latent.push(p, epoch, defer_ts);
                 return;
@@ -1077,7 +1142,7 @@ PrudenceAllocator::magazine_spill_defers(Cache& c, ThreadMagazines& t,
                 stats.deferred_outstanding.add(
                     static_cast<std::int64_t>(n));
             }
-            while (i < n && !pc.latent.full()) {
+            while (i < n && !pc.latent.at_limit()) {
                 PRUDENCE_SIM_STMT(
                     sim::model_on_spill(m.defers[i], epoch));
                 pc.latent.push(m.defers[i++], epoch, defer_ts);
@@ -1089,7 +1154,7 @@ PrudenceAllocator::magazine_spill_defers(Cache& c, ThreadMagazines& t,
                 if (pc.cache.full())
                     flush(c, pc, pc.cache.capacity() / 2 + 1);
                 merge_caches(c, pc, refresh_completed(t));
-                while (i < n && !pc.latent.full()) {
+                while (i < n && !pc.latent.at_limit()) {
                     PRUDENCE_SIM_STMT(
                         sim::model_on_spill(m.defers[i], epoch));
                     pc.latent.push(m.defers[i++], epoch, defer_ts);
@@ -1411,6 +1476,10 @@ PrudenceAllocator::quiesce()
     // grace period (other threads' magazines drain at their exit).
     drain_calling_thread();
     domain_.synchronize();
+    // A quiesced allocator is back at nominal pressure: undo any
+    // governor admission restriction so the next phase starts from
+    // the configured knobs, not from the last excursion's.
+    set_deferred_admission(100);
     std::size_t count = cache_count_.load(std::memory_order_acquire);
     for (std::size_t i = 0; i < count; ++i)
         reclaim_cache(*caches_[i], /*fill_caches=*/false);

@@ -31,6 +31,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -78,7 +79,31 @@ class PrudenceAllocator final : public Allocator
     BuddyAllocator& page_allocator() override { return buddy_; }
     void quiesce() override;
     void drain_thread() override { drain_calling_thread(); }
+    void set_deferred_admission(unsigned pct) override;
+    std::size_t reclaim_ready() override;
     std::string validate() override;
+
+    /// Current latent-ring admission fraction in percent
+    /// (set_deferred_admission(); 100 = nominal).
+    unsigned deferred_admission() const
+    {
+        return latent_admission_pct_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Install @p fn to be notified (with the rung number, 1-3) each
+     * time the OOM ladder escalates — the hook the reclamation
+     * governor uses to fold the ladder into its terminal pressure
+     * level (DESIGN.md §13). Called from the allocating thread's OOM
+     * slow path with no allocator lock held; must be cheap and must
+     * not call back into the allocator. Pass an empty function to
+     * uninstall; install before traffic starts (not thread-safe
+     * against concurrent OOM).
+     */
+    void set_pressure_listener(std::function<void(int)> fn)
+    {
+        pressure_listener_ = std::move(fn);
+    }
 
     /**
      * Run one maintenance sweep (latent merging + pre-flush) over
@@ -284,8 +309,17 @@ class PrudenceAllocator final : public Allocator
 
     void maintenance_main();
 
+    /// Apply the current admission fraction to one ring. Caller holds
+    /// the owning per-CPU lock.
+    void apply_admission(LatentRing& ring) const;
+
     GracePeriodDomain& domain_;
     PrudenceConfig config_;
+    /// Latent-ring admission fraction (percent of capacity; governor
+    /// actuator). Relaxed: readers apply it lazily under pc.lock.
+    std::atomic<unsigned> latent_admission_pct_{100};
+    /// OOM-ladder escalation listener (rung 1-3); empty = none.
+    std::function<void(int)> pressure_listener_;
     BuddyAllocator buddy_;
     PageOwnerTable owners_;
     CpuRegistry cpu_registry_;

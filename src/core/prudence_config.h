@@ -104,6 +104,15 @@ struct PrudenceConfig
     /// only have new work once epochs complete.
     std::chrono::microseconds maintenance_interval{250};
 
+    /**
+     * Floor (percent of latent-ring capacity) for the governor's
+     * set_deferred_admission() actuator (DESIGN.md §13). Shrinking
+     * admission below this would defeat the latent cache entirely —
+     * every deferral would spill to slab rings — so requests are
+     * clamped here. 100 pins admission at nominal (actuator no-op).
+     */
+    unsigned latent_admission_floor_pct = 25;
+
     /// OOM-deferral retries before giving up.
     int oom_retries = 3;
 

@@ -64,6 +64,8 @@ site_name(SiteId id)
         return "slow_path";
     case SiteId::kLatentStarve:
         return "latent_starve";
+    case SiteId::kGovernorAction:
+        return "governor_action";
     case SiteId::kMaxSite:
         break;
     }

@@ -65,6 +65,11 @@ enum class SiteId : std::uint16_t {
     kSlowPath,      ///< fast-path cache pop suppressed
     kLatentStarve,  ///< latent merge suppressed (starved latent ring)
 
+    // governor/ — reclamation-governor actuations.
+    kGovernorAction,  ///< actuator dispatch refused (stuck actuation:
+                      ///< the desired state is retried next round and
+                      ///< the OOM ladder remains the backstop)
+
     kMaxSite
 };
 

@@ -321,6 +321,12 @@ BuddyAllocator::pcp_free(void* block, unsigned order, std::size_t pfn)
 std::size_t
 BuddyAllocator::drain_pcp()
 {
+    return trim_pcp(0);
+}
+
+std::size_t
+BuddyAllocator::trim_pcp(std::size_t keep_per_order)
+{
     if (!pcp_enabled())
         return 0;
     std::size_t moved = 0;
@@ -333,7 +339,7 @@ BuddyAllocator::drain_pcp()
             std::lock_guard<SpinLock> guard(lock_);
             lock_acquisitions_.add();
             for (unsigned order = 0; order <= kPcpMaxOrder; ++order) {
-                while (c.heads[order] != nullptr) {
+                while (c.counts[order] > keep_per_order) {
                     FreeBlock* victim = c.heads[order];
                     c.heads[order] = victim->next;
                     --c.counts[order];
@@ -586,6 +592,21 @@ BuddyAllocator::register_telemetry_probes(telemetry::ProbeGroup& group,
                           fetch().free_blocks[order]);
                   });
     }
+    // Low-order headroom: pages immediately satisfiable at orders
+    // 0..kPcpMaxOrder without splitting a large block — the signal
+    // the governor's "headroom(order<=3) < Z" scheme watches.
+    group.add(prefix + "buddy.low_order_headroom_pages", "pages",
+              [fetch] {
+                  BuddyStatsSnapshot s = fetch();
+                  std::uint64_t pages = 0;
+                  for (unsigned order = 0; order <= kPcpMaxOrder;
+                       ++order) {
+                      pages += static_cast<std::uint64_t>(
+                                   s.free_blocks[order])
+                               << order;
+                  }
+                  return pages;
+              });
 #else
     (void)group;
     (void)prefix;

@@ -209,6 +209,18 @@ class BuddyAllocator
     std::size_t drain_pcp();
 
     /**
+     * Pressure-driven PCP trim (governor actuator, DESIGN.md §13):
+     * return PCP-resident blocks to the global free lists until each
+     * (cpu, order) stash holds at most @p keep_per_order blocks.
+     * trim_pcp(0) is exactly drain_pcp(); a non-zero keep preserves a
+     * sliver of fast-path locality while rebuilding low-order
+     * headroom. Safe under concurrent traffic (same locking as the
+     * overflow drain).
+     * @return blocks returned to the global lists.
+     */
+    std::size_t trim_pcp(std::size_t keep_per_order);
+
+    /**
      * Exhaustively verify internal invariants (test support): free
      * blocks aligned, non-overlapping, marked consistently, PCP
      * stashes consistent with the page-state array, and

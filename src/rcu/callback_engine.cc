@@ -1,5 +1,6 @@
 #include "rcu/callback_engine.h"
 
+#include <algorithm>
 #include <mutex>
 
 #include "fault/fault_injector.h"
@@ -143,7 +144,11 @@ CallbackEngine::drainer_main()
             std::this_thread::sleep_for(config_.tick);
             continue;
         }
-        std::size_t limit = config_.batch_limit;
+        // Governor pacing: the domain's paced batch floor widens the
+        // per-tick batch (0 = engine default). The probe-driven
+        // expedite below can widen it further.
+        std::size_t limit =
+            std::max(config_.batch_limit, domain_.paced_batch_limit());
         if (config_.pressure_probe &&
             config_.pressure_probe() > config_.expedite_threshold) {
             if (PRUDENCE_FAULT_POINT(kExpediteDrop)) {

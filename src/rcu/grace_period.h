@@ -19,7 +19,10 @@
 #define PRUDENCE_RCU_GRACE_PERIOD_H
 
 #include <atomic>
+#include <chrono>
+#include <cstddef>
 #include <cstdint>
+#include <thread>
 
 namespace prudence {
 
@@ -70,6 +73,50 @@ class GracePeriodDomain
         return completion_gen_.load(std::memory_order_acquire);
     }
 
+    // ---- pacing (the reclamation governor's actuator surface,
+    // DESIGN.md §13) ----
+
+    /// Largest meaningful expedite level. Background detectors shrink
+    /// their inter-GP pause by 1 << level, so level 3 = 8x faster.
+    static constexpr unsigned kMaxExpediteLevel = 3;
+
+    /**
+     * Advisory pacing hints from a pressure controller. @p
+     * expedite_level (0 = nominal, clamped to kMaxExpediteLevel)
+     * asks the domain to compute grace periods more eagerly; @p
+     * batch_limit (0 = consumer default) asks callback consumers
+     * attached to this domain to process at least that many ready
+     * callbacks per tick. Both are hints: a domain with no detector
+     * thread may consume the level differently (see
+     * on_pacing_update()), and consumers read paced_batch_limit() at
+     * their own cadence. Safe to call from any thread; idempotent.
+     */
+    void
+    set_pacing(unsigned expedite_level, std::size_t batch_limit)
+    {
+        if (expedite_level > kMaxExpediteLevel)
+            expedite_level = kMaxExpediteLevel;
+        expedite_level_.store(expedite_level,
+                              std::memory_order_relaxed);
+        paced_batch_limit_.store(batch_limit,
+                                 std::memory_order_relaxed);
+        on_pacing_update(expedite_level);
+    }
+
+    /// Current expedite level (0 = nominal).
+    unsigned
+    expedite_level() const
+    {
+        return expedite_level_.load(std::memory_order_relaxed);
+    }
+
+    /// Paced per-tick callback batch floor (0 = consumer default).
+    std::size_t
+    paced_batch_limit() const
+    {
+        return paced_batch_limit_.load(std::memory_order_relaxed);
+    }
+
   protected:
     /// Domains call this after publishing a new completed_epoch().
     void
@@ -78,8 +125,51 @@ class GracePeriodDomain
         completion_gen_.fetch_add(1, std::memory_order_release);
     }
 
+    /**
+     * Inter-GP pause for background detector threads: sleeps
+     * @p interval >> expedite_level(), re-reading the level (and
+     * @p keep_running) every millisecond slice so a pacing change
+     * arriving mid-pause shortens THIS pause — under a 20 ms nominal
+     * interval an expedite request must not wait out the remaining
+     * 20 ms before taking effect. Returns early when @p keep_running
+     * clears (prompt detector shutdown).
+     */
+    template <class Rep, class Period>
+    void
+    paced_gp_pause(std::chrono::duration<Rep, Period> interval,
+                   const std::atomic<bool>& keep_running)
+    {
+        using clock = std::chrono::steady_clock;
+        const auto start = clock::now();
+        constexpr auto kSlice = std::chrono::milliseconds{1};
+        while (keep_running.load(std::memory_order_acquire)) {
+            const auto target =
+                std::chrono::duration_cast<clock::duration>(
+                    interval) /
+                (1u << expedite_level());
+            const auto elapsed = clock::now() - start;
+            if (elapsed >= target)
+                return;
+            const auto remain = target - elapsed;
+            std::this_thread::sleep_for(
+                remain < clock::duration{kSlice} ? remain
+                                                 : clock::duration{
+                                                       kSlice});
+        }
+    }
+
+    /**
+     * Hook invoked from set_pacing() on the caller's thread. Domains
+     * with a detector thread need nothing here (the thread polls
+     * expedite_level()); domains without one (ManualRcuDomain) use it
+     * to consume an expedite request synchronously.
+     */
+    virtual void on_pacing_update(unsigned /*expedite_level*/) {}
+
   private:
     std::atomic<std::uint64_t> completion_gen_{1};
+    std::atomic<unsigned> expedite_level_{0};
+    std::atomic<std::size_t> paced_batch_limit_{0};
 };
 
 }  // namespace prudence

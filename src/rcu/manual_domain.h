@@ -46,6 +46,20 @@ class ManualRcuDomain : public GracePeriodDomain
     /// With no real readers, synchronize is a single advance.
     void synchronize() override { advance(); }
 
+  protected:
+    /**
+     * With no detector thread to pace, an expedite request IS the
+     * grace period: consume it by completing one immediately. Keeps
+     * the governor's expedite actuator meaningful (and deterministic)
+     * on manual domains.
+     */
+    void
+    on_pacing_update(unsigned expedite_level) override
+    {
+        if (expedite_level > 0)
+            advance();
+    }
+
   private:
     std::atomic<GpEpoch> gp_ctr_{1};
     std::atomic<GpEpoch> completed_{0};

@@ -158,8 +158,12 @@ QsbrDomain::gp_thread_main()
 {
     while (running_.load(std::memory_order_acquire)) {
         advance();
-        if (gp_interval_.count() > 0)
-            std::this_thread::sleep_for(gp_interval_);
+        if (gp_interval_.count() > 0) {
+            // Governor pacing: each expedite level halves the pause
+            // between grace periods (level 3 = 8x the GP rate); the
+            // sliced pause picks up a mid-pause expedite immediately.
+            paced_gp_pause(gp_interval_, running_);
+        }
     }
 }
 

@@ -84,6 +84,8 @@ yield_name(YieldId id)
         return "gp_publish";
     case YieldId::kCbHandOff:
         return "cb_handoff";
+    case YieldId::kGovernorActuate:
+        return "governor_actuate";
     case YieldId::kMaxYield:
         break;
     }

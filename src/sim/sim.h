@@ -81,6 +81,10 @@ enum class YieldId : std::uint16_t {
                  ///< published
     kCbHandOff,  ///< between collecting a callback batch and invoking it
 
+    // governor/ — actuation hand-off.
+    kGovernorActuate,  ///< between deciding an actuation and applying
+                       ///< it (races allocator traffic + quiesce)
+
     kMaxYield
 };
 

@@ -36,6 +36,7 @@ class LatentRing
 
     explicit LatentRing(std::size_t capacity)
         : capacity_(capacity),
+          limit_(capacity),
           entries_(std::make_unique<Entry[]>(capacity))
     {
     }
@@ -44,6 +45,31 @@ class LatentRing
     std::size_t count() const { return count_; }
     bool empty() const { return count_ == 0; }
     bool full() const { return count_ == capacity_; }
+
+    /**
+     * Runtime-resizable admission boundary (governor actuator,
+     * DESIGN.md §13). Storage stays at capacity(); only the spill
+     * trigger moves, so shrinking never reallocates or drops entries
+     * — a ring over the limit simply reports at_limit() until the
+     * allocator spills it back down. Clamped to [1, capacity].
+     * Callers hold the owning per-CPU lock, like every other mutator.
+     */
+    void
+    set_limit(std::size_t limit)
+    {
+        if (limit < 1)
+            limit = 1;
+        if (limit > capacity_)
+            limit = capacity_;
+        limit_ = limit;
+    }
+
+    /// Current admission boundary (<= capacity()).
+    std::size_t limit() const { return limit_; }
+
+    /// True when the ring is at/over its admission boundary — the
+    /// spill trigger the allocator consults instead of full().
+    bool at_limit() const { return count_ >= limit_; }
 
     /// Append a deferred object; caller must ensure !full().
     void
@@ -102,6 +128,7 @@ class LatentRing
 
   private:
     std::size_t capacity_;
+    std::size_t limit_;
     std::size_t head_ = 0;
     std::size_t count_ = 0;
     std::unique_ptr<Entry[]> entries_;

@@ -33,6 +33,7 @@ SlubAllocator::SlubAllocator(GracePeriodDomain& domain,
       owners_(buddy_),
       cpu_registry_(config.cpus),
       magazine_capacity_(config.magazine_capacity),
+      pressure_drain_batch_(config.pressure_drain_batch),
       magazine_registry_(ThreadCacheRegistry::Hooks{
           [this](void* t) {
               drain_table(*static_cast<ThreadMagazines*>(t));
@@ -521,6 +522,31 @@ SlubAllocator::quiesce()
     // Documented drain point: after a quiesce the buddy free-block
     // totals are exact — no pages parked in per-CPU page caches.
     buddy_.drain_pcp();
+}
+
+void
+SlubAllocator::set_deferred_admission(unsigned pct)
+{
+    // The baseline has no latent rings to resize — its only deferral
+    // store is the callback backlog. Consume the restriction as a
+    // one-shot eager drain whose width scales with severity (the
+    // closest analogue the conventional path offers; the governor's
+    // batch-widening actuator handles the sustained case via
+    // GracePeriodDomain::paced_batch_limit()).
+    if (pct >= 100)
+        return;
+    engine_->process_ready(static_cast<std::size_t>(100 - pct) *
+                           pressure_drain_batch_);
+}
+
+std::size_t
+SlubAllocator::reclaim_ready()
+{
+    // Invoke every grace-period-complete callback and un-park remote
+    // PCP pages, without waiting on a new grace period.
+    std::size_t invoked =
+        engine_->process_ready(static_cast<std::size_t>(-1));
+    return invoked + buddy_.drain_pcp();
 }
 
 std::string

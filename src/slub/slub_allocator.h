@@ -68,6 +68,14 @@ struct SlubConfig
     /// Blocks per page-cache refill/drain batch, mirroring
     /// PrudenceConfig::pcp_batch.
     std::size_t pcp_batch = 8;
+
+    /**
+     * Ready callbacks drained per admission point when the governor
+     * restricts deferral admission (set_deferred_admission(pct)
+     * drains (100 - pct) * pressure_drain_batch callbacks). The
+     * baseline's analogue of Prudence's latent-ring shrink actuator.
+     */
+    std::size_t pressure_drain_batch = 8;
 };
 
 /// Baseline allocator: SLUB-style caching + callback-based deferral.
@@ -94,6 +102,8 @@ class SlubAllocator final : public Allocator
     BuddyAllocator& page_allocator() override { return buddy_; }
     void quiesce() override;
     void drain_thread() override { drain_calling_thread(); }
+    void set_deferred_admission(unsigned pct) override;
+    std::size_t reclaim_ready() override;
     std::string validate() override;
 
     /// Default probes plus the baseline's distinguishing signal: the
@@ -164,6 +174,8 @@ class SlubAllocator final : public Allocator
     CpuRegistry cpu_registry_;
     /// Magazine knob (from SlubConfig; 0 = layer disabled).
     std::size_t magazine_capacity_;
+    /// Governor admission-restriction drain width (from SlubConfig).
+    std::size_t pressure_drain_batch_;
     /// Per-thread magazine tables (drain-on-thread-exit). Shut down
     /// explicitly in the destructor body, before members die.
     mutable ThreadCacheRegistry magazine_registry_;

@@ -39,21 +39,55 @@ Monitor::add_probe(std::string name, std::string unit, ProbeFn fn)
 void
 Monitor::remove_probe(ProbeId id)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (id >= probes_.size())
-        return;
-    probes_[id].active = false;
-    // Destroy the closure now: it captures subsystem references that
-    // may be about to dangle. The series stays for export.
-    probes_[id].fn = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (id >= probes_.size())
+            return;
+        probes_[id].active = false;
+        // Destroy the closure now: it captures subsystem references
+        // that may be about to dangle. The series stays for export.
+        probes_[id].fn = nullptr;
+    }
+    // A rule watching this probe can no longer observe fresh breaches,
+    // but a sampling round may already have copied its callback —
+    // invalidate those copies and wait out an executing one.
+    invalidate_callbacks();
 }
 
 std::size_t
 Monitor::add_watermark(WatermarkRule rule)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    rules_.push_back(RuleState{std::move(rule), false, false, 0, 0});
+    rules_.push_back(
+        RuleState{std::move(rule), true, false, false, 0, 0});
     return rules_.size() - 1;
+}
+
+void
+Monitor::remove_watermark(std::size_t rule_index)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (rule_index >= rules_.size())
+            return;
+        rules_[rule_index].active = false;
+        // Destroy the callback now; the fire counter stays readable.
+        rules_[rule_index].rule.on_fire = nullptr;
+    }
+    invalidate_callbacks();
+}
+
+void
+Monitor::invalidate_callbacks()
+{
+    // Publish "everything you copied is stale" to in-flight sampling
+    // rounds, then pass through callback_mutex_: once we acquire it,
+    // no pre-invalidation callback is still executing, and any round
+    // that acquires it after us re-checks the generation and drops
+    // its copies. mutex_ is NOT held here — callbacks may take it —
+    // so the two mutexes are never nested on this path.
+    callback_gen_.fetch_add(1, std::memory_order_release);
+    std::lock_guard<std::mutex> barrier(callback_mutex_);
 }
 
 std::uint64_t
@@ -82,7 +116,7 @@ Monitor::sample_locked(
         // (value leaves the breach region) idle again.
         for (std::size_t r = 0; r < rules_.size(); ++r) {
             RuleState& rs = rules_[r];
-            if (rs.rule.probe != p.name)
+            if (!rs.active || rs.rule.probe != p.name)
                 continue;
             bool breach =
                 rs.rule.kind == WatermarkRule::Kind::kAbove
@@ -128,6 +162,7 @@ Monitor::sample_at(std::uint64_t t_ns)
         std::function<void(const WatermarkRule&, std::uint64_t)>>
         callbacks;
     std::vector<WatermarkRule> rules_copy;
+    std::uint64_t gen;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         sample_locked(t_ns, fired);
@@ -136,18 +171,28 @@ Monitor::sample_at(std::uint64_t t_ns)
             rules_copy.push_back(rules_[r].rule);
             rules_copy.back().on_fire = nullptr;
         }
+        // Validity stamp for the copies above: any removal after this
+        // point bumps the generation, and we drop the copies rather
+        // than invoke a callback whose captured state may be gone.
+        gen = callback_gen_.load(std::memory_order_acquire);
     }
     // Fire outside the mutex: the trace event marks the excursion in
     // the timeline, the registry counter makes it countable, and the
-    // callback is the (future) reclamation controller's hook.
+    // callback is the reclamation governor's hook.
     for (std::size_t i = 0; i < fired.size(); ++i) {
         PRUDENCE_TRACE_EMIT(trace::EventId::kWatermark,
                             fired[i].first, fired[i].second);
         trace::MetricsRegistry::instance()
             .counter("telemetry.watermark_fires")
             .add();
-        if (callbacks[i])
-            callbacks[i](rules_copy[i], fired[i].second);
+        if (callbacks[i]) {
+            // Serialize with removal: a remover bumps the generation,
+            // then acquires this mutex — so either we see the bump
+            // and skip, or the remover blocks until we return.
+            std::lock_guard<std::mutex> cb_guard(callback_mutex_);
+            if (callback_gen_.load(std::memory_order_acquire) == gen)
+                callbacks[i](rules_copy[i], fired[i].second);
+        }
     }
 }
 

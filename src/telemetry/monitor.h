@@ -20,8 +20,12 @@
  * caller of sample_once()) under the monitor mutex; they may take
  * subsystem locks (buddy, cache stats) but must not call back into
  * this Monitor. Watermark callbacks run on the sampler thread after
- * the mutex is released; they may use the Monitor but must not
- * destroy it.
+ * the mutex is released, serialized under a dedicated callback mutex
+ * and generation-checked against concurrent probe/rule removal (a
+ * callback never runs after remove_watermark()/ProbeGroup teardown
+ * returns — see remove_watermark()). They may use the Monitor but
+ * must not destroy it and must not call remove_probe() or
+ * remove_watermark() on it (self-deadlock on the callback mutex).
  *
  * Probe lifetime: remove_probe()/ProbeGroup destruction deactivates a
  * probe — its closure (which captures subsystem references) is
@@ -117,6 +121,16 @@ class Monitor
     /// Register a watermark rule. @return rule index.
     std::size_t add_watermark(WatermarkRule rule);
 
+    /**
+     * Deactivate a watermark rule: its callback is destroyed, no
+     * further evaluations or fires happen (fire counters are
+     * retained). Safe while the sampler runs, and a *removal
+     * barrier*: once this returns, the rule's callback is not running
+     * and never will again, so state it captured may be destroyed.
+     * Must not be called from a watermark callback. Idempotent.
+     */
+    void remove_watermark(std::size_t rule_index);
+
     /// Times rule @p rule_index has fired (one per excursion).
     std::uint64_t watermark_fires(std::size_t rule_index) const;
 
@@ -187,6 +201,7 @@ class Monitor
     struct RuleState
     {
         WatermarkRule rule;
+        bool active = true;          ///< false once removed
         bool in_excursion = false;   ///< fired, awaiting re-arm
         bool breach_pending = false; ///< breaching, duration not met
         std::uint64_t pending_since_ns = 0;
@@ -196,6 +211,10 @@ class Monitor
     void sample_locked(std::uint64_t t_ns,
                        std::vector<std::pair<std::size_t,
                                              std::uint64_t>>& fired);
+    /// Invalidate user callbacks captured by an in-flight sampling
+    /// round and wait out any currently executing one. Called by the
+    /// removal paths AFTER releasing mutex_ (callbacks may take it).
+    void invalidate_callbacks();
     void run();
 
     MonitorConfig config_;
@@ -205,6 +224,17 @@ class Monitor
     std::vector<RuleState> rules_;
     std::uint64_t start_time_ns_ = 0;
     std::uint64_t rounds_ = 0;
+
+    /// Callback-validity generation: bumped by every probe/rule
+    /// removal. A sampling round captures it under mutex_ together
+    /// with the callback copies; before invoking, it re-checks under
+    /// callback_mutex_ and drops the (possibly dangling) copies if
+    /// any removal intervened.
+    std::atomic<std::uint64_t> callback_gen_{0};
+    /// Serializes watermark-callback execution against removal.
+    /// Ordering: callbacks hold callback_mutex_ and may take mutex_;
+    /// removers never hold mutex_ while taking callback_mutex_.
+    mutable std::mutex callback_mutex_;
 
     std::atomic<bool> running_{false};
     std::mutex wake_mutex_;
@@ -224,6 +254,11 @@ class ProbeGroup
     explicit ProbeGroup(Monitor& monitor) : monitor_(monitor) {}
     ~ProbeGroup()
     {
+        // Rules first: a rule watching one of this group's probes
+        // must stop firing (and its callback must finish) before the
+        // subsystem state the callback captured goes away.
+        for (std::size_t idx : watermark_ids_)
+            monitor_.remove_watermark(idx);
         for (ProbeId id : ids_)
             monitor_.remove_probe(id);
     }
@@ -240,11 +275,23 @@ class ProbeGroup
         return id;
     }
 
+    /// Register a watermark rule scoped to this group: removed (with
+    /// the removal barrier remove_watermark() documents) before the
+    /// group's probes on destruction.
+    std::size_t
+    add_watermark(WatermarkRule rule)
+    {
+        std::size_t idx = monitor_.add_watermark(std::move(rule));
+        watermark_ids_.push_back(idx);
+        return idx;
+    }
+
     Monitor& monitor() { return monitor_; }
 
   private:
     Monitor& monitor_;
     std::vector<ProbeId> ids_;
+    std::vector<std::size_t> watermark_ids_;
 };
 
 /**

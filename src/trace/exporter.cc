@@ -45,6 +45,7 @@ event_info(EventId id)
         {"pcp_refill", "page", 'i', "count", "order"},
         {"pcp_drain", "page", 'i', "count", "order"},
         {"watermark", "telemetry", 'i', "rule", "value"},
+        {"governor_action", "governor", 'i', "action", "detail"},
     };
     auto idx = static_cast<std::size_t>(id);
     constexpr auto kTableSize = sizeof(kTable) / sizeof(kTable[0]);

@@ -79,6 +79,11 @@ enum class EventId : std::uint16_t {
     kWatermark,  ///< a watermark rule fired (arg0=rule index,
                  ///< arg1=breaching value); once per excursion
 
+    // governor/ — reclamation-governor transitions.
+    kGovernorAction,  ///< actuator dispatched or pressure level moved
+                      ///< (arg0=action id, 0 = level transition;
+                      ///< arg1=action argument / new level)
+
     kMaxEvent
 };
 

@@ -373,6 +373,84 @@ TEST(Watermark, EmitsTraceEventAndRegistryCounter)
               counter_before + 1);
 }
 
+TEST(Watermark, RemoveWatermarkIsABarrierForItsCallback)
+{
+    Monitor m;
+    std::atomic<std::uint64_t> v{5000};
+    m.add_probe("wm.sig", "units", [&v] { return v.load(); });
+
+    auto hits = std::make_unique<std::atomic<int>>(0);
+    WatermarkRule rule;
+    rule.probe = "wm.sig";
+    rule.threshold = 1000;
+    rule.on_fire = [h = hits.get()](const WatermarkRule&,
+                                    std::uint64_t) { h->fetch_add(1); };
+    std::size_t r = m.add_watermark(rule);
+
+    m.sample_at(1'000'000);
+    EXPECT_EQ(hits->load(), 1);
+    EXPECT_EQ(m.watermark_fires(r), 1u);
+
+    // Once remove_watermark() returns, the callback's captured state
+    // may be destroyed; further excursions must not evaluate the rule.
+    m.remove_watermark(r);
+    hits.reset();
+    v.store(0);
+    m.sample_at(2'000'000);
+    v.store(9000);
+    m.sample_at(3'000'000);
+    EXPECT_EQ(m.watermark_fires(r), 1u)
+        << "removed rule evaluated again";
+    m.remove_watermark(r);  // idempotent
+}
+
+TEST(Watermark, CallbackNeverOutlivesItsProbeGroup)
+{
+    // Regression: the sampler copies watermark callbacks out of the
+    // monitor mutex before invoking them. A ProbeGroup (probes + the
+    // group-scoped subsystem state its callbacks capture) torn down
+    // between the copy and the invocation must win — the barrier in
+    // remove_watermark() has to drop the in-flight copy, or the
+    // callback dereferences freed memory. Run under ASan to make the
+    // use-after-free loud.
+    MonitorConfig cfg;
+    cfg.period = std::chrono::microseconds(100);
+    Monitor m(cfg);
+    m.start();
+
+    std::atomic<std::uint64_t> total_hits{0};
+    std::atomic<bool> stop{false};
+    std::thread churn([&] {
+        for (int round = 0; round < 200; ++round) {
+            // Group-scoped state the callback dereferences; freed
+            // right after the group (and its watermark) go away.
+            auto state = std::make_unique<std::atomic<std::uint64_t>>(0);
+            ProbeGroup group(m);
+            group.add("churn.wm", "units",
+                      [] { return std::uint64_t{5000}; });
+            WatermarkRule rule;
+            rule.probe = "churn.wm";
+            rule.threshold = 1000;
+            rule.on_fire = [s = state.get()](const WatermarkRule&,
+                                             std::uint64_t value) {
+                s->store(value);  // UAF if the barrier is broken
+            };
+            group.add_watermark(rule);
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(round % 7 * 50));
+            total_hits.fetch_add(state->load() != 0 ? 1 : 0);
+        }  // ~ProbeGroup: watermark removed before its probe
+        stop.store(true);
+    });
+    while (!stop.load())
+        m.sample_once();
+    churn.join();
+    m.stop();
+    // The rule actually fired across the churn (the callbacks ran);
+    // the real assertion is the absence of a crash/ASan report.
+    EXPECT_GT(total_hits.load(), 0u);
+}
+
 // ---------------------------------------------------------------------
 // Exporters: golden files over injected timestamps.
 // ---------------------------------------------------------------------

@@ -45,6 +45,7 @@
 #include "api/allocator.h"
 #include "core/prudence_allocator.h"
 #include "fault/fault_injector.h"
+#include "governor/governor.h"
 #include "page/buddy_allocator.h"
 #include "rcu/rcu_domain.h"
 #include "rcu/stall_detector.h"
@@ -88,6 +89,12 @@ struct Options
     /// torture runs.
     bool prudstat = false;
     std::uint64_t prudstat_interval_ms = 500;
+    /// Run the adaptive reclamation governor (DESIGN.md §13) over the
+    /// torture: a private monitor feeds the stock scheme list, and
+    /// kGovernorAction faults refuse a share of its dispatches — the
+    /// control loop must keep accounting and the fault-decision audit
+    /// clean.
+    bool governor = false;
 };
 
 void
@@ -131,7 +138,11 @@ usage(const char* argv0)
         "  --prudstat               live vmstat-style per-layer view "
         "while running\n"
         "  --prudstat-interval-ms=N row interval for --prudstat "
-        "(default 500)\n",
+        "(default 500)\n"
+        "  --governor               run the adaptive reclamation "
+        "governor over the\n"
+        "                           torture and arm kGovernorAction "
+        "refusal faults\n",
         argv0);
 }
 
@@ -191,6 +202,8 @@ parse_options(int argc, char** argv, Options& opt)
             opt.prudstat = true;
         else if (flag_value(argv[i], "--prudstat-interval-ms", &v))
             opt.prudstat_interval_ms = std::strtoull(v, nullptr, 0);
+        else if (std::strcmp(argv[i], "--governor") == 0)
+            opt.governor = true;
         else {
             usage(argv[0]);
             return false;
@@ -213,6 +226,13 @@ parse_options(int argc, char** argv, Options& opt)
                          "prudtorture: --deterministic excludes "
                          "--expect-stall (no background GP thread to "
                          "stall)\n");
+            return false;
+        }
+        if (opt.governor) {
+            std::fprintf(stderr,
+                         "prudtorture: --deterministic excludes "
+                         "--governor (the monitor sampler and governor "
+                         "loop are free-running threads)\n");
             return false;
         }
         // Exactly one mutator, nothing racing it: every fault-site
@@ -443,6 +463,15 @@ arm_faults(const Options& opt)
     drop.probability = 0.25;
     fi.arm(SiteId::kExpediteDrop, drop);
 
+    if (opt.governor) {
+        // Refuse a quarter of governor actuations: held-state
+        // dispatches must retry until one lands, and the decision
+        // audit below must still match the offline replay.
+        SitePolicy refuse;
+        refuse.probability = 0.25;
+        fi.arm(SiteId::kGovernorAction, refuse);
+    }
+
     if (opt.expect_stall) {
         // One long stall, well past the detector threshold; the run
         // then requires stalls_detected() >= 1.
@@ -638,6 +667,53 @@ main(int argc, char** argv)
     // reservation, cache creation) is not perturbed.
     arm_faults(opt);
 
+    // Adaptive reclamation governor (DESIGN.md §13): a private 1 ms
+    // monitor feeds the stock scheme list; the OOM ladder hands off
+    // into the governor's terminal pressure level. With --governor the
+    // kGovernorAction site refuses a share of dispatches, so the
+    // held-state retry path runs under the same determinism audit as
+    // every other site.
+    std::unique_ptr<prudence::telemetry::Monitor> gov_monitor;
+    std::unique_ptr<prudence::telemetry::ProbeGroup> gov_probes;
+    std::unique_ptr<prudence::governor::AllocatorActuators> gov_acts;
+    std::unique_ptr<prudence::governor::ReclamationGovernor> gov;
+    if (opt.governor) {
+#if !defined(PRUDENCE_GOVERNOR_ENABLED)
+        std::fprintf(stderr,
+                     "prudtorture: built with PRUDENCE_GOVERNOR=OFF; "
+                     "--governor runs the inert stub\n");
+#endif
+        prudence::telemetry::MonitorConfig mcfg;
+        mcfg.period = std::chrono::milliseconds(1);
+        gov_monitor =
+            std::make_unique<prudence::telemetry::Monitor>(mcfg);
+        gov_probes =
+            std::make_unique<prudence::telemetry::ProbeGroup>(
+                *gov_monitor);
+        alloc->register_telemetry_probes(*gov_probes);
+        domain.register_telemetry_probes(*gov_probes);
+        prudence::telemetry::add_registry_probes(*gov_probes);
+        gov_monitor->start();
+
+        gov_acts =
+            std::make_unique<prudence::governor::AllocatorActuators>(
+                domain, *alloc);
+        prudence::governor::DefaultSchemeTuning tuning;
+        // Scale the latent watermark to the torture arena so the
+        // schemes actually fire under OOM-stress churn.
+        tuning.latent_bytes_high = (opt.arena_mb << 20) / 8;
+        prudence::governor::GovernorConfig gcfg;
+        gcfg.period = std::chrono::milliseconds(2);
+        gcfg.schemes = prudence::governor::default_schemes(tuning);
+        gov = std::make_unique<prudence::governor::ReclamationGovernor>(
+            *gov_monitor, *gov_acts, gcfg);
+        if (auto* pa =
+                dynamic_cast<prudence::PrudenceAllocator*>(alloc.get()))
+            pa->set_pressure_listener(
+                [&g = *gov](int rung) { g.note_oom_ladder(rung); });
+        gov->start();
+    }
+
     Torture t(opt, domain, *alloc, /*nslots=*/2048);
     t.cache = cache;
 
@@ -733,6 +809,23 @@ main(int argc, char** argv)
     }
 #endif
 
+    // Stop the governor before the fault report: no kGovernorAction
+    // evaluation may land between the live capture and the replay
+    // cross-check. stop() relaxes pacing and admission to nominal so
+    // quiesce/validate below runs on an un-actuated allocator.
+    prudence::governor::GovernorStats gov_stats;
+    if (gov) {
+        gov->stop();
+        gov_stats = gov->stats();
+        if (auto* pa =
+                dynamic_cast<prudence::PrudenceAllocator*>(alloc.get()))
+            pa->set_pressure_listener(nullptr);
+        gov_monitor->stop();
+        // Probe closures capture the allocator and domain; drop them
+        // before the quiesce/validate phase.
+        gov_probes.reset();
+    }
+
     // Capture the live fault report, then disarm everything so the
     // quiesce/validate phase runs unperturbed.
     FaultInjector& fi = FaultInjector::instance();
@@ -805,6 +898,14 @@ main(int argc, char** argv)
     std::printf("grace-periods=%" PRIu64 " stalls-detected=%" PRIu64
                 "\n",
                 rcu.grace_periods, detector.stalls_detected());
+    if (gov)
+        std::printf("governor: evaluations=%" PRIu64 " fires=%" PRIu64
+                    " effects=%" PRIu64 " refusals=%" PRIu64
+                    " level-transitions=%" PRIu64
+                    " max-ladder-rung=%d\n",
+                    gov_stats.evaluations, gov_stats.fires,
+                    gov_stats.effects, gov_stats.refusals,
+                    gov_stats.level_transitions, gov->max_ladder_rung());
     std::printf("buddy: allocs=%" PRIu64 " failed=%" PRIu64
                 " bad-frees=%" PRIu64 "\n",
                 buddy.alloc_calls, buddy.failed_allocs,
