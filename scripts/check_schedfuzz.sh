@@ -1,10 +1,11 @@
 #!/bin/sh
 # Build a preset and run the schedfuzz deterministic-schedule sweeps
 # (DESIGN.md §11). First the self-test proves the fuzzer can still
-# catch a deliberately-reintroduced interleaving bug (stale spill tag)
-# and that the clean code passes the same sweep; then three real
-# sweeps cover the default config plus the magazines-off and pcp-off
-# ablations, so the per-op paths see the same schedule perturbation.
+# catch deliberately-reintroduced interleaving bugs (stale spill tag,
+# unprotected depot pop) and that the clean code passes the same
+# sweep; then four real sweeps cover the default config plus the
+# magazines-off, pcp-off and lockfree-off ablations, so the per-op
+# paths see the same schedule perturbation.
 #
 # Any failing sweep leaves a JSON report (seed, yield-site mask,
 # shrunk minimal mask, first violation) in REPORT_DIR for upload as a
@@ -56,4 +57,9 @@ echo "== schedfuzz sweep: per-CPU page caches off =="
     --pcp-high-watermark=0 \
     --report="$REPORT_DIR/schedfuzz-nopcp.json" "$@"
 
-echo "schedfuzz: self-test + 3x$SEEDS-seed sweeps clean"
+echo "== schedfuzz sweep: lock-free per-CPU layer off =="
+"$BUILD_DIR/tools/schedfuzz" --seeds="$SEEDS" --ops="$OPS" \
+    --lockfree-pcpu=0 \
+    --report="$REPORT_DIR/schedfuzz-nolockfree.json" "$@"
+
+echo "schedfuzz: self-test + 4x$SEEDS-seed sweeps clean"

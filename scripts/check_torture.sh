@@ -52,12 +52,22 @@ ctest --preset "$PRESET" -j "${JOBS:-2}"
     --pcp-high-watermark=0 \
     "$@"
 
-# Fourth pass with the adaptive reclamation governor driving the
+# Fourth pass with the lock-free per-CPU layer disabled (DESIGN.md
+# §14): the legacy spinlock caches and locked magazine refill/flush
+# must survive the same fault schedule, proving the toggle-off leg
+# stays a first-class citizen.
+"$BUILD_DIR/tools/prudtorture" \
+    --duration="${DURATION:-20}" \
+    --fault-seed="${SEED:-42}" \
+    --lockfree-pcpu=0 \
+    "$@"
+
+# Fifth pass with the adaptive reclamation governor driving the
 # pacing/admission/trim actuators while kGovernorAction faults refuse
 # a quarter of its dispatches: held actions must retry until they
 # land, the OOM ladder must hand off into the governor's terminal
 # level, and the fault-decision audit must stay clean with the
-# control loop in the picture. (Passes 1-3 are the governor-off legs.)
+# control loop in the picture. (Passes 1-4 are the governor-off legs.)
 "$BUILD_DIR/tools/prudtorture" \
     --duration="${DURATION:-20}" \
     --fault-seed="${SEED:-42}" \

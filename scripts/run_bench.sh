@@ -36,7 +36,8 @@ esac
 cmake --preset "$PRESET"
 cmake --build --preset "$PRESET" -j "${JOBS:-2}" \
     --target tab01_alloc_cost fig06_micro fig13_throughput \
-    fig14_page_contention fig03_endurance ablation_governor
+    fig14_page_contention fig15_slab_contention fig03_endurance \
+    ablation_governor
 
 SHA="$(git rev-parse --short HEAD)"
 SCALE="${SCALE:-0.2}"
@@ -71,10 +72,36 @@ for cap in 32 0; do
     done
 done
 
+# Lock-free per-CPU layer off (DESIGN.md §14), at the default
+# mag32/pcp32 knobs: the legacy-spinlock row of the on/off
+# comparison. The "on" leg is the build default in mag32_pcp32 above.
+cfg="mag32_pcp32_lf0"
+echo "== $cfg: tab01_alloc_cost =="
+PRUDENCE_LOCKFREE_PCPU=0 \
+    "$BUILD_DIR/bench/tab01_alloc_cost" \
+    --benchmark_repetitions="$REPS" \
+    --benchmark_report_aggregates_only=false \
+    --benchmark_out="$TMP/tab01_$cfg.json" \
+    --benchmark_out_format=json
+echo "== $cfg: fig06_micro =="
+PRUDENCE_LOCKFREE_PCPU=0 \
+    "$BUILD_DIR/bench/fig06_micro" "$SCALE" \
+    | tee "$TMP/fig06_$cfg.txt"
+echo "== $cfg: fig13_throughput =="
+PRUDENCE_LOCKFREE_PCPU=0 \
+    "$BUILD_DIR/bench/fig13_throughput" "$SCALE" \
+    | tee "$TMP/fig13_$cfg.txt"
+
 # fig14 runs its own pcp on/off legs internally per thread count.
 echo "== fig14_page_contention =="
 "$BUILD_DIR/bench/fig14_page_contention" "$SCALE" \
     | tee "$TMP/fig14.txt"
+
+# fig15 runs its own lock-free on/off legs internally per thread
+# count (the per-CPU slab-lock analogue of fig14).
+echo "== fig15_slab_contention =="
+"$BUILD_DIR/bench/fig15_slab_contention" "$SCALE" \
+    | tee "$TMP/fig15.txt"
 
 # fig03 endurance leg with the telemetry monitor attached: the
 # RSS/latent-bytes/deferred-age time series land in the summary JSON
@@ -228,6 +255,23 @@ def parse_ablation_governor(path):
     return rows
 
 
+def parse_fig15(path):
+    rows = {}
+    pat = re.compile(
+        r"^\s*(\d+)\s+(on|off)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)\s*$")
+    with open(path) as f:
+        for line in f:
+            m = pat.match(line)
+            if m:
+                rows.setdefault("threads_" + m.group(1), {})[
+                    "lockfree_" + m.group(2)] = {
+                    "ns_per_op": float(m.group(3)),
+                    "pcpu_lock_acq_per_op": float(m.group(4)),
+                    "depot_exchanges_per_op": float(m.group(5)),
+                }
+    return rows
+
+
 def parse_fig14(path):
     rows = {}
     pat = re.compile(
@@ -251,6 +295,7 @@ doc = {
     "tab01_repetitions": int(reps),
     "configs": {},
     "fig14_page_contention": parse_fig14(f"{tmp}/fig14.txt"),
+    "fig15_slab_contention": parse_fig15(f"{tmp}/fig15.txt"),
     "fig03_telemetry": parse_telemetry(f"{tmp}/fig03_telemetry.json"),
     "ablation_governor":
         parse_ablation_governor(f"{tmp}/ablation_governor.txt"),
@@ -265,6 +310,15 @@ for cap in ("32", "0"):
             "fig06_micro": parse_fig06(f"{tmp}/fig06_{cfg}.txt"),
             "fig13_throughput": parse_fig13(f"{tmp}/fig13_{cfg}.txt"),
         }
+cfg = "mag32_pcp32_lf0"
+doc["configs"][cfg] = {
+    "magazine_capacity": 32,
+    "pcp_high_watermark": 32,
+    "lockfree_pcpu": 0,
+    "tab01_alloc_cost": parse_tab01(f"{tmp}/tab01_{cfg}.json"),
+    "fig06_micro": parse_fig06(f"{tmp}/fig06_{cfg}.txt"),
+    "fig13_throughput": parse_fig13(f"{tmp}/fig13_{cfg}.txt"),
+}
 
 with open(out, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)
@@ -286,6 +340,26 @@ if "peak_reduction_percent" in gov:
           f"governed ({gov['peak_reduction_percent']:+.1f}%), "
           f"defer p99 {gov['static']['defer_p99_ms']:.1f} -> "
           f"{gov['governed']['defer_p99_ms']:.1f} ms")
+
+lf_on = doc["configs"]["mag32_pcp32"]["tab01_alloc_cost"]
+lf_off = doc["configs"]["mag32_pcp32_lf0"]["tab01_alloc_cost"]
+if "hit_cycle_ns" in lf_on and "hit_cycle_ns" in lf_off:
+    a = lf_on["hit_cycle_ns"]["p50"]
+    b = lf_off["hit_cycle_ns"]["p50"]
+    if b > 0:
+        print(f"tab01 hit cycle p50: lock-free on {a:.1f} ns, "
+              f"off {b:.1f} ns ({100.0 * (b - a) / b:+.1f}%)")
+
+s8 = doc["fig15_slab_contention"].get("threads_8", {})
+if "lockfree_on" in s8 and "lockfree_off" in s8:
+    on_l = s8["lockfree_on"]["pcpu_lock_acq_per_op"]
+    off_l = s8["lockfree_off"]["pcpu_lock_acq_per_op"]
+    on_ns = s8["lockfree_on"]["ns_per_op"]
+    off_ns = s8["lockfree_off"]["ns_per_op"]
+    if on_ns > 0:
+        print(f"fig15 @8 threads: per-CPU lock acq/op {off_l:.4f} -> "
+              f"{on_l:.4f}, ns/op {off_ns:.1f} -> {on_ns:.1f} "
+              f"({off_ns / on_ns:.2f}x)")
 
 t8 = doc["fig14_page_contention"].get("threads_8", {})
 if "pcp_on" in t8 and "pcp_off" in t8:

@@ -166,6 +166,20 @@ class Allocator
     virtual std::size_t reclaim_ready() { return 0; }
 
     /**
+     * Trim the lock-free magazine depot (DESIGN.md §14) down to
+     * @p keep_blocks cached full blocks per cache, returning the
+     * drained objects to slab freelists — the slab-layer analogue of
+     * the buddy allocator's trim_pcp actuator. No-op (0) for
+     * allocators without a depot or with the lock-free layer off.
+     * @return objects released.
+     */
+    virtual std::size_t trim_depot(std::size_t keep_blocks)
+    {
+        (void)keep_blocks;
+        return 0;
+    }
+
+    /**
      * Deep structural self-check: walk every slab of every cache and
      * cross-check freelists, latent structures, list membership and
      * object accounting. Exact accounting requires a quiescent

@@ -11,6 +11,7 @@
 #include "sim/sim.h"
 #include "slab/size_classes.h"
 #include "slab/validate.h"
+#include "telemetry/monitor.h"
 #include "telemetry/telemetry.h"
 #include "trace/tracer.h"
 
@@ -48,6 +49,8 @@ PrudenceAllocator::PrudenceAllocator(GracePeriodDomain& domain,
             size_class_name(i), kSizeClasses[i], buddy_, owners_,
             cpu_registry_.max_cpus());
         caches_[i]->index = i;
+        caches_[i]->depot =
+            std::make_unique<MagazineDepot>(depot_budget());
     }
     cache_count_.store(kNumSizeClasses, std::memory_order_release);
 
@@ -138,6 +141,8 @@ PrudenceAllocator::create_cache(const std::string& name,
     caches_[count] = std::make_unique<Cache>(
         name, object_size, buddy_, owners_, cpu_registry_.max_cpus());
     caches_[count]->index = count;
+    caches_[count]->depot =
+        std::make_unique<MagazineDepot>(depot_budget());
     // A cache created while the governor holds admission below
     // nominal starts at the restricted boundary too.
     if (latent_admission_pct_.load(std::memory_order_relaxed) < 100) {
@@ -236,8 +241,11 @@ PrudenceAllocator::oom_ladder(Cache& c)
     // frees whole slabs back to the buddy allocator. reclaim_ready()
     // is the same harvest the governor runs at its critical level —
     // the ladder is the terminal rungs of that one escalation story,
-    // and the listener lets the governor fold us into it.
-    if (any_cache_has_deferred()) {
+    // and the listener lets the governor fold us into it. Depot full
+    // blocks are reclaimable capacity too (they hold whole-slab
+    // memory hostage without registering as deferred), so they gate
+    // the rung alongside the deferred backlog.
+    if (any_cache_has_deferred() || depot_full_objects() > 0) {
         stats.oom_expedites.add();
         PRUDENCE_TRACE_EMIT(trace::EventId::kOomExpedite, 0);
         if (pressure_listener_)
@@ -364,6 +372,7 @@ PrudenceAllocator::alloc_attempt(Cache& c, bool* oom)
     *oom = false;
     CacheStats& stats = c.pool.stats();
     PerCpu& pc = *c.cpus[cpu_registry_.cpu_id()];
+    stats.pcpu_lock_acquisitions.add();
     std::lock_guard<SpinLock> guard(pc.lock);
     ++pc.alloc_events;
 
@@ -647,6 +656,7 @@ PrudenceAllocator::free_impl(Cache& c, void* p)
     free_span.set_args(c.pool.geometry().object_size);
 
     PerCpu& pc = *c.cpus[cpu_registry_.cpu_id()];
+    stats.pcpu_lock_acquisitions.add();
     std::lock_guard<SpinLock> guard(pc.lock);
     ++pc.free_events;
     if (pc.cache.full()) {
@@ -748,6 +758,7 @@ PrudenceAllocator::free_deferred_impl(Cache& c, void* p)
     for (;;) {
         std::size_t spilled = 0;
         {
+            stats.pcpu_lock_acquisitions.add();
             std::lock_guard<SpinLock> guard(pc.lock);
             ++pc.defer_events;
 
@@ -1005,6 +1016,35 @@ PrudenceAllocator::magazine_alloc_slow(Cache& c, ThreadMagazines& t,
     *oom = false;
     CacheStats& stats = c.pool.stats();
     PerCpu& pc = *c.cpus[t.cpu];
+
+    // Lock-free refill (DESIGN.md §14): one CAS exchanges a whole
+    // full (or grace-period-complete deferred) magazine block from
+    // the depot — no per-CPU lock, no splice. Falls through to the
+    // locked path when the depot has nothing reusable.
+    if (depot_enabled(c)) {
+        if (DepotMagazine* blk = depot_pop_reusable(c, t, stats)) {
+            std::size_t got_lf = blk->count;
+            assert(got_lf > 0 && got_lf <= m.objects.capacity());
+            for (std::size_t i = 0; i < got_lf; ++i)
+                m.objects.push(blk->objs[i]);
+            c.depot->release_empty(blk);
+            // The gauge counts application-held + magazine-held:
+            // these objects leave depot custody now.
+            stats.live_objects.add(static_cast<std::int64_t>(got_lf));
+            // Served without touching slabs: a hit, like the locked
+            // path's !refilled case. Stat deltas fold through the
+            // atomic counters only — the pc event rates (preflush
+            // aggressiveness) are a locked-path signal.
+            ++m.stats.cache_hits;
+            m.stats.flush_into(stats);
+            PRUDENCE_TRACE_EMIT(trace::EventId::kMagRefill, got_lf,
+                                t.cpu);
+            void* obj = m.objects.pop();
+            assert(obj != nullptr);
+            return obj;
+        }
+    }
+
     std::size_t want = m.objects.capacity() / 2;
     if (want == 0)
         want = 1;
@@ -1014,6 +1054,7 @@ PrudenceAllocator::magazine_alloc_slow(Cache& c, ThreadMagazines& t,
     // committed to pulling a batch from shared state.
     PRUDENCE_SIM_YIELD(kMagRefill);
     {
+        stats.pcpu_lock_acquisitions.add();
         std::lock_guard<SpinLock> guard(pc.lock);
         flush_thread_stats(pc, stats, m.stats);
         // Injected slow-path forcing: skip the per-CPU hit so the
@@ -1075,7 +1116,35 @@ PrudenceAllocator::magazine_flush(Cache& c, ThreadMagazines& t,
     PRUDENCE_SIM_YIELD(kMagFlush);
     CacheStats& stats = c.pool.stats();
     PerCpu& pc = *c.cpus[t.cpu];
+
+    // Lock-free flush (DESIGN.md §14): hand the whole batch to the
+    // depot as one full block — a single CAS publishes it to any
+    // thread's next refill. Falls through to the locked splice when
+    // the depot's block budget is exhausted.
+    if (depot_enabled(c) && k <= kMaxMagazineCapacity) {
+        if (DepotMagazine* blk = c.depot->acquire_empty()) {
+            for (std::size_t i = 0; i < k; ++i)
+                blk->objs[i] = victims[i];
+            blk->count = k;
+            // Between filling the block and the publishing CAS: the
+            // batch is in nobody's shared custody (live_objects still
+            // counts it) — the window validate() must survive.
+            PRUDENCE_SIM_YIELD(kDepotExchange);
+            // Gauge before publish: once the CAS lands another thread
+            // may pop the block and re-add these to live_objects, so
+            // subtracting first keeps the peak gauge from counting
+            // the batch twice (transient under-count instead).
+            stats.live_objects.sub(static_cast<std::int64_t>(k));
+            c.depot->push_full(blk);
+            stats.depot_exchanges.add();
+            m.stats.flush_into(stats);
+            PRUDENCE_TRACE_EMIT(trace::EventId::kMagFlush, k, t.cpu);
+            return;
+        }
+    }
+
     {
+        stats.pcpu_lock_acquisitions.add();
         std::lock_guard<SpinLock> guard(pc.lock);
         flush_thread_stats(pc, stats, m.stats);
         std::size_t room = pc.cache.capacity() - pc.cache.count();
@@ -1104,7 +1173,6 @@ PrudenceAllocator::magazine_spill_defers(Cache& c, ThreadMagazines& t,
     std::size_t n = m.defer_count;
     if (n == 0)
         return;
-    m.defer_count = 0;
     CacheStats& stats = c.pool.stats();
     PerCpu& pc = *c.cpus[t.cpu];
 
@@ -1127,12 +1195,44 @@ PrudenceAllocator::magazine_spill_defers(Cache& c, ThreadMagazines& t,
     // window a concurrent grace-period advance must not invalidate.
     PRUDENCE_SIM_YIELD(kMagSpillTag);
 
+    // Lock-free deferral spill (DESIGN.md §14): the batch becomes one
+    // epoch-stamped deferred depot block, published with a single CAS
+    // — no per-CPU lock, no latent-ring splice. The harvest side
+    // (depot_pop_reusable / maintenance) enforces the grace period.
+    // The buffer is only cleared once the depot path commits; on
+    // fallback the locked path below consumes it instead.
+    if (depot_enabled(c) && n <= kMaxMagazineCapacity) {
+        if (DepotMagazine* blk = c.depot->acquire_empty()) {
+            for (std::size_t j = 0; j < n; ++j) {
+                PRUDENCE_SIM_STMT(
+                    sim::model_on_spill(m.defers[j], epoch));
+                blk->objs[j] = m.defers[j];
+            }
+            blk->count = n;
+            blk->epoch = epoch;
+            blk->defer_ts = defer_ts;
+            PRUDENCE_SIM_YIELD(kDepotExchange);
+            // Gauges before publish (same reason as the flush path):
+            // a concurrent harvest must not double-count the batch.
+            stats.live_objects.sub(static_cast<std::int64_t>(n));
+            stats.deferred_outstanding.add(
+                static_cast<std::int64_t>(n));
+            c.depot->push_deferred(blk);
+            stats.depot_exchanges.add();
+            m.stats.flush_into(stats);
+            m.defer_count = 0;
+            return;
+        }
+    }
+    m.defer_count = 0;
+
     LatentRing::Entry spill[128];
     std::size_t i = 0;
     bool accounted = false;
     for (;;) {
         std::size_t spilled = 0;
         {
+            stats.pcpu_lock_acquisitions.add();
             std::lock_guard<SpinLock> guard(pc.lock);
             if (!accounted) {
                 accounted = true;
@@ -1251,6 +1351,305 @@ PrudenceAllocator::magazine_defer_count(CacheId cache) const
 }
 
 // ---------------------------------------------------------------------
+// Lock-free magazine depot (DESIGN.md §14)
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// Feed a reclaimed deferred block into the defer->reclaim age
+/// histogram. The stamp is per-block (batch granularity — the depot's
+/// natural fidelity), recorded once per member so the histogram's
+/// weighting matches the per-entry latent-ring stamp sites.
+void
+record_depot_ages(const DepotMagazine& blk)
+{
+    PRUDENCE_TELEM_STMT({
+        if (blk.defer_ts != 0) {
+            std::uint64_t now = telemetry::steady_now_ns();
+            if (now > blk.defer_ts) {
+                auto& hist =
+                    trace::MetricsRegistry::instance().histogram(
+                        trace::HistId::kDeferredAgeNs);
+                for (std::size_t i = 0; i < blk.count; ++i)
+                    hist.record(now - blk.defer_ts);
+            }
+        }
+    });
+    (void)blk;
+}
+
+}  // namespace
+
+DepotMagazine*
+PrudenceAllocator::depot_pop_reusable(Cache& c, ThreadMagazines& t,
+                                      CacheStats& stats)
+{
+    MagazineDepot& d = *c.depot;
+    if (DepotMagazine* blk = d.pop_full()) {
+        stats.depot_exchanges.add();
+        return blk;
+    }
+
+    // Deferred-block harvest. The stack is LIFO — the NEWEST (least
+    // likely safe) block sits on top — so scan a small bounded batch
+    // rather than giving up at the first open grace period.
+    DepotMagazine* unsafe_blocks[4];
+    std::size_t n_unsafe = 0;
+    DepotMagazine* found = nullptr;
+    GpEpoch completed = refresh_completed(t);
+    while (n_unsafe < 4) {
+        DepotMagazine* blk = d.pop_deferred();
+        if (blk == nullptr)
+            break;
+        // Between reading the block's tag and claiming its members:
+        // `completed` was read before this window, so it can only be
+        // stale-small — the check below stays conservative.
+        PRUDENCE_SIM_YIELD(kDepotHarvest);
+        bool safe = blk->epoch <= completed;
+        // Deliberate bug kUnprotectedDepotPop: treat every deferred
+        // block as reusable. Members still inside their grace period
+        // reach allocators — the reuse-before-grace-period violation
+        // the model's reuse check exists to catch. See BugId.
+        PRUDENCE_SIM_STMT(
+            if (sim::bug_enabled(sim::BugId::kUnprotectedDepotPop))
+                safe = true);
+        if (safe) {
+            found = blk;
+            break;
+        }
+        unsafe_blocks[n_unsafe++] = blk;
+    }
+    for (std::size_t i = 0; i < n_unsafe; ++i)
+        d.push_deferred(unsafe_blocks[i]);
+    if (found == nullptr)
+        return nullptr;
+    for (std::size_t i = 0; i < found->count; ++i)
+        PRUDENCE_SIM_STMT(sim::model_on_reuse(found->objs[i]));
+    record_depot_ages(*found);
+    stats.deferred_outstanding.sub(
+        static_cast<std::int64_t>(found->count));
+    stats.latent_merge_hits.add();
+    stats.depot_exchanges.add();
+    return found;
+}
+
+std::size_t
+PrudenceAllocator::depot_harvest_safe(Cache& c)
+{
+    if (!depot_enabled(c))
+        return 0;
+    MagazineDepot& d = *c.depot;
+    GpEpoch completed = domain_.completed_epoch();
+    std::vector<DepotMagazine*> blocks;
+    while (DepotMagazine* blk = d.pop_deferred())
+        blocks.push_back(blk);
+    std::size_t harvested = 0;
+    for (DepotMagazine* blk : blocks) {
+        PRUDENCE_SIM_YIELD(kDepotHarvest);
+        bool safe = blk->epoch <= completed;
+        PRUDENCE_SIM_STMT(
+            if (sim::bug_enabled(sim::BugId::kUnprotectedDepotPop))
+                safe = true);
+        if (!safe) {
+            d.push_deferred(blk);
+            continue;
+        }
+        for (std::size_t i = 0; i < blk->count; ++i)
+            PRUDENCE_SIM_STMT(sim::model_on_reuse(blk->objs[i]));
+        record_depot_ages(*blk);
+        c.pool.stats().deferred_outstanding.sub(
+            static_cast<std::int64_t>(blk->count));
+        harvested += blk->count;
+        blk->defer_ts = 0;  // age recorded; full blocks carry no stamp
+        d.push_full(blk);  // immediately reusable from here on
+    }
+    return harvested;
+}
+
+std::size_t
+PrudenceAllocator::depot_release_full(Cache& c,
+                                      std::size_t keep_full_blocks)
+{
+    if (c.depot == nullptr || c.depot->blocks_created() == 0)
+        return 0;
+    MagazineDepot& d = *c.depot;
+
+    // Full blocks beyond the keep allowance: members go straight back
+    // to slab freelists (they were never live nor deferred — just
+    // cached capacity).
+    std::vector<DepotMagazine*> keep;
+    std::vector<DepotMagazine*> drain;
+    while (DepotMagazine* blk = d.pop_full()) {
+        if (keep.size() < keep_full_blocks)
+            keep.push_back(blk);
+        else
+            drain.push_back(blk);
+    }
+    for (DepotMagazine* blk : keep)
+        d.push_full(blk);
+    if (drain.empty())
+        return 0;
+
+    std::size_t released = 0;
+    NodeLists& node = c.pool.node();
+    bool want_shrink = false;
+    {
+        std::lock_guard<SpinLock> node_guard(node.lock);
+        for (DepotMagazine* blk : drain) {
+            for (std::size_t i = 0; i < blk->count; ++i) {
+                SlabHeader* slab = c.pool.slab_of(blk->objs[i]);
+                assert(slab->magic == SlabHeader::kMagicLive);
+                slab->freelist_push(blk->objs[i]);
+                node.move_to(slab,
+                             NodeLists::deferred_aware_kind(slab));
+            }
+            released += blk->count;
+        }
+        want_shrink = node.free.size() > free_retention_limit(c);
+    }
+    for (DepotMagazine* blk : drain)
+        d.release_empty(blk);
+    if (want_shrink)
+        shrink(c);
+    return released;
+}
+
+std::size_t
+PrudenceAllocator::depot_drain(Cache& c, std::size_t keep_full_blocks)
+{
+    if (c.depot == nullptr || c.depot->blocks_created() == 0)
+        return 0;
+    MagazineDepot& d = *c.depot;
+    GpEpoch completed = domain_.completed_epoch();
+    std::size_t released = depot_release_full(c, keep_full_blocks);
+
+    std::vector<DepotMagazine*> deferred;
+    while (DepotMagazine* blk = d.pop_deferred())
+        deferred.push_back(blk);
+    if (deferred.empty())
+        return released;
+
+    NodeLists& node = c.pool.node();
+    bool want_shrink = false;
+    {
+        std::lock_guard<SpinLock> node_guard(node.lock);
+        for (DepotMagazine* blk : deferred) {
+            if (blk->epoch > completed)
+                continue;  // handled (preserved) below
+            record_depot_ages(*blk);
+            for (std::size_t i = 0; i < blk->count; ++i) {
+                PRUDENCE_SIM_STMT(sim::model_on_reuse(blk->objs[i]));
+                SlabHeader* slab = c.pool.slab_of(blk->objs[i]);
+                assert(slab->magic == SlabHeader::kMagicLive);
+                slab->freelist_push(blk->objs[i]);
+                node.move_to(slab,
+                             NodeLists::deferred_aware_kind(slab));
+            }
+            c.pool.stats().deferred_outstanding.sub(
+                static_cast<std::int64_t>(blk->count));
+            released += blk->count;
+        }
+        want_shrink = node.free.size() > free_retention_limit(c);
+    }
+    LatentRing::Entry entries[kMaxMagazineCapacity];
+    for (DepotMagazine* blk : deferred) {
+        if (blk->epoch <= completed) {
+            d.release_empty(blk);
+            continue;
+        }
+        // Grace period still open: preserve the deferral (tag and
+        // stamp intact) in the members' slab latent rings instead.
+        for (std::size_t i = 0; i < blk->count; ++i) {
+            entries[i] = LatentRing::Entry{blk->objs[i], blk->epoch,
+                                           blk->defer_ts};
+        }
+        std::size_t n = blk->count;
+        d.release_empty(blk);
+        spill_entries(c, entries, n);
+    }
+    if (want_shrink)
+        shrink(c);
+    return released;
+}
+
+std::size_t
+PrudenceAllocator::trim_depot(std::size_t keep_blocks)
+{
+    // Governor actuator: make safe deferrals reclaimable first, then
+    // release the cached capacity beyond the keep allowance. Unsafe
+    // deferred blocks stay in the depot — draining them to slab rings
+    // would free no memory, only churn the node locks.
+    std::lock_guard<std::mutex> sweep(sweep_mutex_);
+    std::size_t released = 0;
+    std::size_t count = cache_count_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < count; ++i) {
+        Cache& c = *caches_[i];
+        depot_harvest_safe(c);
+        released += depot_release_full(c, keep_blocks);
+    }
+    return released;
+}
+
+std::size_t
+PrudenceAllocator::depot_full_objects() const
+{
+    std::size_t total = 0;
+    std::size_t count = cache_count_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < count; ++i) {
+        if (caches_[i]->depot)
+            total += caches_[i]->depot->full_objects();
+    }
+    return total;
+}
+
+std::size_t
+PrudenceAllocator::depot_deferred_objects() const
+{
+    std::size_t total = 0;
+    std::size_t count = cache_count_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < count; ++i) {
+        if (caches_[i]->depot)
+            total += caches_[i]->depot->deferred_objects();
+    }
+    return total;
+}
+
+std::size_t
+PrudenceAllocator::depot_blocks_created() const
+{
+    std::size_t total = 0;
+    std::size_t count = cache_count_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < count; ++i) {
+        if (caches_[i]->depot)
+            total += caches_[i]->depot->blocks_created();
+    }
+    return total;
+}
+
+void
+PrudenceAllocator::register_telemetry_probes(
+    telemetry::ProbeGroup& group, const std::string& prefix)
+{
+#if defined(PRUDENCE_TELEMETRY_ENABLED)
+    // Depot occupancy: what the governor's trim_depot scheme watches
+    // (DESIGN.md §13/§14) — memory cached in full blocks, deferrals
+    // parked in deferred blocks, and the arena footprint.
+    group.add(prefix + "alloc.depot_full_objects", "objects", [this] {
+        return static_cast<std::uint64_t>(depot_full_objects());
+    });
+    group.add(prefix + "alloc.depot_deferred_objects", "objects",
+              [this] {
+                  return static_cast<std::uint64_t>(
+                      depot_deferred_objects());
+              });
+    group.add(prefix + "alloc.depot_blocks", "blocks", [this] {
+        return static_cast<std::uint64_t>(depot_blocks_created());
+    });
+#endif
+    Allocator::register_telemetry_probes(group, prefix);
+}
+
+// ---------------------------------------------------------------------
 // Maintenance (idle-time pre-flush, §4.2)
 // ---------------------------------------------------------------------
 
@@ -1297,6 +1696,12 @@ PrudenceAllocator::preflush_cpu(Cache& c, PerCpu& pc)
 void
 PrudenceAllocator::maintenance_pass()
 {
+    // Idle-time semantics: if an accounting reader (validate) or a
+    // governor trim holds the sweep mutex, skip this pass entirely
+    // rather than queue behind it.
+    std::unique_lock<std::mutex> sweep(sweep_mutex_, std::try_to_lock);
+    if (!sweep.owns_lock())
+        return;
     std::size_t count = cache_count_.load(std::memory_order_acquire);
     for (std::size_t i = 0; i < count; ++i) {
         Cache& c = *caches_[i];
@@ -1306,8 +1711,24 @@ PrudenceAllocator::maintenance_pass()
             c.pool.stats().deferred_outstanding.get();
         std::int64_t hint =
             c.retention_hint.load(std::memory_order_relaxed);
-        c.retention_hint.store(std::max(deferred, hint - hint / 4),
-                               std::memory_order_relaxed);
+        std::int64_t new_hint = std::max(deferred, hint - hint / 4);
+        c.retention_hint.store(new_hint, std::memory_order_relaxed);
+        // Depot retention follows the same decayed hint: keep enough
+        // full blocks to re-cache the hinted backlog, release the
+        // rest to the slabs (and thence to the shrink checks below).
+        // Under steady deferral traffic the hint stays high and the
+        // depot keeps its working set; when the backlog drains, the
+        // decay lets the cached capacity go within a few passes.
+        if (depot_enabled(c)) {
+            std::size_t per_block = config_.magazine_capacity > 0
+                                        ? config_.magazine_capacity
+                                        : 1;
+            std::size_t keep =
+                (static_cast<std::size_t>(new_hint) + per_block - 1) /
+                per_block;
+            if (c.depot->full_objects() > keep * per_block)
+                depot_release_full(c, keep);
+        }
         // Idle caches (no deferred objects anywhere) need no merging
         // or pre-flushing; skipping that work keeps the sweep
         // proportional to actual deferral activity. The shrink check
@@ -1325,6 +1746,10 @@ PrudenceAllocator::maintenance_pass()
                 shrink(c);
             continue;
         }
+        // Depot blocks whose grace period completed become reusable
+        // full blocks here, off the hot path — the depot analogue of
+        // the latent-ring merges below.
+        depot_harvest_safe(c);
         for (auto& pc_ptr : c.cpus) {
             PerCpu& pc = *pc_ptr;
             // Idle-time semantics: never contend with the owning
@@ -1398,10 +1823,22 @@ PrudenceAllocator::maintenance_main()
 void
 PrudenceAllocator::reclaim_cache(Cache& c, bool fill_caches)
 {
+    // Serialize against background sweeps (maintenance, trim_depot):
+    // a concurrent sweep could pop depot blocks this reclaim is
+    // draining and re-push them after the drain, leaving the depot
+    // non-empty on return. Per-cache granularity; the callers'
+    // domain waits happen before this lock is taken.
+    std::lock_guard<std::mutex> sweep(sweep_mutex_);
     // Full reclaim resets the retention hint: everything safe is
     // coming back right now, so there is nothing left to retain for.
     c.retention_hint.store(0, std::memory_order_relaxed);
     GpEpoch completed = domain_.completed_epoch();
+
+    // Drain the magazine depot first: full blocks return to slab
+    // freelists; deferred blocks whose grace period is still open are
+    // respilled into slab latent rings, which the sweep below (and
+    // later passes) preserve until safe.
+    depot_drain(c, /*keep_full_blocks=*/0);
 
     // Per-CPU latent caches: optionally merge what fits, then spill
     // the rest of the safe prefix straight to slab freelists.
@@ -1497,6 +1934,10 @@ PrudenceAllocator::validate()
     // return PCP-parked pages so page-level totals are exact too.
     drain_calling_thread();
     buddy_.drain_pcp();
+    // Hold background sweeps (maintenance, governor trim_depot) out
+    // of the whole accounting pass: their transfers keep objects in
+    // limbo between the structures read below.
+    std::lock_guard<std::mutex> sweep(sweep_mutex_);
     std::size_t count = cache_count_.load(std::memory_order_acquire);
     for (std::size_t i = 0; i < count; ++i) {
         Cache& c = *caches_[i];
@@ -1518,18 +1959,27 @@ PrudenceAllocator::validate()
             c.pool.stats().live_objects.get());
         auto deferred = static_cast<std::size_t>(
             c.pool.stats().deferred_outstanding.get());
-        if (v.outstanding_objects != cached + latent + live) {
+        std::size_t depot_full = 0;
+        std::size_t depot_deferred = 0;
+        if (c.depot) {
+            depot_full = c.depot->full_objects();
+            depot_deferred = c.depot->deferred_objects();
+        }
+        if (v.outstanding_objects !=
+            cached + latent + live + depot_full + depot_deferred) {
             return c.pool.name() + ": object accounting mismatch (" +
                    std::to_string(v.outstanding_objects) +
                    " outstanding vs " +
-                   std::to_string(cached + latent + live) +
+                   std::to_string(cached + latent + live + depot_full +
+                                  depot_deferred) +
                    " accounted)";
         }
-        if (deferred != latent + v.ring_objects) {
+        if (deferred != latent + v.ring_objects + depot_deferred) {
             return c.pool.name() + ": deferred gauge " +
                    std::to_string(deferred) + " != latent caches " +
                    std::to_string(latent) + " + latent slabs " +
-                   std::to_string(v.ring_objects);
+                   std::to_string(v.ring_objects) + " + depot " +
+                   std::to_string(depot_deferred);
         }
     }
     return {};

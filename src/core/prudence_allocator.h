@@ -44,6 +44,7 @@
 #include "rcu/grace_period.h"
 #include "slab/latent_ring.h"
 #include "slab/magazine.h"
+#include "slab/magazine_depot.h"
 #include "slab/object_cache.h"
 #include "slab/page_owner.h"
 #include "slab/slab_pool.h"
@@ -124,6 +125,27 @@ class PrudenceAllocator final : public Allocator
     /// calling thread's magazine for @p cache.
     std::size_t magazine_defer_count(CacheId cache) const;
 
+    /**
+     * Drain depot full blocks beyond @p keep_blocks per cache back to
+     * slab freelists (governor trim_depot actuator, DESIGN.md §13/§14
+     * — the depot analogue of the buddy layer's trim_pcp). Safe
+     * deferred blocks are harvested to freelists too; blocks whose
+     * grace period is open are untouched. @return objects released.
+     */
+    std::size_t trim_depot(std::size_t keep_blocks) override;
+
+    /// Default probes plus the lock-free depot occupancy gauges
+    /// (alloc.depot_* — the governor's trim_depot inputs).
+    void register_telemetry_probes(telemetry::ProbeGroup& group,
+                                   const std::string& prefix = "") override;
+
+    /// Objects held in depot full blocks across caches (telemetry).
+    std::size_t depot_full_objects() const;
+    /// Objects held in depot deferred blocks across caches.
+    std::size_t depot_deferred_objects() const;
+    /// Depot blocks created across caches (arena footprint).
+    std::size_t depot_blocks_created() const;
+
   private:
     /// Per-CPU state: object cache + latent cache + rate estimators.
     struct alignas(kCacheLineSize) PerCpu
@@ -187,6 +209,10 @@ class PrudenceAllocator final : public Allocator
         /// retention so a momentary drain between grace periods does
         /// not trigger a shrink storm followed by regrowth.
         std::atomic<std::int64_t> retention_hint{0};
+        /// Lock-free magazine depot (DESIGN.md §14). Block budget 0
+        /// (lockfree_pcpu off / magazines off) inert: every exchange
+        /// attempt falls back to the locked splice.
+        std::unique_ptr<MagazineDepot> depot;
 
         Cache(std::string name, std::size_t object_size,
               BuddyAllocator& buddy, PageOwnerTable& owners,
@@ -244,6 +270,43 @@ class PrudenceAllocator final : public Allocator
     /// Spill every cache's buffered deferrals (OOM path: makes them
     /// visible to any_cache_has_deferred()/reclaim).
     void spill_all_defers(ThreadMagazines& t);
+
+    // ---- lock-free depot paths (DESIGN.md §14) ----
+
+    /// True when the depot fronts the per-CPU layer for @p c.
+    bool depot_enabled(const Cache& c) const
+    {
+        return config_.lockfree_pcpu && c.depot != nullptr &&
+               c.depot->block_budget() > 0;
+    }
+    /// Depot block budget per cache: 0 (inert) unless the lock-free
+    /// layer and the magazine layer it rides are both on.
+    std::size_t depot_budget() const
+    {
+        return (config_.lockfree_pcpu && config_.magazine_capacity > 0)
+                   ? config_.depot_blocks
+                   : 0;
+    }
+    /// Claim a reusable depot block: a full block, else a deferred
+    /// block whose grace period completed (harvested: members become
+    /// reusable, deferred accounting drops). Bounded scan; unsafe
+    /// deferred blocks are re-pushed. nullptr when nothing reusable.
+    DepotMagazine* depot_pop_reusable(Cache& c, ThreadMagazines& t,
+                                      CacheStats& stats);
+    /// Sweep @p c's deferred depot blocks: convert every block whose
+    /// grace period completed into a full block (maintenance + OOM
+    /// expedite). @return objects made reusable.
+    std::size_t depot_harvest_safe(Cache& c);
+    /// Release full depot blocks beyond @p keep_full_blocks back to
+    /// slab freelists (retention trim). @return objects released.
+    std::size_t depot_release_full(Cache& c,
+                                   std::size_t keep_full_blocks);
+    /// Drain the whole depot to slab freelists (reclaim/quiesce/trim):
+    /// full blocks and safe deferred blocks free their members;
+    /// unsafe deferred blocks spill to the slabs' latent rings
+    /// (epochs preserved). With @p keep_full_blocks > 0, that many
+    /// full blocks are retained. @return objects released.
+    std::size_t depot_drain(Cache& c, std::size_t keep_full_blocks);
     /// Drain one thread's table completely: spill deferrals, flush
     /// objects, fold stats. Runs on thread exit and at shutdown.
     void drain_table(ThreadMagazines& t);
@@ -329,6 +392,13 @@ class PrudenceAllocator final : public Allocator
     mutable ThreadCacheRegistry magazine_registry_;
 
     mutable std::mutex caches_mutex_;  ///< guards cache creation only
+    /// Serializes background sweeps (maintenance pass, governor
+    /// trim_depot) against the accounting readers (validate). Sweep
+    /// transfers hold objects in limbo between structures — e.g. a
+    /// full depot block popped but not yet pushed to slab freelists —
+    /// so an unsynchronized validate() would see them accounted
+    /// nowhere. Never held across domain_ waits.
+    mutable std::mutex sweep_mutex_;
     std::array<std::unique_ptr<Cache>, kMaxCaches> caches_;
     std::atomic<std::size_t> cache_count_{0};
 

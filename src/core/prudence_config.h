@@ -12,6 +12,13 @@
 #include <chrono>
 #include <cstddef>
 
+// Build-time default for the lock-free per-CPU layer toggle (CMake
+// option PRUDENCE_LOCKFREE_PCPU). Both paths are always compiled —
+// the option only flips the config default, so one binary can A/B.
+#if !defined(PRUDENCE_LOCKFREE_PCPU_DEFAULT)
+#define PRUDENCE_LOCKFREE_PCPU_DEFAULT 1
+#endif
+
 namespace prudence {
 
 /// Construction parameters for PrudenceAllocator.
@@ -74,6 +81,25 @@ struct PrudenceConfig
      * cache capacity and to kMaxMagazineCapacity.
      */
     std::size_t magazine_capacity = 32;
+
+    /**
+     * Lock-free per-CPU layer (DESIGN.md §14): magazine refill/flush
+     * and deferral spills exchange whole magazine blocks with a
+     * per-cache lock-free depot (one CAS) instead of splicing objects
+     * under the per-CPU spinlock. false = legacy locked splice (the
+     * A/B baseline leg). Requires magazines (magazine_capacity > 0)
+     * to have any effect — the depot rides the magazine layer.
+     */
+    bool lockfree_pcpu = PRUDENCE_LOCKFREE_PCPU_DEFAULT != 0;
+
+    /**
+     * Block budget per cache depot: at most this many magazine-sized
+     * blocks (kMaxMagazineCapacity object slots each) are ever
+     * created per cache; callers fall back to the locked splice when
+     * the budget is exhausted. Bounds depot memory hoarding together
+     * with the governor's trim_depot actuator.
+     */
+    std::size_t depot_blocks = 64;
 
     /**
      * Free blocks kept per (CPU, order) in the buddy allocator's

@@ -39,6 +39,8 @@ action_name(ActionId id)
         return "shrink_latent";
     case ActionId::kTrimPcp:
         return "trim_pcp";
+    case ActionId::kTrimDepot:
+        return "trim_depot";
     case ActionId::kReclaim:
         return "reclaim";
     case ActionId::kMaxAction:
@@ -226,6 +228,9 @@ ReclamationGovernor::dispatch(ActionId action, std::uint64_t arg,
             break;
         case ActionId::kTrimPcp:
             ok = actuators_.trim_pcp(static_cast<std::size_t>(arg));
+            break;
+        case ActionId::kTrimDepot:
+            ok = actuators_.trim_depot(static_cast<std::size_t>(arg));
             break;
         case ActionId::kReclaim:
             ok = actuators_.reclaim();
@@ -418,6 +423,8 @@ ReclamationGovernor::evaluate_locked(std::uint64_t t_ns)
         // retried (the next excursion or the ladder covers it).
         if (ss->scheme.action == ActionId::kTrimPcp)
             dispatch(ActionId::kTrimPcp, ss->scheme.arg, ss);
+        else if (ss->scheme.action == ActionId::kTrimDepot)
+            dispatch(ActionId::kTrimDepot, ss->scheme.arg, ss);
         else if (ss->scheme.action == ActionId::kReclaim)
             dispatch(ActionId::kReclaim, ss->scheme.arg, ss);
     }
@@ -502,6 +509,24 @@ default_schemes(const DefaultSchemeTuning& tuning)
     trim.action = ActionId::kTrimPcp;
     trim.arg = 1;
     schemes.push_back(trim);
+
+    // Depot overgrowth: cached full-block capacity beyond the bound
+    // is memory the slabs could return to the buddy — trim it back to
+    // a small keep when the depot gauge says it piled up (DESIGN.md
+    // §14; the slab-layer companion of trim_on_low_headroom).
+    Scheme depot;
+    depot.name = "trim_depot_on_overgrowth";
+    depot.probe = tuning.prefix + "alloc.depot_full_objects";
+    depot.cmp = Scheme::Cmp::kAbove;
+    depot.threshold = tuning.depot_full_objects_high;
+    depot.rearm = tuning.depot_full_objects_high / 2;
+    depot.for_at_least = tuning.hold;
+    depot.cooldown = tuning.cooldown;
+    depot.priority = 15;
+    depot.level = PressureLevel::kElevated;
+    depot.action = ActionId::kTrimDepot;
+    depot.arg = 4;
+    schemes.push_back(depot);
 
     return schemes;
 }

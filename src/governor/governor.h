@@ -85,6 +85,7 @@ enum class ActionId : std::uint8_t {
     kWidenCbBatch,  ///< held: raise the callback batch floor (arg)
     kShrinkLatent,  ///< held: restrict deferral admission (arg = pct)
     kTrimPcp,       ///< edge: trim per-CPU page caches (arg = keep/order)
+    kTrimDepot,     ///< edge: trim magazine depot (arg = keep blocks)
     kReclaim,       ///< edge: harvest every already-safe deferral
     kMaxAction
 };
@@ -165,6 +166,11 @@ class Actuators
     /// Edge: trim the per-CPU page caches down to @p keep_per_order.
     virtual bool trim_pcp(std::size_t keep_per_order) = 0;
 
+    /// Edge: trim the lock-free magazine depot down to @p keep_blocks
+    /// cached full blocks per cache (DESIGN.md §14) — the slab-layer
+    /// companion of trim_pcp.
+    virtual bool trim_depot(std::size_t keep_blocks) = 0;
+
     /// Edge: harvest every deferral whose grace period completed.
     virtual bool reclaim() = 0;
 };
@@ -205,6 +211,13 @@ class AllocatorActuators : public Actuators
     trim_pcp(std::size_t keep_per_order) override
     {
         allocator_.page_allocator().trim_pcp(keep_per_order);
+        return true;
+    }
+
+    bool
+    trim_depot(std::size_t keep_blocks) override
+    {
+        allocator_.trim_depot(keep_blocks);
         return true;
     }
 
@@ -373,6 +386,8 @@ struct DefaultSchemeTuning
     std::uint64_t headroom_low_pages = 64;
     /// kWidenCbBatch when age.deferred_p99_ns exceeds this.
     std::uint64_t deferred_age_p99_ns = 50'000'000;
+    /// kTrimDepot when alloc.depot_full_objects exceeds this.
+    std::uint64_t depot_full_objects_high = 4096;
     std::chrono::milliseconds hold{10};
     std::chrono::milliseconds cooldown{50};
 };
@@ -400,6 +415,7 @@ class AllocatorActuators : public Actuators
     bool pace_gp(unsigned, std::size_t) override { return true; }
     bool shrink_latent(unsigned) override { return true; }
     bool trim_pcp(std::size_t) override { return true; }
+    bool trim_depot(std::size_t) override { return true; }
     bool reclaim() override { return true; }
 };
 
@@ -450,6 +466,7 @@ struct DefaultSchemeTuning
     std::uint64_t latent_bytes_high = 8u << 20;
     std::uint64_t headroom_low_pages = 64;
     std::uint64_t deferred_age_p99_ns = 50'000'000;
+    std::uint64_t depot_full_objects_high = 4096;
     std::chrono::milliseconds hold{10};
     std::chrono::milliseconds cooldown{50};
 };

@@ -86,6 +86,16 @@ yield_name(YieldId id)
         return "cb_handoff";
     case YieldId::kGovernorActuate:
         return "governor_actuate";
+    case YieldId::kLfStackPush:
+        return "lf_stack_push";
+    case YieldId::kLfStackPop:
+        return "lf_stack_pop";
+    case YieldId::kLfRing:
+        return "lf_ring";
+    case YieldId::kDepotExchange:
+        return "depot_exchange";
+    case YieldId::kDepotHarvest:
+        return "depot_harvest";
     case YieldId::kMaxYield:
         break;
     }
@@ -333,6 +343,8 @@ bug_name(BugId bug)
         return "none";
     case BugId::kStaleSpillTag:
         return "stale-spill-tag";
+    case BugId::kUnprotectedDepotPop:
+        return "unprotected-depot-pop";
     }
     return "unknown";
 }
@@ -342,6 +354,9 @@ bug_from_name(const char* name)
 {
     if (std::strcmp(name, bug_name(BugId::kStaleSpillTag)) == 0)
         return BugId::kStaleSpillTag;
+    if (std::strcmp(name,
+                    bug_name(BugId::kUnprotectedDepotPop)) == 0)
+        return BugId::kUnprotectedDepotPop;
     return BugId::kNone;
 }
 

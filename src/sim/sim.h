@@ -85,6 +85,16 @@ enum class YieldId : std::uint16_t {
     kGovernorActuate,  ///< between deciding an actuation and applying
                        ///< it (races allocator traffic + quiesce)
 
+    // sync/ + slab/ — lock-free per-CPU layer CAS windows
+    // (DESIGN.md §14).
+    kLfStackPush,    ///< between reading the stack head and the push CAS
+    kLfStackPop,     ///< between reading head->next and the pop CAS
+    kLfRing,         ///< between claiming a ring cell and publishing it
+    kDepotExchange,  ///< between filling/draining a depot block and the
+                     ///< CAS that exchanges custody
+    kDepotHarvest,   ///< between reading a deferred block's epoch and
+                     ///< claiming its objects for reuse
+
     kMaxYield
 };
 
@@ -284,6 +294,12 @@ enum class BugId : std::uint8_t {
     /// inside their grace period — the exact hazard DESIGN.md §9's
     /// conservative-tagging argument exists to prevent.
     kStaleSpillTag,
+    /// The depot harvest path treats a deferred magazine block as
+    /// reusable without checking that the grace period tagged on the
+    /// block has completed (epoch <= completed). Objects whose grace
+    /// period is still open are handed back to allocators — the exact
+    /// hazard the ABA-via-epochs argument in DESIGN.md §14 prevents.
+    kUnprotectedDepotPop,
 };
 
 /// Arm @p bug (kNone disarms). Test-only; see BugId.

@@ -14,14 +14,14 @@ namespace prudence {
 
 SlubAllocator::Cache::Cache(std::string name, std::size_t object_size,
                             BuddyAllocator& buddy, PageOwnerTable& owners,
-                            unsigned ncpus)
+                            unsigned ncpus, bool lockfree)
     : pool(std::move(name), object_size, buddy, owners)
 {
     pool.set_context(this);
     cpus.reserve(ncpus);
     for (unsigned i = 0; i < ncpus; ++i) {
-        cpus.push_back(
-            std::make_unique<PerCpu>(pool.geometry().cache_capacity));
+        cpus.push_back(std::make_unique<PerCpu>(
+            pool.geometry().cache_capacity, lockfree));
     }
 }
 
@@ -33,6 +33,7 @@ SlubAllocator::SlubAllocator(GracePeriodDomain& domain,
       owners_(buddy_),
       cpu_registry_(config.cpus),
       magazine_capacity_(config.magazine_capacity),
+      lockfree_pcpu_(config.lockfree_pcpu),
       pressure_drain_batch_(config.pressure_drain_batch),
       magazine_registry_(ThreadCacheRegistry::Hooks{
           [this](void* t) {
@@ -44,7 +45,7 @@ SlubAllocator::SlubAllocator(GracePeriodDomain& domain,
     for (std::size_t i = 0; i < kNumSizeClasses; ++i) {
         caches_[i] = std::make_unique<Cache>(
             size_class_name(i), kSizeClasses[i], buddy_, owners_,
-            cpu_registry_.max_cpus());
+            cpu_registry_.max_cpus(), lockfree_pcpu_);
         caches_[i]->index = i;
     }
     cache_count_.store(kNumSizeClasses, std::memory_order_release);
@@ -147,7 +148,8 @@ SlubAllocator::create_cache(const std::string& name,
     if (count == kMaxCaches)
         throw std::runtime_error("SlubAllocator: too many caches");
     caches_[count] = std::make_unique<Cache>(
-        name, object_size, buddy_, owners_, cpu_registry_.max_cpus());
+        name, object_size, buddy_, owners_, cpu_registry_.max_cpus(),
+        lockfree_pcpu_);
     caches_[count]->index = count;
     cache_count_.store(count + 1, std::memory_order_release);
     return CacheId{count};
@@ -210,6 +212,47 @@ SlubAllocator::alloc_impl(Cache& c)
     alloc_span.set_args(c.pool.geometry().object_size);
 
     PerCpu& pc = *c.cpus[cpu_registry_.cpu_id()];
+    if (pc.ring) {
+        // Lock-free leg: one CAS pop on the hit path. CacheStats
+        // counters are atomic, so no per-CPU lock is needed anywhere
+        // here — misses take only the node lock inside refill_batch.
+        if (void* obj = pc.ring->pop()) {
+            stats.cache_hits.add();
+            stats.live_objects.add();
+            PRUDENCE_TRACE_STMT({
+                static Counter& hits =
+                    trace::MetricsRegistry::instance().counter(
+                        "slub.cache_hit");
+                hits.add();
+            });
+            return obj;
+        }
+        PRUDENCE_TRACE_STMT({
+            static Counter& misses =
+                trace::MetricsRegistry::instance().counter(
+                    "slub.cache_miss");
+            misses.add();
+        });
+        void* batch[256];
+        std::size_t want = c.pool.geometry().refill_target;
+        if (want > 256)
+            want = 256;
+        std::size_t got = refill_batch(c, batch, want);
+        if (got == 0)
+            return nullptr;  // out of memory
+        stats.live_objects.add();
+        for (std::size_t i = 1; i < got; ++i) {
+            if (!pc.ring->push(batch[i])) {
+                // Concurrent frees filled the ring meanwhile: return
+                // the surplus straight to the slabs.
+                flush_batch(c, batch + i, got - i);
+                break;
+            }
+        }
+        return batch[0];
+    }
+
+    stats.pcpu_lock_acquisitions.add();
     std::lock_guard<SpinLock> guard(pc.lock);
 
     if (void* obj = pc.cache.pop()) {
@@ -306,6 +349,36 @@ SlubAllocator::free_impl(Cache& c, void* p, bool from_callback)
     free_span.set_args(c.pool.geometry().object_size);
 
     PerCpu& pc = *c.cpus[cpu_registry_.cpu_id()];
+    if (pc.ring) {
+        // Lock-free leg: one CAS push on the fast path. On overflow,
+        // pop the conventional half-cache batch back to the slabs and
+        // retry; a bounded number of attempts covers pathological
+        // races (other threads refilling the ring between our drain
+        // and our push), then the object goes straight to its slab.
+        for (int attempt = 0; attempt < 4; ++attempt) {
+            if (pc.ring->push(p))
+                return;
+            void* victims[256];
+            std::size_t n = pc.ring->capacity() / 2 + 1;
+            if (n > 256)
+                n = 256;
+            std::size_t k = 0;
+            while (k < n) {
+                void* o = pc.ring->pop();
+                if (o == nullptr)
+                    break;
+                victims[k++] = o;
+            }
+            if (k > 0) {
+                stats.flushes.add();
+                flush_batch(c, victims, k);
+            }
+        }
+        flush_batch(c, &p, 1);
+        return;
+    }
+
+    stats.pcpu_lock_acquisitions.add();
     std::lock_guard<SpinLock> guard(pc.lock);
     if (pc.cache.full()) {
         // Overflow: spill half the cache (the conventional policy the
@@ -325,14 +398,53 @@ SlubAllocator::flush(Cache& c, ObjectCache& cache, std::size_t n)
     if (k == 0)
         return;
     c.pool.stats().flushes.add();
+    flush_batch(c, victims, k);
+}
 
+std::size_t
+SlubAllocator::refill_batch(Cache& c, void** out, std::size_t want)
+{
+    if (PRUDENCE_FAULT_POINT(kRefillFail))
+        return 0;
+    NodeLists& node = c.pool.node();
+    std::size_t moved = 0;
+
+    std::lock_guard<SpinLock> node_guard(node.lock);
+    while (moved < want) {
+        SlabHeader* slab = node.partial.front();
+        if (slab == nullptr)
+            slab = node.free.front();
+        if (slab == nullptr) {
+            slab = c.pool.grow();
+            if (slab == nullptr)
+                break;
+            node.move_to(slab, SlabListKind::kPartial);
+        }
+        while (moved < want) {
+            void* obj = slab->freelist_pop();
+            if (obj == nullptr)
+                break;
+            out[moved++] = obj;
+        }
+        node.move_to(slab, NodeLists::natural_kind(slab));
+    }
+    if (moved > 0)
+        c.pool.stats().refills.add();
+    return moved;
+}
+
+void
+SlubAllocator::flush_batch(Cache& c, void* const* objs, std::size_t k)
+{
+    if (k == 0)
+        return;
     NodeLists& node = c.pool.node();
     bool maybe_shrink = false;
     {
         std::lock_guard<SpinLock> node_guard(node.lock);
         for (std::size_t i = 0; i < k; ++i) {
-            SlabHeader* slab = c.pool.slab_of(victims[i]);
-            slab->freelist_push(victims[i]);
+            SlabHeader* slab = c.pool.slab_of(objs[i]);
+            slab->freelist_push(objs[i]);
             node.move_to(slab, NodeLists::natural_kind(slab));
         }
         maybe_shrink =
@@ -378,6 +490,37 @@ SlubAllocator::magazine_alloc_slow(Cache& c, ThreadMagazines& t,
         want = 1;
     std::size_t got = 0;
     bool refilled = false;
+    if (pc.ring) {
+        // Lock-free leg: pull the refill batch out of the ring by
+        // CAS pops; stat deltas flush straight into the (atomic)
+        // shared counters without touching the per-CPU lock.
+        if (m.stats.any())
+            m.stats.flush_into(stats);
+        while (got < want) {
+            void* obj = pc.ring->pop();
+            if (obj == nullptr)
+                break;
+            m.objects.push(obj);
+            ++got;
+        }
+        if (got == 0) {
+            void* batch[kMaxMagazineCapacity];
+            got = refill_batch(c, batch, want);
+            if (got == 0)
+                return nullptr;  // out of memory
+            for (std::size_t i = 0; i < got; ++i)
+                m.objects.push(batch[i]);
+            refilled = true;
+        }
+        stats.live_objects.add(static_cast<std::int64_t>(got));
+        if (!refilled)
+            ++m.stats.cache_hits;
+        PRUDENCE_TRACE_EMIT(trace::EventId::kMagRefill, got, t.cpu);
+        void* obj = m.objects.pop();
+        assert(obj != nullptr);
+        return obj;
+    }
+    stats.pcpu_lock_acquisitions.add();
     {
         std::lock_guard<SpinLock> guard(pc.lock);
         if (m.stats.any())
@@ -421,6 +564,25 @@ SlubAllocator::magazine_flush(Cache& c, ThreadMagazines& t,
         return;
     CacheStats& stats = c.pool.stats();
     PerCpu& pc = *c.cpus[t.cpu];
+    if (pc.ring) {
+        // Lock-free leg: CAS-push the batch; whatever the ring cannot
+        // absorb goes straight back to the slabs (the ring has no
+        // take_oldest, so overflow spills the newcomers, not the
+        // resident objects — same net occupancy).
+        if (m.stats.any())
+            m.stats.flush_into(stats);
+        std::size_t pushed = 0;
+        while (pushed < k && pc.ring->push(victims[pushed]))
+            ++pushed;
+        if (pushed < k) {
+            stats.flushes.add();
+            flush_batch(c, victims + pushed, k - pushed);
+        }
+        stats.live_objects.sub(static_cast<std::int64_t>(k));
+        PRUDENCE_TRACE_EMIT(trace::EventId::kMagFlush, k, t.cpu);
+        return;
+    }
+    stats.pcpu_lock_acquisitions.add();
     {
         std::lock_guard<SpinLock> guard(pc.lock);
         if (m.stats.any())
@@ -458,8 +620,12 @@ SlubAllocator::drain_table(ThreadMagazines& t)
             magazine_flush(c, t, m, m.objects.count());
         if (m.stats.any()) {
             PerCpu& pc = *c.cpus[t.cpu];
-            std::lock_guard<SpinLock> guard(pc.lock);
-            m.stats.flush_into(c.pool.stats());
+            if (pc.ring) {
+                m.stats.flush_into(c.pool.stats());
+            } else {
+                std::lock_guard<SpinLock> guard(pc.lock);
+                m.stats.flush_into(c.pool.stats());
+            }
         }
     }
 }
@@ -574,6 +740,8 @@ SlubAllocator::validate()
         for (auto& pc : c.cpus) {
             std::lock_guard<SpinLock> guard(pc->lock);
             cached += pc->cache.count();
+            if (pc->ring)
+                cached += pc->ring->count();
         }
         auto live = static_cast<std::size_t>(
             c.pool.stats().live_objects.get());

@@ -32,7 +32,14 @@
 #include "sync/cacheline.h"
 #include "sync/cpu_registry.h"
 #include "sync/spinlock.h"
+#include "sync/lockfree_ring.h"
 #include "sync/thread_cache_registry.h"
+
+// Build-time default for the lock-free per-CPU layer toggle (CMake
+// option PRUDENCE_LOCKFREE_PCPU); see core/prudence_config.h.
+#if !defined(PRUDENCE_LOCKFREE_PCPU_DEFAULT)
+#define PRUDENCE_LOCKFREE_PCPU_DEFAULT 1
+#endif
 
 namespace prudence {
 
@@ -59,6 +66,16 @@ struct SlubConfig
      * the layer (engine drainer threads never exit).
      */
     std::size_t magazine_capacity = 32;
+
+    /**
+     * Lock-free per-CPU object caches (DESIGN.md §14): each CPU's
+     * cache is a bounded lock-free MPMC ring instead of a
+     * spinlock-guarded ObjectCache, so alloc/free/callback-invoked
+     * frees stop contending the per-CPU lock (drainer threads hammer
+     * it hardest). false = legacy locked path (the A/B baseline leg).
+     * Mirrors PrudenceConfig::lockfree_pcpu.
+     */
+    bool lockfree_pcpu = PRUDENCE_LOCKFREE_PCPU_DEFAULT != 0;
 
     /// Per-CPU page-cache high watermark (0 = off), mirroring
     /// PrudenceConfig::pcp_high_watermark so both allocators front
@@ -120,8 +137,20 @@ class SlubAllocator final : public Allocator
     {
         SpinLock lock;
         ObjectCache cache;
+        /**
+         * Lock-free replacement for `cache` (DESIGN.md §14), non-null
+         * when SlubConfig::lockfree_pcpu: alloc, free and — above all
+         * — callback-invoked frees (engine drainer threads hammering
+         * a victim CPU) exchange objects by ring CAS, leaving `lock`
+         * to the legacy A/B leg and validate().
+         */
+        std::unique_ptr<LockFreeRing> ring;
 
-        explicit PerCpu(std::size_t capacity) : cache(capacity) {}
+        PerCpu(std::size_t capacity, bool lockfree) : cache(capacity)
+        {
+            if (lockfree)
+                ring = std::make_unique<LockFreeRing>(capacity);
+        }
     };
 
     static_assert(alignof(PerCpu) == kCacheLineSize,
@@ -139,7 +168,7 @@ class SlubAllocator final : public Allocator
 
         Cache(std::string name, std::size_t object_size,
               BuddyAllocator& buddy, PageOwnerTable& owners,
-              unsigned ncpus);
+              unsigned ncpus, bool lockfree);
     };
 
     Cache& cache_ref(CacheId id) const;
@@ -161,8 +190,14 @@ class SlubAllocator final : public Allocator
     /// Refill the object cache from node slabs (grows if needed).
     /// Returns true when at least one object was added.
     bool refill(Cache& c, ObjectCache& cache);
+    /// Pop up to @p want objects from node slabs (grows if needed)
+    /// into @p out — the refill primitive of the lock-free leg, which
+    /// has no ObjectCache to fill. @return objects delivered.
+    std::size_t refill_batch(Cache& c, void** out, std::size_t want);
     /// Spill @p n cold objects from the cache back into their slabs.
     void flush(Cache& c, ObjectCache& cache, std::size_t n);
+    /// Return @p k specific objects to their slabs (node lock inside).
+    void flush_batch(Cache& c, void* const* objs, std::size_t k);
     /// Release free slabs beyond the retention limit.
     void shrink(Cache& c);
 
@@ -174,6 +209,8 @@ class SlubAllocator final : public Allocator
     CpuRegistry cpu_registry_;
     /// Magazine knob (from SlubConfig; 0 = layer disabled).
     std::size_t magazine_capacity_;
+    /// Lock-free per-CPU toggle (from SlubConfig; DESIGN.md §14).
+    bool lockfree_pcpu_;
     /// Governor admission-restriction drain width (from SlubConfig).
     std::size_t pressure_drain_batch_;
     /// Per-thread magazine tables (drain-on-thread-exit). Shut down

@@ -21,6 +21,8 @@ CacheStats::reset()
     oom_waits.reset();
     oom_expedites.reset();
     oom_failures.reset();
+    pcpu_lock_acquisitions.reset();
+    depot_exchanges.reset();
     slabs.reset();
     live_objects.reset();
     deferred_outstanding.reset();
@@ -93,6 +95,8 @@ snapshot_cache_stats(const CacheStats& stats, const std::string& name,
     s.oom_waits = stats.oom_waits.get();
     s.oom_expedites = stats.oom_expedites.get();
     s.oom_failures = stats.oom_failures.get();
+    s.pcpu_lock_acquisitions = stats.pcpu_lock_acquisitions.get();
+    s.depot_exchanges = stats.depot_exchanges.get();
     s.current_slabs = stats.slabs.get();
     s.peak_slabs = stats.slabs.peak();
     s.live_objects = stats.live_objects.get();

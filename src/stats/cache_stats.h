@@ -49,6 +49,14 @@ struct CacheStats
     Counter oom_expedites;
     /// Allocation attempts that failed outright (OOM).
     Counter oom_failures;
+    /// Per-CPU spinlock acquisitions on the alloc/free/defer hot path
+    /// (fig14-style contention accounting for the slab layer; the
+    /// lock-free per-CPU layer drives this to ~0 — DESIGN.md §14).
+    /// Maintenance/introspection acquisitions are not counted.
+    Counter pcpu_lock_acquisitions;
+    /// Whole-magazine exchanges with the lock-free depot (refills +
+    /// flushes + deferral spills served by one CAS, no lock).
+    Counter depot_exchanges;
     /// Slabs currently allocated / high-water mark (Fig. 10).
     PeakGauge slabs;
     /// Objects currently handed out to users / high-water mark.
@@ -82,6 +90,8 @@ struct CacheStatsSnapshot
     std::uint64_t oom_waits = 0;
     std::uint64_t oom_expedites = 0;
     std::uint64_t oom_failures = 0;
+    std::uint64_t pcpu_lock_acquisitions = 0;
+    std::uint64_t depot_exchanges = 0;
     std::int64_t current_slabs = 0;
     std::int64_t peak_slabs = 0;
     std::int64_t live_objects = 0;

@@ -29,10 +29,17 @@ cpu_relax()
 /**
  * Exponential backoff: spin with pause hints, escalating to
  * std::this_thread::yield() once the spin budget is exhausted.
+ *
+ * Bound: one pause() step issues at most kMaxSpins pause hints; the
+ * budget doubles per step up to that cap and then every further step
+ * is a single sched-yield, so no caller spins unboundedly between
+ * re-checks of the guarded condition.
  */
 class Backoff
 {
   public:
+    /// Hard cap on pause hints per step (the max-spin bound above).
+    static constexpr unsigned kMaxSpins = 1024;
     /// Perform one backoff step.
     void
     pause()
@@ -50,7 +57,6 @@ class Backoff
     void reset() { spins_ = 1; }
 
   private:
-    static constexpr unsigned kMaxSpins = 1024;
     unsigned spins_ = 1;
 };
 

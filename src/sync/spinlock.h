@@ -26,7 +26,18 @@ class SpinLock
     SpinLock(const SpinLock&) = delete;
     SpinLock& operator=(const SpinLock&) = delete;
 
-    /// Acquire the lock, spinning with backoff until available.
+    /**
+     * Acquire the lock, spinning with backoff until available.
+     *
+     * Contended-path bound and fairness: each backoff step issues at
+     * most Backoff::kMaxSpins (1024) pause hints before degrading to
+     * sched-yield, so a waiter is never buried in an unbounded pause
+     * burst. The backoff is reset every time the lock is observed
+     * free — all contenders re-race the next acquisition from the
+     * shortest backoff instead of long-waiting threads carrying an
+     * ever-growing penalty against fresh arrivals (the unfairness
+     * that starved old waiters under sustained contention).
+     */
     void
     lock()
     {
@@ -40,6 +51,9 @@ class SpinLock
                 return;
             while (locked_.load(std::memory_order_relaxed))
                 backoff.pause();
+            // Lock observed free: level the playing field for the
+            // re-race (see contract above).
+            backoff.reset();
         }
     }
 

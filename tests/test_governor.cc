@@ -49,6 +49,10 @@ struct RecordingActuators : Actuators
     std::vector<Pace> paces;
     std::vector<unsigned> admissions;
     std::vector<std::size_t> trims;
+    std::vector<std::size_t> depot_trims;
+    /// Poll-safe progress signal for threaded tests: the vectors
+    /// above may only be read after gov->stop() joins the loop.
+    std::atomic<std::size_t> pace_count{0};
     int reclaims = 0;
     int refuse_remaining = 0;
 
@@ -68,6 +72,7 @@ struct RecordingActuators : Actuators
         if (refuse())
             return false;
         paces.push_back({level, batch});
+        pace_count.fetch_add(1, std::memory_order_release);
         return true;
     }
     bool
@@ -84,6 +89,14 @@ struct RecordingActuators : Actuators
         if (refuse())
             return false;
         trims.push_back(keep);
+        return true;
+    }
+    bool
+    trim_depot(std::size_t keep_blocks) override
+    {
+        if (refuse())
+            return false;
+        depot_trims.push_back(keep_blocks);
         return true;
     }
     bool
@@ -303,6 +316,24 @@ TEST(GovernorActuation, EdgeActionsFireOncePerExcursion)
     EXPECT_EQ(h.acts.reclaims, 2);
 }
 
+TEST(GovernorActuation, TrimDepotFiresOncePerExcursionWithArg)
+{
+    Scheme s = above_signal(100, 50);
+    s.name = "trim_depot";
+    s.action = ActionId::kTrimDepot;
+    s.arg = 4;
+    Harness h({s});
+
+    for (int i = 0; i < 3; ++i)
+        h.step(120, static_cast<std::uint64_t>(i) * kMs);
+    ASSERT_EQ(h.acts.depot_trims.size(), 1u) << "edge action re-fired";
+    EXPECT_EQ(h.acts.depot_trims.front(), 4u);
+
+    h.step(10, 10 * kMs);   // excursion ends
+    h.step(120, 20 * kMs);  // next excursion fires again
+    EXPECT_EQ(h.acts.depot_trims.size(), 2u);
+}
+
 TEST(GovernorActuation, ShrinkLatentHoldsAdmissionWhileActive)
 {
     Scheme s = above_signal(100, 50);
@@ -472,7 +503,7 @@ TEST(GovernorConfigTest, DefaultSchemesCoverTheStockRules)
     DefaultSchemeTuning tuning;
     tuning.prefix = "p.";
     auto schemes = default_schemes(tuning);
-    ASSERT_EQ(schemes.size(), 4u);
+    ASSERT_EQ(schemes.size(), 5u);
     EXPECT_EQ(schemes[0].probe, "p.alloc.latent_bytes");
     EXPECT_EQ(schemes[0].action, ActionId::kExpediteGp);
     EXPECT_EQ(schemes[1].probe, "p.age.deferred_p99_ns");
@@ -480,6 +511,8 @@ TEST(GovernorConfigTest, DefaultSchemesCoverTheStockRules)
     EXPECT_EQ(schemes[2].probe, "p.buddy.low_order_headroom_pages");
     EXPECT_EQ(schemes[2].action, ActionId::kShrinkLatent);
     EXPECT_EQ(schemes[3].action, ActionId::kTrimPcp);
+    EXPECT_EQ(schemes[4].probe, "p.alloc.depot_full_objects");
+    EXPECT_EQ(schemes[4].action, ActionId::kTrimDepot);
     for (const Scheme& s : schemes) {
         EXPECT_TRUE(s.enabled);
         EXPECT_GT(s.rearm, 0u);
@@ -492,8 +525,10 @@ TEST(GovernorThread, StartStopRelaxesActuation)
     h.value.store(120);
     h.monitor.sample_at(0);
     h.gov->start();
-    // The background loop evaluates at least once promptly.
-    for (int i = 0; i < 200 && h.acts.paces.empty(); ++i)
+    // The background loop evaluates at least once promptly. Poll the
+    // atomic counter; the vectors are safe to read only after stop()
+    // joins the loop thread.
+    for (int i = 0; i < 200 && h.acts.pace_count.load() == 0; ++i)
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
     h.gov->stop();
     ASSERT_FALSE(h.acts.paces.empty());
@@ -622,6 +657,7 @@ TEST(GovernorSubstrate, AllocatorActuatorsDriveTheRealSurfaces)
     EXPECT_EQ(alloc.deferred_admission(), 50u);
 #endif
     EXPECT_TRUE(acts.trim_pcp(0));
+    EXPECT_TRUE(acts.trim_depot(0));
     EXPECT_TRUE(acts.reclaim());
 }
 

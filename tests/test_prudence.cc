@@ -125,7 +125,12 @@ TEST(Prudence, DeferredObjectReusableAfterGracePeriod)
 TEST(Prudence, LatentOverflowSpillsToLatentSlab)
 {
     ManualRcuDomain domain;
-    PrudenceAllocator alloc(domain, manual_config());
+    // Locked leg: this test exercises the latent-ring overflow ->
+    // latent-slab -> premove chain, which the depot fast path (spills
+    // become whole deferred depot blocks) deliberately bypasses.
+    PrudenceConfig cfg = manual_config();
+    cfg.lockfree_pcpu = false;
+    PrudenceAllocator alloc(domain, cfg);
     CacheId id = alloc.create_cache("overflow", 128);
     std::size_t cap = compute_slab_geometry(128).cache_capacity;
 
@@ -170,7 +175,12 @@ TEST(Prudence, PreMovedSlabsReclaimedAfterGracePeriod)
 TEST(Prudence, PreflushRequestedAndExecuted)
 {
     ManualRcuDomain domain;
-    PrudenceAllocator alloc(domain, manual_config());
+    // Locked leg: pre-flush triggers on per-CPU object/latent cache
+    // occupancy, which stays empty while the depot absorbs magazine
+    // flushes and deferral spills.
+    PrudenceConfig cfg = manual_config();
+    cfg.lockfree_pcpu = false;
+    PrudenceAllocator alloc(domain, cfg);
     CacheId id = alloc.create_cache("preflush", 128);
     std::size_t cap = compute_slab_geometry(128).cache_capacity;
 
@@ -286,9 +296,13 @@ TEST(Prudence, OomDeferralDisabledFailsFast)
 TEST(Prudence, FlushAccountsForLatentOccupancy)
 {
     // With a loaded latent cache, an overflow flush must evict more
-    // objects than the bare half-capacity baseline.
+    // objects than the bare half-capacity baseline. Locked leg: sized
+    // flush is a property of the per-CPU spill path the depot
+    // replaces with whole-block exchanges.
     ManualRcuDomain domain;
-    PrudenceAllocator alloc(domain, manual_config());
+    PrudenceConfig cfg = manual_config();
+    cfg.lockfree_pcpu = false;
+    PrudenceAllocator alloc(domain, cfg);
     CacheId id = alloc.create_cache("sized_flush", 128);
     std::size_t cap = compute_slab_geometry(128).cache_capacity;
 

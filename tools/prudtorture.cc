@@ -74,6 +74,9 @@ struct Options
     std::size_t pcp_high_watermark = 32;
     std::size_t pcp_batch = 8;
     std::uint64_t stall_threshold_ms = 1000;
+    /// Lock-free per-CPU caches + magazine depot (DESIGN.md §14):
+    /// -1 = build default, 0 = legacy spinlock leg, 1 = lock-free leg.
+    int lockfree_pcpu = -1;
     bool expect_stall = false;
     /// Stop after this many updates instead of after --duration
     /// (0 = duration-bounded).
@@ -119,6 +122,10 @@ usage(const char* argv0)
         "0 = off (default 32)\n"
         "  --pcp-high-watermark=N   per-CPU page-cache watermark, "
         "0 = off (default 32)\n"
+        "  --lockfree-pcpu=0|1      legacy spinlock (0) or lock-free "
+        "per-CPU\n"
+        "                           caches + depot (1); default = "
+        "build default\n"
         "  --pcp-batch=N            page-cache refill/drain batch "
         "(default 8)\n"
         "  --stall-threshold-ms=N   stall-detector threshold "
@@ -188,6 +195,8 @@ parse_options(int argc, char** argv, Options& opt)
                 static_cast<std::size_t>(std::atoll(v));
         else if (flag_value(argv[i], "--pcp-batch", &v))
             opt.pcp_batch = static_cast<std::size_t>(std::atoll(v));
+        else if (flag_value(argv[i], "--lockfree-pcpu", &v))
+            opt.lockfree_pcpu = std::atoi(v);
         else if (flag_value(argv[i], "--stall-threshold-ms", &v))
             opt.stall_threshold_ms = std::strtoull(v, nullptr, 0);
         else if (std::strcmp(argv[i], "--expect-stall") == 0)
@@ -641,6 +650,8 @@ main(int argc, char** argv)
         cfg.magazine_capacity = opt.magazine_capacity;
         cfg.pcp_high_watermark = opt.pcp_high_watermark;
         cfg.pcp_batch = opt.pcp_batch;
+        if (opt.lockfree_pcpu >= 0)
+            cfg.lockfree_pcpu = opt.lockfree_pcpu != 0;
         auto owned = std::make_unique<prudence::SlubAllocator>(domain, cfg);
         slub = owned.get();
         alloc = std::move(owned);
@@ -650,6 +661,8 @@ main(int argc, char** argv)
         cfg.magazine_capacity = opt.magazine_capacity;
         cfg.pcp_high_watermark = opt.pcp_high_watermark;
         cfg.pcp_batch = opt.pcp_batch;
+        if (opt.lockfree_pcpu >= 0)
+            cfg.lockfree_pcpu = opt.lockfree_pcpu != 0;
         if (opt.deterministic)
             cfg.maintenance_interval = std::chrono::microseconds(0);
         alloc =

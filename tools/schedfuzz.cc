@@ -17,8 +17,9 @@
  *   schedfuzz --seed=17 --sites=mag_defer_buffer,gp_publish
  *   schedfuzz --self-test                 # prove the fuzzer works:
  *       arms the stale-spill-tag bug, demands a find within the seed
- *       budget, replays the reported seed, shrinks it, then demands a
- *       clean sweep with the bug disarmed.
+ *       budget, replays the reported seed, shrinks it, demands a
+ *       clean sweep with the bug disarmed, then repeats the find for
+ *       the unprotected-depot-pop bug on the lock-free leg.
  */
 #include <cstdint>
 #include <cstdio>
@@ -66,6 +67,9 @@ struct Options
     std::uint64_t ops = 300;        // deferrals per updater
     std::size_t magazine_capacity = 16;
     std::size_t pcp_high_watermark = 16;
+    /// Lock-free per-CPU caches + depot (DESIGN.md §14): -1 = build
+    /// default, 0 = legacy spinlock leg, 1 = lock-free leg.
+    int lockfree_pcpu = -1;
     std::uint64_t base_delay_ns = 50'000;
     bool self_test = false;
     bool shrink = true;
@@ -151,6 +155,8 @@ parse_options(int argc, char** argv)
             o.magazine_capacity = std::strtoull(v, nullptr, 10);
         else if (const char* v = flag_value(a, "--pcp-high-watermark"))
             o.pcp_high_watermark = std::strtoull(v, nullptr, 10);
+        else if (const char* v = flag_value(a, "--lockfree-pcpu"))
+            o.lockfree_pcpu = std::atoi(v);
         else if (const char* v = flag_value(a, "--base-delay-ns"))
             o.base_delay_ns = std::strtoull(v, nullptr, 10);
         else if (const char* v = flag_value(a, "--report"))
@@ -166,6 +172,7 @@ parse_options(int argc, char** argv)
                 "                 [--updaters=N] [--readers=N] [--ops=N]\n"
                 "                 [--magazine-capacity=N]\n"
                 "                 [--pcp-high-watermark=N]\n"
+                "                 [--lockfree-pcpu=0|1]\n"
                 "                 [--base-delay-ns=N] [--report=FILE]\n"
                 "                 [--self-test] [--no-shrink]\n");
             std::exit(0);
@@ -208,6 +215,8 @@ run_one(std::uint64_t seed, std::uint32_t sites, const Options& o)
     pcfg.cpus = 2;
     pcfg.magazine_capacity = o.magazine_capacity;
     pcfg.pcp_high_watermark = o.pcp_high_watermark;
+    if (o.lockfree_pcpu >= 0)
+        pcfg.lockfree_pcpu = o.lockfree_pcpu != 0;
     pcfg.maintenance_interval = std::chrono::microseconds(100);
     PrudenceAllocator alloc(domain, pcfg);
 
@@ -314,6 +323,8 @@ print_failure(std::uint64_t seed, std::uint32_t sites,
         std::printf(" --magazine-capacity=%zu", o.magazine_capacity);
     if (o.pcp_high_watermark != 16)
         std::printf(" --pcp-high-watermark=%zu", o.pcp_high_watermark);
+    if (o.lockfree_pcpu >= 0)
+        std::printf(" --lockfree-pcpu=%d", o.lockfree_pcpu != 0 ? 1 : 0);
     std::printf("\n");
 }
 
@@ -409,7 +420,7 @@ int
 self_test(Options o)
 {
     std::printf("schedfuzz self-test\n");
-    std::printf("[1/4] sweeping up to %llu seeds with --bug=%s\n",
+    std::printf("[1/6] sweeping up to %llu seeds with --bug=%s\n",
                 static_cast<unsigned long long>(o.seeds),
                 sim::bug_name(sim::BugId::kStaleSpillTag));
     Options buggy = o;
@@ -423,7 +434,7 @@ self_test(Options o)
     }
     print_failure(seed, buggy.sites, buggy, r);
 
-    std::printf("[2/4] replaying seed %llu\n",
+    std::printf("[2/6] replaying seed %llu\n",
                 static_cast<unsigned long long>(seed));
     RunResult replay = run_one(seed, buggy.sites, buggy);
     if (!replay.failed) {
@@ -436,16 +447,16 @@ self_test(Options o)
 
     std::uint32_t shrunk = buggy.sites;
     if (o.shrink) {
-        std::printf("[3/4] shrinking yield-site set\n");
+        std::printf("[3/6] shrinking yield-site set\n");
         shrunk = shrink_sites(seed, buggy.sites, buggy);
         std::printf("  minimal sites: {%s}\n",
                     sites_to_string(shrunk).c_str());
     } else {
-        std::printf("[3/4] shrink skipped (--no-shrink)\n");
+        std::printf("[3/6] shrink skipped (--no-shrink)\n");
     }
     write_report(buggy, seed, buggy.sites, shrunk, r);
 
-    std::printf("[4/4] sweeping %llu seeds with the bug disarmed\n",
+    std::printf("[4/6] sweeping %llu seeds with the bug disarmed\n",
                 static_cast<unsigned long long>(o.seeds));
     Options clean = o;
     clean.bug = sim::BugId::kNone;
@@ -457,9 +468,42 @@ self_test(Options o)
                     static_cast<unsigned long long>(clean_seed));
         return 1;
     }
-    std::printf("self-test PASS (bug found at seed %llu, clean sweep "
-                "clean)\n",
-                static_cast<unsigned long long>(seed));
+
+    // Second deliberate bug: a depot pop that skips the grace-period
+    // check (DESIGN.md §14). Only the lock-free leg has a depot, so
+    // force it on regardless of the command line.
+    std::printf("[5/6] sweeping up to %llu seeds with --bug=%s "
+                "(lock-free leg forced on)\n",
+                static_cast<unsigned long long>(o.seeds),
+                sim::bug_name(sim::BugId::kUnprotectedDepotPop));
+    Options depot = o;
+    depot.bug = sim::BugId::kUnprotectedDepotPop;
+    depot.lockfree_pcpu = 1;
+    std::uint64_t depot_seed = 0;
+    RunResult depot_r;
+    if (!sweep(depot, &depot_seed, &depot_r)) {
+        std::printf("FAIL: deliberate depot bug not found within %llu "
+                    "seeds\n",
+                    static_cast<unsigned long long>(o.seeds));
+        return 1;
+    }
+    print_failure(depot_seed, depot.sites, depot, depot_r);
+
+    std::printf("[6/6] replaying seed %llu\n",
+                static_cast<unsigned long long>(depot_seed));
+    RunResult depot_replay = run_one(depot_seed, depot.sites, depot);
+    if (!depot_replay.failed) {
+        std::printf("FAIL: seed %llu did not reproduce on replay\n",
+                    static_cast<unsigned long long>(depot_seed));
+        return 1;
+    }
+    std::printf("  reproduced (%zu violations)\n",
+                depot_replay.violations.size());
+
+    std::printf("self-test PASS (bugs found at seeds %llu and %llu, "
+                "clean sweep clean)\n",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(depot_seed));
     return 0;
 }
 
