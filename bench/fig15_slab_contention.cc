@@ -28,6 +28,7 @@
  */
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <thread>
@@ -46,14 +47,23 @@ struct RunResult
     double ns_per_op = 0.0;
     double lock_per_op = 0.0;
     double depot_per_op = 0.0;
+    // Attributed residual-miss counters (raw sums over caches).
+    std::uint64_t miss_cold = 0;
+    std::uint64_t miss_gp_pending = 0;
+    std::uint64_t prefills = 0;
+    std::uint64_t claim_hits = 0;
+    std::uint64_t harvests_ahead = 0;
 };
 
 /// One churn run: @p threads workers, each performing @p ops
 /// operations (alloc-burst / free-burst / defer mix) against a fresh
-/// allocator with the lock-free layer @p lockfree.
+/// allocator with the lock-free layer @p lockfree. @p defer_heavy
+/// inverts the defer mix (75% deferred instead of 25%) — the regime
+/// where refills race the prudence window and harvest-ahead earns
+/// its keep.
 RunResult
 run_churn(unsigned threads, std::size_t ops, std::size_t magazines,
-          bool lockfree)
+          bool lockfree, bool defer_heavy = false)
 {
     RcuConfig rcfg;
     rcfg.gp_interval = std::chrono::microseconds{200};
@@ -64,6 +74,16 @@ run_churn(unsigned threads, std::size_t ops, std::size_t magazines,
     cfg.cpus = threads;
     cfg.magazine_capacity = magazines;
     cfg.lockfree_pcpu = lockfree;
+    // Residual-miss mechanism toggles (run_bench.sh 2x2 matrix).
+    cfg.depot_blocks = prudence_bench::size_env("PRUDENCE_DEPOT_BLOCKS",
+                                                cfg.depot_blocks);
+    cfg.harvest_ahead =
+        prudence_bench::size_env("PRUDENCE_HARVEST_AHEAD",
+                                 cfg.harvest_ahead ? 1 : 0) != 0;
+    cfg.depot_prefill_blocks = prudence_bench::size_env(
+        "PRUDENCE_DEPOT_PREFILL", cfg.depot_prefill_blocks);
+    cfg.depot_claim_blocks = prudence_bench::size_env(
+        "PRUDENCE_CLAIM_RING", cfg.depot_claim_blocks);
     PrudenceAllocator alloc(rcu, cfg);
     CacheId cache = alloc.create_cache("fig15.obj", 128);
 
@@ -71,7 +91,8 @@ run_churn(unsigned threads, std::size_t ops, std::size_t magazines,
     std::vector<std::thread> workers;
     workers.reserve(threads);
     for (unsigned t = 0; t < threads; ++t) {
-        workers.emplace_back([&alloc, &go, cache, ops, t] {
+        workers.emplace_back([&alloc, &go, cache, ops, t,
+                              defer_heavy] {
             while (!go.load(std::memory_order_acquire)) {
             }
             // Bursts sized past the magazine capacity so every round
@@ -93,7 +114,8 @@ run_churn(unsigned threads, std::size_t ops, std::size_t magazines,
                     if (held[i] == nullptr)
                         continue;
                     state = state * 1664525u + 1013904223u;
-                    if ((state >> 16) % 4 == 0)
+                    bool defer = ((state >> 16) % 4 == 0) != defer_heavy;
+                    if (defer)
                         alloc.cache_free_deferred(cache, held[i]);
                     else
                         alloc.cache_free(cache, held[i]);
@@ -116,16 +138,21 @@ run_churn(unsigned threads, std::size_t ops, std::size_t magazines,
 
     alloc.quiesce();
     std::uint64_t locks = 0, exchanges = 0;
+    RunResult r;
     for (const auto& s : alloc.snapshots()) {
         locks += s.pcpu_lock_acquisitions;
         exchanges += s.depot_exchanges;
+        r.miss_cold += s.depot_miss_cold;
+        r.miss_gp_pending += s.depot_miss_gp_pending;
+        r.prefills += s.depot_prefills;
+        r.claim_hits += s.depot_claim_hits;
+        r.harvests_ahead += s.depot_harvests_ahead;
     }
 
     double total_ops = static_cast<double>(ops) * threads;
     double wall_ns = static_cast<double>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
             .count());
-    RunResult r;
     r.ns_per_op = wall_ns * threads / total_ops;
     r.lock_per_op = static_cast<double>(locks) / total_ops;
     r.depot_per_op = static_cast<double>(exchanges) / total_ops;
@@ -158,6 +185,7 @@ main(int argc, char** argv)
 
     double on8_lock = 0.0, off8_lock = 0.0;
     double on8_ns = 0.0, off8_ns = 0.0;
+    RunResult on8;
     for (unsigned threads : {1u, 2u, 4u, 8u}) {
         RunResult on = run_churn(threads, ops, magazines, true);
         RunResult off = run_churn(threads, ops, magazines, false);
@@ -170,7 +198,27 @@ main(int argc, char** argv)
             off8_lock = off.lock_per_op;
             on8_ns = on.ns_per_op;
             off8_ns = off.ns_per_op;
+            on8 = on;
         }
+    }
+
+    // Deferred-heavy mix (75% cache_free_deferred): the regime where
+    // the full stack starves behind open grace periods. The "-heavy"
+    // suffix keeps these rows out of the standard-leg parsers.
+    RunResult heavy8;
+    for (unsigned threads : {1u, 8u}) {
+        RunResult on = run_churn(threads, ops, magazines, true,
+                                 /*defer_heavy=*/true);
+        RunResult off = run_churn(threads, ops, magazines, false,
+                                  /*defer_heavy=*/true);
+        std::printf("%-8u %-9s %12.1f %14.4f %14.4f\n", threads,
+                    "on-heavy", on.ns_per_op, on.lock_per_op,
+                    on.depot_per_op);
+        std::printf("%-8u %-9s %12.1f %14.4f %14.4f\n", threads,
+                    "off-heavy", off.ns_per_op, off.lock_per_op,
+                    off.depot_per_op);
+        if (threads == 8)
+            heavy8 = on;
     }
 
     if (off8_lock > 0.0 && on8_ns > 0.0) {
@@ -179,5 +227,20 @@ main(int argc, char** argv)
                     off8_lock, on8_lock, off8_ns, on8_ns,
                     off8_ns / on8_ns);
     }
+    std::printf("# 8 threads on: miss_cold=%llu miss_gp_pending=%llu "
+                "prefills=%llu claim_hits=%llu harvests_ahead=%llu\n",
+                static_cast<unsigned long long>(on8.miss_cold),
+                static_cast<unsigned long long>(on8.miss_gp_pending),
+                static_cast<unsigned long long>(on8.prefills),
+                static_cast<unsigned long long>(on8.claim_hits),
+                static_cast<unsigned long long>(on8.harvests_ahead));
+    std::printf("# 8 threads on-heavy: miss_cold=%llu "
+                "miss_gp_pending=%llu prefills=%llu claim_hits=%llu "
+                "harvests_ahead=%llu\n",
+                static_cast<unsigned long long>(heavy8.miss_cold),
+                static_cast<unsigned long long>(heavy8.miss_gp_pending),
+                static_cast<unsigned long long>(heavy8.prefills),
+                static_cast<unsigned long long>(heavy8.claim_hits),
+                static_cast<unsigned long long>(heavy8.harvests_ahead));
     return 0;
 }

@@ -98,10 +98,27 @@ echo "== fig14_page_contention =="
     | tee "$TMP/fig14.txt"
 
 # fig15 runs its own lock-free on/off legs internally per thread
-# count (the per-CPU slab-lock analogue of fig14).
+# count (the per-CPU slab-lock analogue of fig14), plus a
+# deferred-heavy mix leg and the residual-miss attribution counters.
 echo "== fig15_slab_contention =="
 "$BUILD_DIR/bench/fig15_slab_contention" "$SCALE" \
     | tee "$TMP/fig15.txt"
+
+# Residual depot-miss mechanism matrix (DESIGN.md §14): slab-side
+# prefill x per-CPU claim ring, each on/off, harvest-ahead at the
+# build default. The run above is the prefill4_claim2 (all-default)
+# cell; the remaining three cells isolate each mechanism's share of
+# the lock_per_op reduction.
+for pf in 4 0; do
+    for cr in 2 0; do
+        [ "$pf" = 4 ] && [ "$cr" = 2 ] && continue
+        cfg="pf${pf}_cr${cr}"
+        echo "== fig15_slab_contention ($cfg) =="
+        PRUDENCE_DEPOT_PREFILL=$pf PRUDENCE_CLAIM_RING=$cr \
+            "$BUILD_DIR/bench/fig15_slab_contention" "$SCALE" \
+            | tee "$TMP/fig15_$cfg.txt"
+    done
+done
 
 # fig03 endurance leg with the telemetry monitor attached: the
 # RSS/latent-bytes/deferred-age time series land in the summary JSON
@@ -258,16 +275,33 @@ def parse_ablation_governor(path):
 def parse_fig15(path):
     rows = {}
     pat = re.compile(
-        r"^\s*(\d+)\s+(on|off)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)\s*$")
+        r"^\s*(\d+)\s+(on|off)(-heavy)?\s+([\d.]+)\s+([\d.]+)"
+        r"\s+([\d.]+)\s*$")
+    miss_pat = re.compile(
+        r"^# 8 threads (on(?:-heavy)?): miss_cold=(\d+)"
+        r" miss_gp_pending=(\d+) prefills=(\d+) claim_hits=(\d+)"
+        r" harvests_ahead=(\d+)\s*$")
     with open(path) as f:
         for line in f:
             m = pat.match(line)
             if m:
-                rows.setdefault("threads_" + m.group(1), {})[
-                    "lockfree_" + m.group(2)] = {
-                    "ns_per_op": float(m.group(3)),
-                    "pcpu_lock_acq_per_op": float(m.group(4)),
-                    "depot_exchanges_per_op": float(m.group(5)),
+                leg = "lockfree_" + m.group(2) + \
+                    ("_heavy" if m.group(3) else "")
+                rows.setdefault("threads_" + m.group(1), {})[leg] = {
+                    "ns_per_op": float(m.group(4)),
+                    "pcpu_lock_acq_per_op": float(m.group(5)),
+                    "depot_exchanges_per_op": float(m.group(6)),
+                }
+                continue
+            m = miss_pat.match(line)
+            if m:
+                leg = m.group(1).replace("-", "_")
+                rows.setdefault("miss_attribution", {})[leg] = {
+                    "miss_cold": int(m.group(2)),
+                    "miss_gp_pending": int(m.group(3)),
+                    "prefills": int(m.group(4)),
+                    "claim_hits": int(m.group(5)),
+                    "harvests_ahead": int(m.group(6)),
                 }
     return rows
 
@@ -296,6 +330,12 @@ doc = {
     "configs": {},
     "fig14_page_contention": parse_fig14(f"{tmp}/fig14.txt"),
     "fig15_slab_contention": parse_fig15(f"{tmp}/fig15.txt"),
+    "fig15_mechanism_matrix": {
+        "prefill4_claim2": parse_fig15(f"{tmp}/fig15.txt"),
+        "prefill4_claim0": parse_fig15(f"{tmp}/fig15_pf4_cr0.txt"),
+        "prefill0_claim2": parse_fig15(f"{tmp}/fig15_pf0_cr2.txt"),
+        "prefill0_claim0": parse_fig15(f"{tmp}/fig15_pf0_cr0.txt"),
+    },
     "fig03_telemetry": parse_telemetry(f"{tmp}/fig03_telemetry.json"),
     "ablation_governor":
         parse_ablation_governor(f"{tmp}/ablation_governor.txt"),
@@ -360,6 +400,17 @@ if "lockfree_on" in s8 and "lockfree_off" in s8:
         print(f"fig15 @8 threads: per-CPU lock acq/op {off_l:.4f} -> "
               f"{on_l:.4f}, ns/op {off_ns:.1f} -> {on_ns:.1f} "
               f"({off_ns / on_ns:.2f}x)")
+
+cells = []
+for name in ("prefill0_claim0", "prefill0_claim2", "prefill4_claim0",
+             "prefill4_claim2"):
+    cell = doc["fig15_mechanism_matrix"][name].get(
+        "threads_8", {}).get("lockfree_on")
+    if cell:
+        cells.append(f"{name} {cell['pcpu_lock_acq_per_op']:.4f}")
+if cells:
+    print("fig15 mechanism matrix @8 threads lock/op: "
+          + ", ".join(cells))
 
 t8 = doc["fig14_page_contention"].get("threads_8", {})
 if "pcp_on" in t8 and "pcp_off" in t8:

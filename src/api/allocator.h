@@ -180,6 +180,17 @@ class Allocator
     }
 
     /**
+     * Harvest-ahead sweep over the magazine depot (DESIGN.md §14):
+     * convert every deferred depot block whose grace period has
+     * completed into an immediately-reusable full block, WITHOUT
+     * releasing any cached capacity — the stock-replenishing
+     * counterpart of trim_depot, driven by the governor when the
+     * full-block stock runs low. No-op (0) for allocators without a
+     * depot. @return objects made reusable.
+     */
+    virtual std::size_t harvest_depot() { return 0; }
+
+    /**
      * Deep structural self-check: walk every slab of every cache and
      * cross-check freelists, latent structures, list membership and
      * object accounting. Exact accounting requires a quiescent

@@ -86,6 +86,21 @@ SlabPool::release_slab(SlabHeader* slab)
                         geometry_.object_size);
 }
 
+std::size_t
+SlabPool::pop_freelist_batch(SlabHeader* slab, void** out,
+                             std::size_t max)
+{
+    assert(slab->magic == SlabHeader::kMagicLive);
+    std::size_t moved = 0;
+    while (moved < max) {
+        void* obj = slab->freelist_pop();
+        if (obj == nullptr)
+            break;
+        out[moved++] = obj;
+    }
+    return moved;
+}
+
 CacheStatsSnapshot
 SlabPool::snapshot() const
 {

@@ -34,6 +34,7 @@ SlubAllocator::SlubAllocator(GracePeriodDomain& domain,
       cpu_registry_(config.cpus),
       magazine_capacity_(config.magazine_capacity),
       lockfree_pcpu_(config.lockfree_pcpu),
+      depot_prefill_blocks_(config.depot_prefill_blocks),
       pressure_drain_batch_(config.pressure_drain_batch),
       magazine_registry_(ThreadCacheRegistry::Hooks{
           [this](void* t) {
@@ -420,12 +421,8 @@ SlubAllocator::refill_batch(Cache& c, void** out, std::size_t want)
                 break;
             node.move_to(slab, SlabListKind::kPartial);
         }
-        while (moved < want) {
-            void* obj = slab->freelist_pop();
-            if (obj == nullptr)
-                break;
-            out[moved++] = obj;
-        }
+        moved += c.pool.pop_freelist_batch(slab, out + moved,
+                                           want - moved);
         node.move_to(slab, NodeLists::natural_kind(slab));
     }
     if (moved > 0)
@@ -504,12 +501,34 @@ SlubAllocator::magazine_alloc_slow(Cache& c, ThreadMagazines& t,
             ++got;
         }
         if (got == 0) {
+            // Slab-side prefill (DESIGN.md §14 mirror): the refill
+            // takes the node lock anyway, so make that ONE
+            // acquisition pull several batches and park the surplus
+            // in the ring — the next misses on this CPU skip the
+            // lock entirely.
             void* batch[kMaxMagazineCapacity];
-            got = refill_batch(c, batch, want);
-            if (got == 0)
+            std::size_t ask = want;
+            if (depot_prefill_blocks_ > 1) {
+                ask = want * depot_prefill_blocks_;
+                if (ask > kMaxMagazineCapacity)
+                    ask = kMaxMagazineCapacity;
+            }
+            std::size_t n = refill_batch(c, batch, ask);
+            if (n == 0)
                 return nullptr;  // out of memory
+            got = n < want ? n : want;
             for (std::size_t i = 0; i < got; ++i)
                 m.objects.push(batch[i]);
+            // Surplus objects become ring stock ("cached" to
+            // validate()); ring overflow goes straight back to slabs.
+            void* overflow[kMaxMagazineCapacity];
+            std::size_t spilled = 0;
+            for (std::size_t i = got; i < n; ++i) {
+                if (!pc.ring->push(batch[i]))
+                    overflow[spilled++] = batch[i];
+            }
+            if (spilled > 0)
+                flush_batch(c, overflow, spilled);
             refilled = true;
         }
         stats.live_objects.add(static_cast<std::int64_t>(got));
