@@ -1,0 +1,47 @@
+#!/bin/sh
+# Scenario smoke (DESIGN.md §15): run the stock load-engine scenarios
+# end to end through `prudtorture --scenario`, which layers the full
+# invariant battery on top of the run — allocator validate(), buddy
+# integrity, zero live/deferred objects after teardown, histogram
+# count == completed requests, and the offline ShardScript replay
+# audit (per-shard op counts and fingerprints must match the live
+# run). Each stock scenario is a ~2 s scheduled leg.
+#
+# CI runs this under the default and asan presets for all three
+# scenarios, and under tsan for the burst leg only (the paced 2 s
+# schedule keeps tsan runtime bounded).
+#
+# Usage: scripts/check_scenarios.sh [preset] [scenario...]
+#   preset      default | asan | tsan   (default: default)
+#   scenario    stock names or DSL files (default: burst diurnal churn)
+# Environment:
+#   DURATION_MS  override each scenario's scheduled duration
+#   ALLOCATORS   allocator kinds to exercise (default: "prudence slub")
+#   JOBS         parallel build jobs (default: 2)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PRESET="${1:-default}"
+[ $# -gt 0 ] && shift
+
+case "$PRESET" in
+default) BUILD_DIR=build ;;
+*) BUILD_DIR="build-$PRESET" ;;
+esac
+
+SCENARIOS="${*:-burst diurnal churn}"
+ALLOCATORS="${ALLOCATORS:-prudence slub}"
+
+cmake --preset "$PRESET"
+cmake --build --preset "$PRESET" -j "${JOBS:-2}" --target prudtorture
+
+for scenario in $SCENARIOS; do
+    for alloc in $ALLOCATORS; do
+        echo "== scenario $scenario / $alloc ($PRESET) =="
+        "$BUILD_DIR/tools/prudtorture" \
+            --scenario="$scenario" --allocator="$alloc" \
+            ${DURATION_MS:+--scenario-duration-ms="$DURATION_MS"}
+    done
+done
+echo "check_scenarios: all legs passed ($PRESET: $SCENARIOS)"

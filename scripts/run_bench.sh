@@ -37,7 +37,7 @@ cmake --preset "$PRESET"
 cmake --build --preset "$PRESET" -j "${JOBS:-2}" \
     --target tab01_alloc_cost fig06_micro fig13_throughput \
     fig14_page_contention fig15_slab_contention fig03_endurance \
-    ablation_governor
+    ablation_governor scenario_bench
 
 SHA="$(git rev-parse --short HEAD)"
 SCALE="${SCALE:-0.2}"
@@ -129,6 +129,14 @@ echo "== fig03_endurance (telemetry) =="
 # PRUDENCE_TELEMETRY=OFF builds warn and ignore the flag; keep the
 # summary schema stable with an empty block.
 [ -f "$TMP/fig03_telemetry.json" ] || : > "$TMP/fig03_telemetry.json"
+
+# Scenario engine (DESIGN.md §15): open-loop server-style traffic per
+# stock scenario per allocator — tail latency (p99/p999) and peak RSS
+# land in the summary as scenario_burst / scenario_diurnal /
+# scenario_churn rows.
+echo "== scenario_bench =="
+"$BUILD_DIR/bench/scenario_bench" "$SCALE" \
+    | tee "$TMP/scenarios.txt"
 
 # Governor ablation: static knobs vs. the adaptive reclamation
 # governor under a fixed offered load (DESIGN.md §13). Peak footprint,
@@ -306,6 +314,38 @@ def parse_fig15(path):
     return rows
 
 
+def parse_scenarios(path):
+    """`scenario <name> alloc <kind> completed <n> failed <n> rps <v>
+    p50_us <v> ... peak_rss_mib <v> fingerprint 0x<hex>` rows, one per
+    (scenario, allocator) leg, folded into scenario_<name> objects."""
+    rows = {}
+    pat = re.compile(
+        r"^scenario\s+(\S+)\s+alloc\s+(\w+)\s+completed\s+(\d+)"
+        r"\s+failed\s+(\d+)\s+rps\s+([\d.]+)\s+p50_us\s+([\d.]+)"
+        r"\s+p90_us\s+([\d.]+)\s+p99_us\s+([\d.]+)"
+        r"\s+p999_us\s+([\d.]+)\s+max_us\s+([\d.]+)"
+        r"\s+peak_rss_mib\s+([\d.]+)\s+fingerprint\s+(0x[0-9a-f]+)"
+        r"\s*$")
+    with open(path) as f:
+        for line in f:
+            m = pat.match(line)
+            if m:
+                rows.setdefault("scenario_" + m.group(1), {})[
+                    m.group(2)] = {
+                    "completed": int(m.group(3)),
+                    "failed": int(m.group(4)),
+                    "rps": float(m.group(5)),
+                    "p50_us": float(m.group(6)),
+                    "p90_us": float(m.group(7)),
+                    "p99_us": float(m.group(8)),
+                    "p999_us": float(m.group(9)),
+                    "max_us": float(m.group(10)),
+                    "peak_rss_mib": float(m.group(11)),
+                    "fingerprint": m.group(12),
+                }
+    return rows
+
+
 def parse_fig14(path):
     rows = {}
     pat = re.compile(
@@ -340,6 +380,7 @@ doc = {
     "ablation_governor":
         parse_ablation_governor(f"{tmp}/ablation_governor.txt"),
 }
+doc.update(parse_scenarios(f"{tmp}/scenarios.txt"))
 for cap in ("32", "0"):
     for pcp in ("32", "0"):
         cfg = f"mag{cap}_pcp{pcp}"
@@ -411,6 +452,16 @@ for name in ("prefill0_claim0", "prefill0_claim2", "prefill4_claim0",
 if cells:
     print("fig15 mechanism matrix @8 threads lock/op: "
           + ", ".join(cells))
+
+for key in ("scenario_burst", "scenario_diurnal", "scenario_churn"):
+    legs = doc.get(key, {})
+    if "slub" in legs and "prudence" in legs:
+        print(f"{key}: p99 {legs['slub']['p99_us']:.1f} -> "
+              f"{legs['prudence']['p99_us']:.1f} us, p999 "
+              f"{legs['slub']['p999_us']:.1f} -> "
+              f"{legs['prudence']['p999_us']:.1f} us, peak RSS "
+              f"{legs['slub']['peak_rss_mib']:.1f} -> "
+              f"{legs['prudence']['peak_rss_mib']:.1f} MiB")
 
 t8 = doc["fig14_page_contention"].get("threads_8", {})
 if "pcp_on" in t8 and "pcp_off" in t8:

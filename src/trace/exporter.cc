@@ -118,15 +118,15 @@ put_drop_marker(std::ostream& os, std::uint32_t tid,
 void
 put_hist(std::ostream& os, const HistogramSnapshot& h)
 {
-    char buf[160];
+    char buf[192];
     std::snprintf(buf, sizeof(buf),
                   "{\"count\":%llu,\"sum\":%llu,\"max\":%llu,"
                   "\"mean\":%.1f,\"p50\":%.1f,\"p90\":%.1f,"
-                  "\"p99\":%.1f}",
+                  "\"p99\":%.1f,\"p999\":%.1f}",
                   static_cast<unsigned long long>(h.count),
                   static_cast<unsigned long long>(h.sum),
                   static_cast<unsigned long long>(h.max), h.mean(),
-                  h.p50, h.p90, h.p99);
+                  h.p50, h.p90, h.p99, h.p999);
     os << buf;
 }
 

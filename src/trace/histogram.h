@@ -5,8 +5,9 @@
  * record() is an atomic increment on one of 64 buckets plus a max
  * update — cheap enough for allocator hot paths when tracing is on.
  * Bucket i (i > 0) covers [2^i, 2^(i+1) - 1]; bucket 0 covers {0, 1}.
- * Percentiles interpolate linearly inside the bucket, so p50/p90/p99
- * are estimates with at most one-octave error; max is exact.
+ * Percentiles interpolate linearly inside the bucket, so
+ * p50/p90/p99/p999 are estimates with at most one-octave error,
+ * clamped so they never exceed the recorded max; max is exact.
  */
 #ifndef PRUDENCE_TRACE_HISTOGRAM_H
 #define PRUDENCE_TRACE_HISTOGRAM_H
@@ -27,6 +28,7 @@ struct HistogramSnapshot
     double p50 = 0.0;
     double p90 = 0.0;
     double p99 = 0.0;
+    double p999 = 0.0;
 
     double
     mean() const
@@ -117,9 +119,10 @@ class LatencyHistogram
                       : sum_.load(std::memory_order_relaxed);
         s.max = reset ? max_.exchange(0, std::memory_order_relaxed)
                       : max_.load(std::memory_order_relaxed);
-        s.p50 = percentile_of(counts, s.count, 0.50);
-        s.p90 = percentile_of(counts, s.count, 0.90);
-        s.p99 = percentile_of(counts, s.count, 0.99);
+        s.p50 = percentile_of(counts, s.count, s.max, 0.50);
+        s.p90 = percentile_of(counts, s.count, s.max, 0.90);
+        s.p99 = percentile_of(counts, s.count, s.max, 0.99);
+        s.p999 = percentile_of(counts, s.count, s.max, 0.999);
         return s;
     }
 
@@ -136,10 +139,11 @@ class LatencyHistogram
   private:
     static double
     percentile_of(const std::array<std::uint64_t, kBuckets>& counts,
-                  std::uint64_t total, double q)
+                  std::uint64_t total, std::uint64_t max, double q)
     {
         if (total == 0)
             return 0.0;
+        double cap = static_cast<double>(max);
         double rank = q * static_cast<double>(total);
         std::uint64_t seen = 0;
         for (int i = 0; i < kBuckets; ++i) {
@@ -152,11 +156,19 @@ class LatencyHistogram
                 double frac =
                     (rank - static_cast<double>(seen)) /
                     static_cast<double>(c);
-                return lo + (hi - lo) * frac;
+                // Interpolate over the half-open extent [lo, hi + 1)
+                // — each integer value owns a unit of width — then
+                // clamp to the bucket's inclusive bound and to the
+                // recorded max: an estimate must never exceed a value
+                // that could actually have been observed.
+                double v = lo + (hi + 1.0 - lo) * frac;
+                if (v > hi)
+                    v = hi;
+                return v > cap ? cap : v;
             }
             seen += c;
         }
-        return static_cast<double>(bucket_upper(kBuckets - 1));
+        return cap;
     }
 
     std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};

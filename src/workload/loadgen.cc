@@ -1,0 +1,197 @@
+#include "workload/loadgen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prudence {
+
+namespace {
+
+/// Domain-separated stream seeds so arrivals and op picks never share
+/// a generator (splitmix64 finalizer over (seed, shard, stream)).
+std::uint64_t
+stream_seed(std::uint64_t seed, unsigned shard, std::uint64_t stream)
+{
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (shard + 1) +
+                      0xbf58476d1ce4e5b9ULL * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+void
+fnv_mix(std::uint64_t& fp, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        fp ^= (v >> (i * 8)) & 0xff;
+        fp *= 0x100000001b3ULL;
+    }
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::uint32_t n, double s)
+    : n_(n == 0 ? 1 : n)
+{
+    if (s <= 0.0)
+        return;  // uniform: no table
+    cdf_.resize(n_);
+    double sum = 0.0;
+    for (std::uint32_t k = 0; k < n_; ++k) {
+        sum += 1.0 / std::pow(static_cast<double>(k + 1), s);
+        cdf_[k] = sum;
+    }
+    for (double& c : cdf_)
+        c /= sum;
+    cdf_.back() = 1.0;  // guard against rounding shortfall
+}
+
+std::uint32_t
+ZipfSampler::sample(double u) const
+{
+    if (cdf_.empty()) {
+        auto k = static_cast<std::uint32_t>(u * n_);
+        return k >= n_ ? n_ - 1 : k;
+    }
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end())
+        --it;
+    return static_cast<std::uint32_t>(it - cdf_.begin());
+}
+
+double
+offered_rate_rps(const ScenarioSpec& spec, std::uint64_t t_ns)
+{
+    double rate = spec.rate_rps;
+    if (spec.burst_period_ms > 0 && spec.burst_len_ms > 0) {
+        std::uint64_t period_ns =
+            std::uint64_t{spec.burst_period_ms} * 1'000'000;
+        std::uint64_t phase = t_ns % period_ns;
+        if (phase < std::uint64_t{spec.burst_len_ms} * 1'000'000)
+            rate *= spec.burst_factor;
+    }
+    if (spec.diurnal_period_ms > 0 && spec.diurnal_amplitude > 0.0) {
+        double period_ns =
+            static_cast<double>(spec.diurnal_period_ms) * 1e6;
+        double phase = 2.0 * M_PI *
+                       std::fmod(static_cast<double>(t_ns), period_ns) /
+                       period_ns;
+        rate *= 1.0 + spec.diurnal_amplitude * std::sin(phase);
+    }
+    return std::max(rate, 1e-3);
+}
+
+ArrivalGen::ArrivalGen(const ScenarioSpec& spec, unsigned shard,
+                       std::uint64_t seed)
+    : arrival_(spec.arrival),
+      per_shard_rate_(spec.rate_rps /
+                      static_cast<double>(spec.shards == 0
+                                              ? 1
+                                              : spec.shards)),
+      spec_(spec),
+      end_ns_(std::uint64_t{spec.duration_ms} * 1'000'000),
+      rng_(stream_seed(seed, shard, /*stream=*/0))
+{
+}
+
+bool
+ArrivalGen::next(std::uint64_t& t_ns)
+{
+    // λ(t) for this shard: the scenario envelope scaled down by the
+    // shard count (shards split the offered load evenly).
+    double lam = offered_rate_rps(spec_, t_ns_) /
+                 static_cast<double>(spec_.shards) / 1e9;  // per ns
+    double dt;
+    if (arrival_ == ArrivalKind::kPoisson) {
+        double u = ZipfSampler::unit_uniform(rng_());
+        // 1 - u in (0, 1]: -ln never overflows.
+        dt = -std::log(1.0 - u) / lam;
+    } else {
+        dt = 1.0 / lam;
+    }
+    auto step = static_cast<std::uint64_t>(dt);
+    t_ns_ += step < 1 ? 1 : step;
+    if (t_ns_ >= end_ns_)
+        return false;
+    t_ns = t_ns_;
+    return true;
+}
+
+ShardMix
+shard_mix(const ScenarioSpec& spec, ShardClass cls)
+{
+    switch (cls) {
+      case ShardClass::kAllocHeavy:
+        // Allocation pressure: almost every request is transient
+        // churn, many pairs deep.
+        return {10, 10, 8};
+      case ShardClass::kDeferHeavy:
+        // Deferral pressure: updates (publish + defer-free) dominate.
+        return {10, 80, 1};
+      case ShardClass::kNormal:
+        break;
+    }
+    return {spec.read_pct, spec.update_pct, 2};
+}
+
+std::uint64_t
+combine_fingerprints(const std::vector<std::uint64_t>& shard_fingerprints)
+{
+    std::uint64_t fp = 0xcbf29ce484222325ULL;
+    for (std::uint64_t f : shard_fingerprints)
+        fnv_mix(fp, f);
+    return fp;
+}
+
+ShardScript::ShardScript(const ScenarioSpec& spec, unsigned shard,
+                         std::uint64_t seed,
+                         std::shared_ptr<const ZipfSampler> zipf)
+    : shard_(shard),
+      class_(spec.shard_class(shard)),
+      mix_(shard_mix(spec, class_)),
+      connections_(spec.connections == 0 ? 1 : spec.connections),
+      arrivals_(spec, shard, seed),
+      rng_(stream_seed(seed, shard, /*stream=*/1)),
+      zipf_(std::move(zipf))
+{
+    if (zipf_ == nullptr)
+        zipf_ = std::make_shared<const ZipfSampler>(spec.keys,
+                                                    spec.zipf_s);
+}
+
+bool
+ShardScript::next(ScenarioRequest& out)
+{
+    if (!arrivals_.next(out.arrival_ns))
+        return false;
+    auto pick = static_cast<unsigned>(rng_() % 100);
+    if (pick < mix_.read_pct)
+        out.kind = ScenarioRequest::Kind::kLookup;
+    else if (pick < mix_.read_pct + mix_.update_pct)
+        out.kind = ScenarioRequest::Kind::kUpdate;
+    else
+        out.kind = ScenarioRequest::Kind::kScratch;
+    out.key = zipf_->sample(ZipfSampler::unit_uniform(rng_()));
+    out.conn = static_cast<std::uint32_t>(rng_() % connections_);
+
+    fnv_mix(fingerprint_, out.arrival_ns);
+    fnv_mix(fingerprint_,
+            static_cast<std::uint64_t>(out.kind) << 32 | out.key);
+    fnv_mix(fingerprint_, out.conn);
+    return true;
+}
+
+void
+ShardScript::replay(const ScenarioSpec& spec, unsigned shard,
+                    std::uint64_t seed, std::uint64_t& count,
+                    std::uint64_t& fingerprint)
+{
+    ShardScript script(spec, shard, seed);
+    ScenarioRequest req;
+    count = 0;
+    while (script.next(req))
+        ++count;
+    fingerprint = script.fingerprint();
+}
+
+}  // namespace prudence

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Deterministic load generation for the scenario engine
+ * (DESIGN.md §15).
+ *
+ * Everything here is a pure function of (ScenarioSpec, shard index,
+ * seed): the arrival schedule, the key-skew sequence and the op
+ * stream are bit-identical across runs and independent of how many
+ * OS threads the engine multiplexes the shards onto. The engine
+ * consumes ShardScript; the determinism tests replay it offline and
+ * compare fingerprints.
+ */
+#ifndef PRUDENCE_WORKLOAD_LOADGEN_H
+#define PRUDENCE_WORKLOAD_LOADGEN_H
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "workload/scenario.h"
+
+namespace prudence {
+
+/// Bounded Zipf(s) sampler over [0, n). s == 0 degenerates to the
+/// uniform distribution. Sampling is a CDF binary search, so a given
+/// uniform deviate always maps to the same key.
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::uint32_t n, double s);
+
+    /// Key for uniform deviate @p u in [0, 1).
+    std::uint32_t sample(double u) const;
+
+    /// Map 64 random bits onto [0, 1) (53-bit mantissa convention).
+    static double
+    unit_uniform(std::uint64_t bits)
+    {
+        return static_cast<double>(bits >> 11) * 0x1.0p-53;
+    }
+
+    std::uint32_t n() const { return n_; }
+
+  private:
+    std::uint32_t n_;
+    /// Cumulative probabilities, empty when uniform (s == 0).
+    std::vector<double> cdf_;
+};
+
+/// Offered load λ(t) in requests/second across all shards at @p t_ns
+/// since scenario start: base rate x burst window x diurnal ramp.
+double offered_rate_rps(const ScenarioSpec& spec, std::uint64_t t_ns);
+
+/**
+ * Per-shard open-loop arrival schedule. next() walks the
+ * nonhomogeneous process (rate re-evaluated at each arrival) with a
+ * per-shard RNG stream, emitting nanosecond offsets from scenario
+ * start, strictly increasing, until the scheduled duration ends.
+ */
+class ArrivalGen
+{
+  public:
+    ArrivalGen(const ScenarioSpec& spec, unsigned shard,
+               std::uint64_t seed);
+
+    /// Next arrival offset (ns), or false when the schedule is over.
+    bool next(std::uint64_t& t_ns);
+
+  private:
+    ArrivalKind arrival_;
+    double per_shard_rate_;  ///< rate_rps / shards
+    const ScenarioSpec spec_;
+    std::uint64_t end_ns_;
+    std::uint64_t t_ns_ = 0;
+    std::mt19937_64 rng_;
+};
+
+/// One scheduled request.
+struct ScenarioRequest
+{
+    std::uint64_t arrival_ns = 0;
+    enum class Kind : std::uint8_t
+    {
+        kLookup,   ///< RCU-read key lookup
+        kUpdate,   ///< alloc + publish + defer-free the old object
+        kScratch,  ///< transient alloc/free churn pairs
+    } kind = Kind::kLookup;
+    std::uint32_t key = 0;
+    std::uint32_t conn = 0;
+};
+
+/// Per-class request mix and churn intensity (DESIGN.md §15): normal
+/// shards use the spec's percentages; the adversarial classes pin
+/// their own.
+struct ShardMix
+{
+    unsigned read_pct;
+    unsigned update_pct;
+    /// Transient alloc/free pairs per kScratch request.
+    unsigned scratch_pairs;
+};
+
+/// Mix for @p cls under @p spec.
+ShardMix shard_mix(const ScenarioSpec& spec, ShardClass cls);
+
+/// Fold per-shard fingerprints (shard order) into one run-level
+/// FNV-1a fingerprint — what run_scenario and the offline replay
+/// audit both report.
+std::uint64_t combine_fingerprints(
+    const std::vector<std::uint64_t>& shard_fingerprints);
+
+/**
+ * The full deterministic op stream of one shard: arrivals, kinds,
+ * keys and connection picks, plus a running FNV-1a fingerprint over
+ * every emitted request. Identical for identical (spec, shard, seed)
+ * regardless of engine threading.
+ */
+class ShardScript
+{
+  public:
+    /**
+     * @param zipf shared key sampler (one table per scenario); when
+     *        null the script builds its own.
+     */
+    ShardScript(const ScenarioSpec& spec, unsigned shard,
+                std::uint64_t seed,
+                std::shared_ptr<const ZipfSampler> zipf = nullptr);
+
+    /// Produce the next request; false when the schedule is over.
+    bool next(ScenarioRequest& out);
+
+    /// FNV-1a over every request emitted so far.
+    std::uint64_t fingerprint() const { return fingerprint_; }
+
+    ShardClass shard_class() const { return class_; }
+    unsigned shard() const { return shard_; }
+
+    /// Replay the whole script offline (no allocator): request count
+    /// and final fingerprint — the determinism audit's expectation.
+    static void replay(const ScenarioSpec& spec, unsigned shard,
+                       std::uint64_t seed, std::uint64_t& count,
+                       std::uint64_t& fingerprint);
+
+  private:
+    unsigned shard_;
+    ShardClass class_;
+    ShardMix mix_;
+    unsigned connections_;
+    ArrivalGen arrivals_;
+    std::mt19937_64 rng_;
+    std::shared_ptr<const ZipfSampler> zipf_;
+    std::uint64_t fingerprint_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace prudence
+
+#endif  // PRUDENCE_WORKLOAD_LOADGEN_H

@@ -241,6 +241,66 @@ print_latency_summary(std::ostream& os, const char* title,
 }
 
 void
+print_scenario_row(std::ostream& os, const ScenarioResult& r)
+{
+    auto us = [](double ns) { return ns / 1000.0; };
+    std::ostream::fmtflags flags = os.flags();
+    os << "scenario " << r.scenario << " alloc " << r.allocator_kind
+       << " completed " << r.completed_requests << " failed "
+       << r.failed_requests << std::fixed << std::setprecision(1)
+       << " rps " << std::setprecision(0) << r.achieved_rps
+       << std::setprecision(1) << " p50_us " << us(r.latency.p50)
+       << " p90_us " << us(r.latency.p90) << " p99_us "
+       << us(r.latency.p99) << " p999_us " << us(r.latency.p999)
+       << " max_us " << us(static_cast<double>(r.latency.max))
+       << " peak_rss_mib "
+       << static_cast<double>(r.peak_rss_bytes) / (1024.0 * 1024.0)
+       << " fingerprint 0x" << std::hex << r.fingerprint << std::dec
+       << "\n";
+    os.flags(flags);
+}
+
+void
+print_scenario_summary(std::ostream& os, const ScenarioResult& r)
+{
+    os << "\n=== scenario " << r.scenario << " / " << r.allocator_kind
+       << " ===\n";
+    os << std::fixed << std::setprecision(2) << "wall_s "
+       << r.wall_seconds << "  completed " << r.completed_requests
+       << "  failed " << r.failed_requests << std::setprecision(0)
+       << "  rps " << r.achieved_rps << "\n";
+    os << std::setprecision(1) << "latency_us  p50 "
+       << r.latency.p50 / 1000.0 << "  p90 " << r.latency.p90 / 1000.0
+       << "  p99 " << r.latency.p99 / 1000.0 << "  p999 "
+       << r.latency.p999 / 1000.0 << "  max "
+       << static_cast<double>(r.latency.max) / 1000.0 << "  mean "
+       << r.latency.mean() / 1000.0 << "\n";
+    for (const CacheStatsSnapshot& c : r.caches)
+        os << "cache " << c.cache_name << "  allocs " << c.alloc_calls
+           << "  frees " << c.free_calls << "  deferred "
+           << c.deferred_free_calls << "  live " << c.live_objects
+           << "\n";
+    if (!r.rss_series.empty()) {
+        // At most a dozen evenly spaced samples; the full series
+        // stays in ScenarioResult for exporters.
+        std::size_t stride = (r.rss_series.size() + 11) / 12;
+        os << "rss_mib_over_time";
+        for (std::size_t i = 0; i < r.rss_series.size();
+             i += stride == 0 ? 1 : stride) {
+            const auto& [t_ns, bytes] = r.rss_series[i];
+            os << "  " << std::setprecision(1)
+               << static_cast<double>(t_ns) / 1e9 << "s:"
+               << std::setprecision(1)
+               << static_cast<double>(bytes) / (1024.0 * 1024.0);
+        }
+        os << "\n";
+        os << "peak_rss_mib " << std::setprecision(1)
+           << static_cast<double>(r.peak_rss_bytes) / (1024.0 * 1024.0)
+           << "\n";
+    }
+}
+
+void
 print_latency_histograms(std::ostream& os,
                          const std::vector<BenchmarkComparison>& cmps)
 {

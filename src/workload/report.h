@@ -69,6 +69,21 @@ void print_latency_summary(
 void print_latency_histograms(
     std::ostream& os, const std::vector<BenchmarkComparison>& cmps);
 
+/**
+ * One machine-parseable line per scenario run — the row shape
+ * scripts/run_bench.sh regex-folds into BENCH_<sha>.json:
+ *
+ *   scenario <name> alloc <kind> completed <n> failed <n> rps <v>
+ *   p50_us <v> p90_us <v> p99_us <v> p999_us <v> max_us <v>
+ *   peak_rss_mib <v> fingerprint 0x<hex>
+ */
+void print_scenario_row(std::ostream& os, const ScenarioResult& r);
+
+/// Human-readable scenario digest: latency percentiles, request
+/// accounting, cache state and the RSS trajectory when telemetry
+/// captured one.
+void print_scenario_summary(std::ostream& os, const ScenarioResult& r);
+
 }  // namespace prudence
 
 #endif  // PRUDENCE_WORKLOAD_REPORT_H

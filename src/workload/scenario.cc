@@ -1,0 +1,402 @@
+#include "workload/scenario.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace prudence {
+
+namespace {
+
+std::string
+trim(const std::string& s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+bool
+valid_name(const std::string& s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        bool ok = std::isalnum(static_cast<unsigned char>(c)) ||
+                  c == '_' || c == '.' || c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+/// Full-consumption double parse.
+bool
+parse_double(const std::string& s, double& out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char* end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (errno != 0 || end != s.c_str() + s.size())
+        return false;
+    out = v;
+    return true;
+}
+
+/// Full-consumption signed integer parse (negative values reach the
+/// clamp table instead of wrapping).
+bool
+parse_int(const std::string& s, long long& out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char* end = nullptr;
+    long long v = std::strtoll(s.c_str(), &end, 0);
+    if (errno != 0 || end != s.c_str() + s.size())
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parse_u64(const std::string& s, std::uint64_t& out)
+{
+    if (s.empty() || s[0] == '-')
+        return false;
+    errno = 0;
+    char* end = nullptr;
+    std::uint64_t v = std::strtoull(s.c_str(), &end, 0);
+    if (errno != 0 || end != s.c_str() + s.size())
+        return false;
+    out = v;
+    return true;
+}
+
+void
+note_clamp(std::vector<std::string>* notes, const char* field,
+           double from, double to)
+{
+    if (notes == nullptr)
+        return;
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "%s: %g clamped to %g", field, from,
+                  to);
+    notes->push_back(buf);
+}
+
+template <typename T>
+void
+clamp_field(T& v, double lo, double hi, const char* field,
+            std::vector<std::string>* notes)
+{
+    double d = static_cast<double>(v);
+    double c = std::clamp(d, lo, hi);
+    if (c != d) {
+        note_clamp(notes, field, d, c);
+        v = static_cast<T>(c);
+    }
+}
+
+/// Shortest-first double formatting that still round-trips: %.6g
+/// covers every hand-written value; fall back to full precision when
+/// the short form would not re-parse to the same double.
+std::string
+fmt_double(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    if (std::strtod(buf, nullptr) != v)
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+}  // namespace
+
+ShardClass
+ScenarioSpec::shard_class(unsigned index) const
+{
+    if (index < alloc_heavy_shards)
+        return ShardClass::kAllocHeavy;
+    if (index < alloc_heavy_shards + defer_heavy_shards)
+        return ShardClass::kDeferHeavy;
+    return ShardClass::kNormal;
+}
+
+void
+clamp_scenario(ScenarioSpec& spec, std::vector<std::string>* notes)
+{
+    clamp_field(spec.rate_rps, 1.0, 5e7, "rate_rps", notes);
+    clamp_field(spec.burst_factor, 1.0, 1000.0, "burst_factor", notes);
+    clamp_field(spec.burst_period_ms, 0.0, 3'600'000.0,
+                "burst_period_ms", notes);
+    clamp_field(spec.burst_len_ms, 0.0,
+                static_cast<double>(spec.burst_period_ms),
+                "burst_len_ms", notes);
+    clamp_field(spec.diurnal_period_ms, 0.0, 86'400'000.0,
+                "diurnal_period_ms", notes);
+    clamp_field(spec.diurnal_amplitude, 0.0, 1.0, "diurnal_amplitude",
+                notes);
+    clamp_field(spec.duration_ms, 1.0, 86'400'000.0, "duration_ms",
+                notes);
+    clamp_field(spec.shards, 1.0, 256.0, "shards", notes);
+    clamp_field(spec.connections, 1.0, 65536.0, "connections", notes);
+    clamp_field(spec.keys, 1.0, 1048576.0, "keys", notes);
+    clamp_field(spec.zipf_s, 0.0, 8.0, "zipf_s", notes);
+    clamp_field(spec.read_pct, 0.0, 100.0, "read_pct", notes);
+    clamp_field(spec.update_pct, 0.0,
+                static_cast<double>(100 - spec.read_pct), "update_pct",
+                notes);
+    clamp_field(spec.alloc_heavy_shards, 0.0,
+                static_cast<double>(spec.shards), "alloc_heavy_shards",
+                notes);
+    clamp_field(spec.defer_heavy_shards, 0.0,
+                static_cast<double>(spec.shards -
+                                    spec.alloc_heavy_shards),
+                "defer_heavy_shards", notes);
+    clamp_field(spec.object_bytes, 16.0, 4096.0, "object_bytes",
+                notes);
+    clamp_field(spec.request_bytes, 16.0, 4096.0, "request_bytes",
+                notes);
+}
+
+std::vector<std::string>
+stock_scenario_names()
+{
+    return {"burst", "diurnal", "churn"};
+}
+
+bool
+stock_scenario(const std::string& name, ScenarioSpec& out)
+{
+    ScenarioSpec s;
+    s.name = name;
+    if (name == "burst") {
+        // The "flash crowd": Poisson arrivals whose rate jumps 8x for
+        // 25 ms out of every 200 ms, against a hot-key-skewed table.
+        s.rate_rps = 40000.0;
+        s.burst_factor = 8.0;
+        s.burst_period_ms = 200;
+        s.burst_len_ms = 25;
+        s.shards = 4;
+        s.connections = 128;
+        s.keys = 4096;
+        s.zipf_s = 1.1;
+        s.read_pct = 70;
+        s.update_pct = 20;
+    } else if (name == "diurnal") {
+        // Slow sinusoidal ramp between ~zero and ~2x the mean rate:
+        // the governor's slow-ramp blind spot, compressed to 1 s.
+        s.rate_rps = 30000.0;
+        s.diurnal_period_ms = 1000;
+        s.diurnal_amplitude = 0.9;
+        s.shards = 4;
+        s.connections = 96;
+        s.keys = 4096;
+        s.zipf_s = 0.6;
+        s.read_pct = 60;
+        s.update_pct = 25;
+    } else if (name == "churn") {
+        // Adversarial mix: two alloc-heavy shards racing two
+        // defer-heavy shards for the same block circulation.
+        s.rate_rps = 30000.0;
+        s.shards = 6;
+        s.connections = 64;
+        s.keys = 2048;
+        s.zipf_s = 0.8;
+        s.read_pct = 40;
+        s.update_pct = 35;
+        s.alloc_heavy_shards = 2;
+        s.defer_heavy_shards = 2;
+    } else {
+        return false;
+    }
+    clamp_scenario(s);
+    out = s;
+    return true;
+}
+
+ScenarioParseResult
+parse_scenario(const std::string& text)
+{
+    ScenarioParseResult result;
+    ScenarioSpec& spec = result.spec;
+    bool any_field = false;
+
+    std::istringstream in(text);
+    std::string raw;
+    int lineno = 0;
+    auto fail = [&result, &lineno](const std::string& msg) {
+        result.ok = false;
+        result.error = "line " + std::to_string(lineno) + ": " + msg;
+    };
+
+    while (std::getline(in, raw)) {
+        ++lineno;
+        std::size_t hash = raw.find('#');
+        if (hash != std::string::npos)
+            raw.resize(hash);
+        std::string line = trim(raw);
+        if (line.empty())
+            continue;
+        std::size_t eq = line.find('=');
+        if (eq == std::string::npos) {
+            fail("expected `key = value`, got \"" + line + "\"");
+            return result;
+        }
+        std::string key = trim(line.substr(0, eq));
+        std::string value = trim(line.substr(eq + 1));
+        if (key.empty()) {
+            fail("missing key before `=`");
+            return result;
+        }
+        if (value.empty()) {
+            fail("missing value for `" + key + "`");
+            return result;
+        }
+
+        if (key == "base") {
+            if (any_field) {
+                fail("`base` must precede every other field");
+                return result;
+            }
+            if (!stock_scenario(value, spec)) {
+                fail("unknown base scenario `" + value + "`");
+                return result;
+            }
+            continue;
+        }
+        any_field = true;
+
+        double d = 0.0;
+        long long i = 0;
+        if (key == "name") {
+            if (!valid_name(value)) {
+                fail("invalid name `" + value +
+                     "` (want [A-Za-z0-9_.-]+)");
+                return result;
+            }
+            spec.name = value;
+        } else if (key == "arrival") {
+            if (value == "poisson")
+                spec.arrival = ArrivalKind::kPoisson;
+            else if (value == "uniform")
+                spec.arrival = ArrivalKind::kUniform;
+            else {
+                fail("unknown arrival kind `" + value +
+                     "` (want poisson | uniform)");
+                return result;
+            }
+        } else if (key == "rate_rps" || key == "burst_factor" ||
+                   key == "diurnal_amplitude" || key == "zipf_s") {
+            if (!parse_double(value, d)) {
+                fail("invalid number for `" + key + "`: " + value);
+                return result;
+            }
+            if (key == "rate_rps")
+                spec.rate_rps = d;
+            else if (key == "burst_factor")
+                spec.burst_factor = d;
+            else if (key == "diurnal_amplitude")
+                spec.diurnal_amplitude = d;
+            else
+                spec.zipf_s = d;
+        } else if (key == "seed") {
+            if (!parse_u64(value, spec.seed)) {
+                fail("invalid number for `seed`: " + value);
+                return result;
+            }
+        } else {
+            if (!parse_int(value, i)) {
+                fail("invalid number for `" + key + "`: " + value);
+                return result;
+            }
+            // Negative values fall through to the clamp table via a
+            // signed intermediate (no unsigned wraparound).
+            auto assign = [&i](auto& field) {
+                using T = std::remove_reference_t<decltype(field)>;
+                long long lo = 0;
+                field = static_cast<T>(std::max(i, lo));
+            };
+            if (i < 0)
+                note_clamp(&result.clamped, key.c_str(),
+                           static_cast<double>(i), 0.0);
+            if (key == "burst_period_ms")
+                assign(spec.burst_period_ms);
+            else if (key == "burst_len_ms")
+                assign(spec.burst_len_ms);
+            else if (key == "diurnal_period_ms")
+                assign(spec.diurnal_period_ms);
+            else if (key == "duration_ms")
+                assign(spec.duration_ms);
+            else if (key == "shards")
+                assign(spec.shards);
+            else if (key == "connections")
+                assign(spec.connections);
+            else if (key == "keys")
+                assign(spec.keys);
+            else if (key == "read_pct")
+                assign(spec.read_pct);
+            else if (key == "update_pct")
+                assign(spec.update_pct);
+            else if (key == "alloc_heavy_shards")
+                assign(spec.alloc_heavy_shards);
+            else if (key == "defer_heavy_shards")
+                assign(spec.defer_heavy_shards);
+            else if (key == "object_bytes")
+                assign(spec.object_bytes);
+            else if (key == "request_bytes")
+                assign(spec.request_bytes);
+            else {
+                fail("unknown key `" + key + "`");
+                return result;
+            }
+        }
+    }
+
+    clamp_scenario(spec, &result.clamped);
+    result.ok = true;
+    return result;
+}
+
+std::string
+scenario_to_text(const ScenarioSpec& spec)
+{
+    std::ostringstream os;
+    os << "name = " << spec.name << "\n";
+    os << "arrival = "
+       << (spec.arrival == ArrivalKind::kPoisson ? "poisson"
+                                                 : "uniform")
+       << "\n";
+    os << "rate_rps = " << fmt_double(spec.rate_rps) << "\n";
+    os << "burst_factor = " << fmt_double(spec.burst_factor) << "\n";
+    os << "burst_period_ms = " << spec.burst_period_ms << "\n";
+    os << "burst_len_ms = " << spec.burst_len_ms << "\n";
+    os << "diurnal_period_ms = " << spec.diurnal_period_ms << "\n";
+    os << "diurnal_amplitude = " << fmt_double(spec.diurnal_amplitude)
+       << "\n";
+    os << "duration_ms = " << spec.duration_ms << "\n";
+    os << "shards = " << spec.shards << "\n";
+    os << "connections = " << spec.connections << "\n";
+    os << "keys = " << spec.keys << "\n";
+    os << "zipf_s = " << fmt_double(spec.zipf_s) << "\n";
+    os << "read_pct = " << spec.read_pct << "\n";
+    os << "update_pct = " << spec.update_pct << "\n";
+    os << "alloc_heavy_shards = " << spec.alloc_heavy_shards << "\n";
+    os << "defer_heavy_shards = " << spec.defer_heavy_shards << "\n";
+    os << "object_bytes = " << spec.object_bytes << "\n";
+    os << "request_bytes = " << spec.request_bytes << "\n";
+    os << "seed = " << spec.seed << "\n";
+    return os.str();
+}
+
+}  // namespace prudence

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Scenario DSL: declarative server-style traffic descriptions
+ * (DESIGN.md §15).
+ *
+ * The paper's workload models (op_spec.h) replay a fixed op mix at a
+ * closed loop's natural rate; production traffic is open-loop and
+ * time-varying. A ScenarioSpec describes that shape — offered load
+ * with bursts and diurnal ramps, hot-key skew, and adversarial
+ * thread-class churn — in a small line-oriented text format:
+ *
+ *   # comment
+ *   base = burst              # inherit a stock scenario's defaults
+ *   name = burst_hot
+ *   rate_rps = 40000
+ *   burst_factor = 8
+ *   zipf_s = 1.2
+ *
+ * Grammar: one `key = value` per line; `#` starts a comment; blank
+ * lines are skipped; `base = <stock>` (optional) must precede every
+ * other field and seeds the spec from a stock scenario. Unknown keys,
+ * malformed numbers and malformed lines are hard errors; numeric
+ * values outside a field's documented range are clamped, with one
+ * note per clamp in ScenarioParseResult::clamped.
+ */
+#ifndef PRUDENCE_WORKLOAD_SCENARIO_H
+#define PRUDENCE_WORKLOAD_SCENARIO_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prudence {
+
+/// Arrival process for the open-loop request schedule.
+enum class ArrivalKind : std::uint8_t
+{
+    kPoisson,  ///< exponential interarrivals at the offered rate
+    kUniform,  ///< evenly spaced arrivals at the offered rate
+};
+
+/// Behavioural class of one shard (adversarial churn mixes).
+enum class ShardClass : std::uint8_t
+{
+    kNormal,      ///< the spec's read/update/scratch percentages
+    kAllocHeavy,  ///< scratch-pair dominated (allocation pressure)
+    kDeferHeavy,  ///< update dominated (deferral pressure)
+};
+
+/**
+ * A complete traffic scenario. Every field has a clamp range
+ * (enforced by clamp_scenario(); see scenario.cc for the table) so a
+ * parsed spec is always runnable.
+ */
+struct ScenarioSpec
+{
+    /// Scenario name ([A-Za-z0-9_.-]+); labels reports and BENCH rows.
+    std::string name = "custom";
+    ArrivalKind arrival = ArrivalKind::kPoisson;
+    /// Mean offered load over all shards, requests/second [1, 5e7].
+    double rate_rps = 20000.0;
+    /// Rate multiplier inside burst windows [1, 1000].
+    double burst_factor = 1.0;
+    /// Burst cycle length, ms [0 = no bursts, 3.6e6].
+    std::uint32_t burst_period_ms = 0;
+    /// Burst window inside each cycle, ms [0, burst_period_ms].
+    std::uint32_t burst_len_ms = 0;
+    /// Diurnal (sinusoidal) ramp period, ms [0 = flat, 8.64e7].
+    std::uint32_t diurnal_period_ms = 0;
+    /// Fraction of rate_rps the diurnal ramp swings by [0, 1].
+    double diurnal_amplitude = 0.0;
+    /// Scheduled traffic duration, ms [1, 8.64e7].
+    std::uint32_t duration_ms = 2000;
+    /// Shard-per-core request workers [1, 256].
+    unsigned shards = 4;
+    /// Connection objects per shard [1, 65536].
+    unsigned connections = 64;
+    /// Per-shard key-table size (hot-key domain) [1, 1<<20].
+    std::uint32_t keys = 1024;
+    /// Zipf skew exponent over the key table [0 = uniform, 8].
+    double zipf_s = 0.0;
+    /// RCU-read lookup share of requests, percent [0, 100].
+    unsigned read_pct = 70;
+    /// Update (alloc + publish + defer-free) share, percent
+    /// [0, 100 - read_pct]; the remainder is scratch churn.
+    unsigned update_pct = 20;
+    /// Shards overridden to the alloc-heavy class [0, shards].
+    unsigned alloc_heavy_shards = 0;
+    /// Shards overridden to the defer-heavy class
+    /// [0, shards - alloc_heavy_shards].
+    unsigned defer_heavy_shards = 0;
+    /// Published (key-table) object size, bytes [16, 4096].
+    std::size_t object_bytes = 192;
+    /// Per-request scratch object size, bytes [16, 4096].
+    std::size_t request_bytes = 128;
+    /// Schedule seed: same seed, same arrivals/keys/ops.
+    std::uint64_t seed = 1;
+
+    bool operator==(const ScenarioSpec&) const = default;
+
+    /// Class of shard @p index under the configured churn split:
+    /// the first alloc_heavy_shards are alloc-heavy, the next
+    /// defer_heavy_shards are defer-heavy, the rest normal.
+    ShardClass shard_class(unsigned index) const;
+};
+
+/// Outcome of parse_scenario().
+struct ScenarioParseResult
+{
+    bool ok = false;
+    /// First error ("line N: ..."), empty when ok.
+    std::string error;
+    /// One human-readable note per out-of-range value clamped.
+    std::vector<std::string> clamped;
+    ScenarioSpec spec;
+};
+
+/// Parse scenario DSL text. Never throws; result.ok tells.
+ScenarioParseResult parse_scenario(const std::string& text);
+
+/**
+ * Canonical serialization: every field, fixed order, `key = value`
+ * lines. parse_scenario(scenario_to_text(s)).spec == s for any
+ * clamped spec, and serializing a parsed golden file reproduces it
+ * byte for byte.
+ */
+std::string scenario_to_text(const ScenarioSpec& spec);
+
+/**
+ * Enforce every field's clamp range in place (the table in the field
+ * comments above). Appends one note per changed field to @p notes
+ * when non-null. Idempotent.
+ */
+void clamp_scenario(ScenarioSpec& spec,
+                    std::vector<std::string>* notes = nullptr);
+
+/// Stock scenario names accepted by stock_scenario() and `base =`.
+std::vector<std::string> stock_scenario_names();
+
+/**
+ * Built-in scenarios wired into run_bench.sh: "burst" (open-loop
+ * Poisson with 8x bursts and hot-key skew), "diurnal" (sinusoidal
+ * ramp), "churn" (alloc-heavy vs defer-heavy shard classes).
+ * @return true and fill @p out on a known name.
+ */
+bool stock_scenario(const std::string& name, ScenarioSpec& out);
+
+}  // namespace prudence
+
+#endif  // PRUDENCE_WORKLOAD_SCENARIO_H

@@ -24,11 +24,15 @@
 #include <string>
 #include <vector>
 
+#include "api/allocator_factory.h"
 #include "core/prudence_allocator.h"
 #include "fault/fault_injector.h"
 #include "page/buddy_allocator.h"
 #include "rcu/rcu_domain.h"
 #include "stats/cache_stats.h"
+#include "workload/engine.h"
+#include "workload/loadgen.h"
+#include "workload/scenario.h"
 
 namespace {
 
@@ -189,5 +193,148 @@ TEST(Determinism, DifferentSeedsDiverge)
         << "two different seeds produced identical decision streams";
 }
 #endif  // PRUDENCE_FAULT_ENABLED
+
+// -----------------------------------------------------------------
+// Scenario engine determinism (DESIGN.md §15): the op stream is a
+// pure function of (spec, shard, seed) — identical across repeated
+// runs and across engine thread counts.
+// -----------------------------------------------------------------
+
+prudence::ScenarioSpec
+quick_scenario(const char* base, std::uint64_t seed)
+{
+    prudence::ScenarioSpec s;
+    EXPECT_TRUE(prudence::stock_scenario(base, s));
+    s.duration_ms = 40;  // short schedule; unpaced runs drain it fast
+    s.seed = seed;
+    prudence::clamp_scenario(s);
+    return s;
+}
+
+TEST(ScenarioDeterminism, ArrivalScheduleIsSeedStableAndMonotone)
+{
+    prudence::ScenarioSpec spec = quick_scenario("burst", 11);
+    for (unsigned shard = 0; shard < spec.shards; ++shard) {
+        std::vector<std::uint64_t> a;
+        std::vector<std::uint64_t> b;
+        for (std::vector<std::uint64_t>* out : {&a, &b}) {
+            prudence::ArrivalGen gen(spec, shard, spec.seed);
+            std::uint64_t t = 0;
+            while (gen.next(t))
+                out->push_back(t);
+        }
+        ASSERT_EQ(a, b) << "shard " << shard;
+        ASSERT_FALSE(a.empty()) << "shard " << shard;
+        const std::uint64_t end_ns =
+            std::uint64_t{spec.duration_ms} * 1'000'000;
+        std::uint64_t prev = 0;
+        for (std::uint64_t t : a) {
+            EXPECT_GT(t, prev);
+            EXPECT_LT(t, end_ns);
+            prev = t;
+        }
+    }
+}
+
+TEST(ScenarioDeterminism, ShardScriptMatchesItsOfflineReplay)
+{
+    prudence::ScenarioSpec spec = quick_scenario("churn", 5);
+    for (unsigned shard = 0; shard < spec.shards; ++shard) {
+        prudence::ShardScript live(spec, shard, spec.seed);
+        std::uint64_t live_count = 0;
+        prudence::ScenarioRequest req;
+        while (live.next(req))
+            ++live_count;
+
+        std::uint64_t count = 0;
+        std::uint64_t fp = 0;
+        prudence::ShardScript::replay(spec, shard, spec.seed, count,
+                                      fp);
+        EXPECT_EQ(live_count, count) << "shard " << shard;
+        EXPECT_EQ(live.fingerprint(), fp) << "shard " << shard;
+    }
+}
+
+TEST(ScenarioDeterminism, KeySkewSequenceIsSeedStable)
+{
+    prudence::ScenarioSpec spec = quick_scenario("burst", 23);
+    prudence::ShardScript a(spec, 0, spec.seed);
+    prudence::ShardScript b(spec, 0, spec.seed);
+    prudence::ScenarioRequest ra;
+    prudence::ScenarioRequest rb;
+    while (true) {
+        bool more_a = a.next(ra);
+        bool more_b = b.next(rb);
+        ASSERT_EQ(more_a, more_b);
+        if (!more_a)
+            break;
+        EXPECT_EQ(ra.arrival_ns, rb.arrival_ns);
+        EXPECT_EQ(ra.kind, rb.kind);
+        EXPECT_EQ(ra.key, rb.key);
+        EXPECT_EQ(ra.conn, rb.conn);
+    }
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(ScenarioDeterminism, RunFingerprintIndependentOfThreadCount)
+{
+    prudence::ScenarioSpec spec = quick_scenario("churn", 9);
+    prudence::ScenarioRunOptions opt;
+    opt.paced = false;  // service-time mode: drain at full speed
+    opt.telemetry = false;
+
+    prudence::ScenarioResult results[2];
+    const unsigned threads[2] = {1, 4};
+    for (int i = 0; i < 2; ++i) {
+        prudence::RcuDomain rcu;
+        prudence::PrudenceConfig cfg;
+        cfg.arena_bytes = 64 << 20;
+        cfg.cpus = 4;
+        auto alloc = prudence::make_prudence_allocator(rcu, cfg);
+        opt.threads = threads[i];
+        results[i] = prudence::run_scenario(*alloc, rcu, spec, opt);
+    }
+
+    EXPECT_EQ(results[0].completed_requests,
+              results[1].completed_requests);
+    EXPECT_EQ(results[0].fingerprint, results[1].fingerprint);
+    ASSERT_EQ(results[0].shard_fingerprints.size(),
+              results[1].shard_fingerprints.size());
+    for (std::size_t i = 0; i < results[0].shard_fingerprints.size();
+         ++i)
+        EXPECT_EQ(results[0].shard_fingerprints[i],
+                  results[1].shard_fingerprints[i])
+            << "shard " << i;
+
+    // Both runs must also agree with the offline replay audit.
+    std::vector<std::uint64_t> expect_fps;
+    std::uint64_t expect_total = 0;
+    for (unsigned shard = 0; shard < spec.shards; ++shard) {
+        std::uint64_t count = 0;
+        std::uint64_t fp = 0;
+        prudence::ShardScript::replay(spec, shard, spec.seed, count,
+                                      fp);
+        expect_total += count;
+        expect_fps.push_back(fp);
+    }
+    EXPECT_EQ(results[0].completed_requests, expect_total);
+    EXPECT_EQ(results[0].shard_fingerprints, expect_fps);
+    EXPECT_EQ(results[0].fingerprint,
+              prudence::combine_fingerprints(expect_fps));
+}
+
+TEST(ScenarioDeterminism, DifferentScenarioSeedsDiverge)
+{
+    prudence::ScenarioSpec spec = quick_scenario("burst", 1);
+    std::uint64_t c1 = 0;
+    std::uint64_t f1 = 0;
+    prudence::ShardScript::replay(spec, 0, 1, c1, f1);
+    std::uint64_t c2 = 0;
+    std::uint64_t f2 = 0;
+    prudence::ShardScript::replay(spec, 0, 2, c2, f2);
+    EXPECT_NE(f1, f2)
+        << "two different scenario seeds produced identical op "
+           "streams";
+}
 
 }  // namespace

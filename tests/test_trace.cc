@@ -98,10 +98,10 @@ TEST(LatencyHistogram, SnapshotSummarizesAndResetDrains)
     // Percentile estimates stay inside the recorded value range and
     // are monotone.
     EXPECT_GE(s.p50, 64.0);  // bucket_lower(bucket_index(100))
-    EXPECT_LE(s.p99, 16383.0);
     EXPECT_LE(s.p50, s.p90);
     EXPECT_LE(s.p90, s.p99);
-    EXPECT_LE(s.p99, static_cast<double>(s.max) * 2.0);
+    EXPECT_LE(s.p99, s.p999);
+    EXPECT_LE(s.p999, static_cast<double>(s.max));
 
     // reset=true drained every bucket: a second snapshot is empty.
     HistogramSnapshot empty = h.snapshot();
@@ -109,6 +109,80 @@ TEST(LatencyHistogram, SnapshotSummarizesAndResetDrains)
     EXPECT_EQ(empty.sum, 0u);
     EXPECT_EQ(empty.max, 0u);
     EXPECT_DOUBLE_EQ(empty.p99, 0.0);
+    EXPECT_DOUBLE_EQ(empty.p999, 0.0);
+}
+
+TEST(LatencyHistogram, PercentilesNeverExceedTheObservedMax)
+{
+    // Regression: the old interpolation could report p99 > max for a
+    // single sample mid-bucket (e.g. 1017.9 for one record of 1000).
+    LatencyHistogram h;
+    h.record(1000);
+    HistogramSnapshot s = h.snapshot();
+    EXPECT_EQ(s.max, 1000u);
+    // Within-bucket interpolation stays inside [bucket_lower, max].
+    EXPECT_GE(s.p50, 512.0);
+    EXPECT_LE(s.p50, 1000.0);
+    // The tail estimates land exactly on the observed max.
+    EXPECT_DOUBLE_EQ(s.p99, 1000.0);
+    EXPECT_DOUBLE_EQ(s.p999, 1000.0);
+}
+
+TEST(LatencyHistogram, SingleValueAtBucketLowerBoundIsExact)
+{
+    // 1024 is bucket_lower(10): every interpolated estimate inside
+    // that bucket is >= 1024 and clamps to the observed max, so all
+    // percentiles are exact.
+    LatencyHistogram h;
+    h.record(1024);
+    HistogramSnapshot s = h.snapshot();
+    EXPECT_DOUBLE_EQ(s.p50, 1024.0);
+    EXPECT_DOUBLE_EQ(s.p90, 1024.0);
+    EXPECT_DOUBLE_EQ(s.p99, 1024.0);
+    EXPECT_DOUBLE_EQ(s.p999, 1024.0);
+}
+
+TEST(LatencyHistogram, UniformRampPercentilesWithinBucketResolution)
+{
+    // Values 1..1000 once each: the true quantiles are known, and the
+    // log2-bucket estimates must land within one bucket's width.
+    LatencyHistogram h;
+    for (std::uint64_t v = 1; v <= 1000; ++v)
+        h.record(v);
+    HistogramSnapshot s = h.snapshot();
+    ASSERT_EQ(s.count, 1000u);
+    EXPECT_EQ(s.max, 1000u);
+    // True p50 = 500, inside bucket [256, 511].
+    EXPECT_NEAR(s.p50, 500.0, 256.0);
+    // True p99 = 990, inside bucket [512, 1023] but capped at max.
+    EXPECT_NEAR(s.p99, 990.0, 512.0);
+    EXPECT_LE(s.p99, 1000.0);
+    // True p999 = 999; the estimate caps at the observed max.
+    EXPECT_NEAR(s.p999, 999.0, 512.0);
+    EXPECT_LE(s.p999, 1000.0);
+    EXPECT_LE(s.p50, s.p90);
+    EXPECT_LE(s.p90, s.p99);
+    EXPECT_LE(s.p99, s.p999);
+}
+
+TEST(LatencyHistogram, RankOnBucketBoundaryStaysInLowerBucket)
+{
+    // 99 fast records and one extreme outlier: the p99 rank lands
+    // exactly on the fast bucket's cumulative edge and must resolve
+    // there (frac = 1 clamps to the bucket upper bound, not the next
+    // bucket's range); only p999 may see the outlier.
+    LatencyHistogram h;
+    for (int i = 0; i < 99; ++i)
+        h.record(10);
+    h.record(1'000'000);
+    HistogramSnapshot s = h.snapshot();
+    ASSERT_EQ(s.count, 100u);
+    // p99 rank = 99 = the count of 10s: bucket [8, 15] upper bound.
+    EXPECT_LE(s.p99, 15.0);
+    EXPECT_GE(s.p99, 8.0);
+    // p999 rank = 99.9 crosses into the outlier's bucket.
+    EXPECT_GE(s.p999, 524288.0);  // bucket_lower for 1e6
+    EXPECT_LE(s.p999, 1'000'000.0);
 }
 
 TEST(LatencyHistogram, ConcurrentRecordsAreLossless)

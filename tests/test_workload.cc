@@ -11,6 +11,7 @@
 #include "rcu/rcu_domain.h"
 #include "workload/benchmarks.h"
 #include "workload/engine.h"
+#include "workload/loadgen.h"
 #include "workload/report.h"
 #include "workload/suite.h"
 
@@ -181,6 +182,121 @@ TEST(Report, TrafficThresholdFiltersQuietCaches)
     print_fig7_cache_hits(os, cmps, opts);
     // Header only, no rows.
     EXPECT_EQ(os.str().find("filp"), std::string::npos);
+}
+
+// -----------------------------------------------------------------
+// Scenario engine accounting (DESIGN.md §15): after quiesce, every
+// stock scenario leaves the allocator exactly as it found it and the
+// latency histogram accounts for every completed request.
+// -----------------------------------------------------------------
+
+class ScenarioAccounting
+    : public ::testing::TestWithParam<const char*>
+{};
+
+TEST_P(ScenarioAccounting, StockScenarioLeavesNothingBehind)
+{
+    ScenarioSpec spec;
+    ASSERT_TRUE(stock_scenario(GetParam(), spec));
+    spec.duration_ms = 40;  // short schedule, drained unpaced
+    clamp_scenario(spec);
+
+    RcuDomain rcu;
+    PrudenceConfig cfg;
+    cfg.arena_bytes = 64 << 20;
+    cfg.cpus = 2;
+    auto alloc = make_prudence_allocator(rcu, cfg);
+
+    ScenarioRunOptions opt;
+    opt.paced = false;
+    opt.telemetry = false;
+    ScenarioResult r = run_scenario(*alloc, rcu, spec, opt);
+
+    EXPECT_EQ(r.scenario, spec.name);
+    EXPECT_EQ(r.allocator_kind, "prudence");
+
+    // The engine never drops arrivals: completed == the schedule the
+    // offline replay predicts, and nothing failed.
+    std::uint64_t scheduled = 0;
+    for (unsigned shard = 0; shard < spec.shards; ++shard) {
+        std::uint64_t count = 0;
+        std::uint64_t fp = 0;
+        ShardScript::replay(spec, shard, spec.seed, count, fp);
+        scheduled += count;
+    }
+    EXPECT_GT(scheduled, 0u);
+    EXPECT_EQ(r.completed_requests, scheduled);
+    EXPECT_EQ(r.failed_requests, 0u);
+
+    // Histogram totals == completed requests, and the percentile
+    // estimates respect the observed range.
+    EXPECT_EQ(r.latency.count, r.completed_requests);
+    EXPECT_LE(r.latency.p50, r.latency.p99);
+    EXPECT_LE(r.latency.p99, r.latency.p999);
+    EXPECT_LE(r.latency.p999, static_cast<double>(r.latency.max));
+
+    // Allocator-level invariants: consistent, and no live or
+    // deferred objects survive the teardown custody chain.
+    EXPECT_EQ(alloc->validate(), "");
+    ASSERT_EQ(r.caches.size(), 3u);
+    for (const auto& s : r.caches) {
+        EXPECT_EQ(s.live_objects, 0u) << s.cache_name;
+        EXPECT_EQ(s.deferred_outstanding, 0u) << s.cache_name;
+        // Zero leaked objects: every allocation was returned.
+        EXPECT_EQ(s.alloc_calls,
+                  s.free_calls + s.deferred_free_calls)
+            << s.cache_name;
+    }
+    // Every shard allocated its connections (and freed them all,
+    // per the live_objects check above).
+    EXPECT_GE(r.caches[0].alloc_calls,
+              std::uint64_t{spec.shards} * spec.connections);
+
+    // The parseable row carries the scenario name and fingerprint.
+    std::ostringstream os;
+    print_scenario_row(os, r);
+    EXPECT_NE(os.str().find("scenario " + spec.name),
+              std::string::npos);
+    EXPECT_NE(os.str().find("fingerprint 0x"), std::string::npos);
+    std::ostringstream digest;
+    print_scenario_summary(digest, r);
+    EXPECT_NE(digest.str().find("latency_us"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(StockScenarios, ScenarioAccounting,
+                         ::testing::Values("burst", "diurnal",
+                                           "churn"));
+
+TEST(ScenarioEngine, PacedRunStaysOnScheduleAndAccountsEqually)
+{
+    // A light paced run: open-loop latency includes queueing delay
+    // behind the scheduled arrival, and wall time covers the
+    // scheduled duration.
+    ScenarioSpec spec;
+    ASSERT_TRUE(stock_scenario("diurnal", spec));
+    spec.duration_ms = 50;
+    spec.rate_rps = 2000;
+    clamp_scenario(spec);
+
+    RcuDomain rcu;
+    SlubConfig cfg;
+    cfg.arena_bytes = 64 << 20;
+    cfg.cpus = 2;
+    auto alloc = make_slub_allocator(rcu, cfg);
+
+    ScenarioRunOptions opt;
+    opt.telemetry = false;
+    ScenarioResult r = run_scenario(*alloc, rcu, spec, opt);
+
+    EXPECT_EQ(r.allocator_kind, "slub");
+    EXPECT_GT(r.completed_requests, 0u);
+    EXPECT_EQ(r.latency.count, r.completed_requests);
+    EXPECT_GE(r.wall_seconds, 0.04);
+    EXPECT_EQ(alloc->validate(), "");
+    for (const auto& s : r.caches) {
+        EXPECT_EQ(s.live_objects, 0u) << s.cache_name;
+        EXPECT_EQ(s.deferred_outstanding, 0u) << s.cache_name;
+    }
 }
 
 TEST(SpinForNs, RoughlyCalibrated)

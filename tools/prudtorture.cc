@@ -22,10 +22,18 @@
  *
  * Exit status is 0 only when every check passes.
  *
+ * `--scenario=<stock-name-or-file>` switches to scenario mode: the
+ * server-style load engine (DESIGN.md §15) replays the scenario on
+ * the chosen allocator, then the same quiesce-time invariants are
+ * checked, plus an offline per-shard op-stream replay that must
+ * reproduce the engine's request counts and fingerprints exactly.
+ *
  * Typical runs:
  *   prudtorture --duration=30 --fault-seed=42
  *   prudtorture --allocator=slub --duration=10
  *   prudtorture --expect-stall --stall-threshold-ms=200 --duration=3
+ *   prudtorture --scenario=burst
+ *   prudtorture --scenario=my.scenario --unpaced --allocator=slub
  */
 #include <algorithm>
 #include <atomic>
@@ -35,9 +43,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <random>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -52,6 +62,10 @@
 #include "slub/slub_allocator.h"
 #include "telemetry/monitor.h"
 #include "telemetry/prudstat.h"
+#include "workload/engine.h"
+#include "workload/loadgen.h"
+#include "workload/report.h"
+#include "workload/scenario.h"
 
 namespace {
 
@@ -105,6 +119,17 @@ struct Options
     /// control loop must keep accounting and the fault-decision audit
     /// clean.
     bool governor = false;
+    /// Scenario mode: stock scenario name or DSL file ("" = classic
+    /// torture threads).
+    std::string scenario;
+    /// Scenario mode: run the schedule as fast as possible instead of
+    /// pacing against the wall clock.
+    bool scenario_paced = true;
+    /// Scenario mode: engine threads (0 = one per shard).
+    unsigned scenario_threads = 0;
+    /// Scenario mode: override the spec's scheduled duration
+    /// (0 = use the spec's).
+    std::uint64_t scenario_duration_ms = 0;
 };
 
 void
@@ -165,7 +190,23 @@ usage(const char* argv0)
         "  --governor               run the adaptive reclamation "
         "governor over the\n"
         "                           torture and arm kGovernorAction "
-        "refusal faults\n",
+        "refusal faults\n"
+        "  --scenario=NAME|FILE     scenario mode: run the load engine "
+        "on a stock\n"
+        "                           scenario (burst|diurnal|churn) or "
+        "a DSL file,\n"
+        "                           then check invariants + replay "
+        "audit\n"
+        "  --unpaced                scenario mode: run the schedule "
+        "as fast as\n"
+        "                           possible (service-time latency "
+        "only)\n"
+        "  --scenario-threads=N     scenario mode: engine threads "
+        "(default: one\n"
+        "                           per shard)\n"
+        "  --scenario-duration-ms=N scenario mode: override the "
+        "spec's scheduled\n"
+        "                           duration\n",
         argv0);
 }
 
@@ -235,6 +276,15 @@ parse_options(int argc, char** argv, Options& opt)
             opt.prudstat_interval_ms = std::strtoull(v, nullptr, 0);
         else if (std::strcmp(argv[i], "--governor") == 0)
             opt.governor = true;
+        else if (flag_value(argv[i], "--scenario", &v))
+            opt.scenario = v;
+        else if (std::strcmp(argv[i], "--unpaced") == 0)
+            opt.scenario_paced = false;
+        else if (flag_value(argv[i], "--scenario-threads", &v))
+            opt.scenario_threads =
+                static_cast<unsigned>(std::atoi(v));
+        else if (flag_value(argv[i], "--scenario-duration-ms", &v))
+            opt.scenario_duration_ms = std::strtoull(v, nullptr, 0);
         else {
             usage(argv[0]);
             return false;
@@ -242,6 +292,13 @@ parse_options(int argc, char** argv, Options& opt)
     }
     if (opt.allocator != "prudence" && opt.allocator != "slub") {
         usage(argv[0]);
+        return false;
+    }
+    if (!opt.scenario.empty() &&
+        (opt.deterministic || opt.expect_stall || opt.governor)) {
+        std::fprintf(stderr,
+                     "prudtorture: --scenario excludes --deterministic, "
+                     "--expect-stall and --governor\n");
         return false;
     }
     if (opt.deterministic) {
@@ -640,6 +697,136 @@ write_report_json(const std::string& path, const Options& opt,
     return true;
 }
 
+// ---------------------------------------------------------------------
+// Scenario mode (DESIGN.md §15): run the load engine, then check the
+// same quiesce-time invariants plus the offline op-stream replay.
+// ---------------------------------------------------------------------
+
+int
+run_scenario_mode(const Options& opt, prudence::RcuDomain& domain,
+                  prudence::Allocator& alloc,
+                  prudence::SlubAllocator* slub)
+{
+    prudence::ScenarioSpec spec;
+    if (!prudence::stock_scenario(opt.scenario, spec)) {
+        std::ifstream in(opt.scenario);
+        if (!in) {
+            std::fprintf(stderr,
+                         "prudtorture: --scenario=%s is neither a stock "
+                         "scenario nor a readable file\n",
+                         opt.scenario.c_str());
+            return 2;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        prudence::ScenarioParseResult parsed =
+            prudence::parse_scenario(text.str());
+        if (!parsed.ok) {
+            std::fprintf(stderr, "prudtorture: %s: %s\n",
+                         opt.scenario.c_str(), parsed.error.c_str());
+            return 2;
+        }
+        for (const std::string& note : parsed.clamped)
+            std::fprintf(stderr, "prudtorture: %s: note: %s\n",
+                         opt.scenario.c_str(), note.c_str());
+        spec = parsed.spec;
+    }
+    if (opt.scenario_duration_ms != 0)
+        spec.duration_ms =
+            static_cast<std::uint32_t>(opt.scenario_duration_ms);
+    prudence::clamp_scenario(spec);
+
+    std::printf("prudtorture: scenario=%s allocator=%s arena=%zuMB "
+                "shards=%u duration=%ums paced=%s fault-seed=%" PRIu64
+                " faults=%s\n",
+                spec.name.c_str(), alloc.kind(), opt.arena_mb,
+                spec.shards, spec.duration_ms,
+                opt.scenario_paced ? "yes" : "no", opt.fault_seed,
+                opt.faults ? "on" : "off");
+
+    prudence::ScenarioRunOptions ropts;
+    ropts.paced = opt.scenario_paced;
+    ropts.threads = opt.scenario_threads;
+    prudence::ScenarioResult r =
+        prudence::run_scenario(alloc, domain, spec, ropts);
+    prudence::print_scenario_summary(std::cout, r);
+    prudence::print_scenario_row(std::cout, r);
+
+    // Capture the fault report before the checks disturb anything.
+    FaultInjector& fi = FaultInjector::instance();
+    auto reports = fi.report_all();
+    fi.reset(opt.fault_seed);
+
+    int failures = 0;
+    auto fail = [&failures](const char* what) {
+        std::fprintf(stderr, "prudtorture: FAILURE: %s\n", what);
+        ++failures;
+    };
+
+    // The engine quiesced at teardown: exact accounting must hold.
+    std::string verr = alloc.validate();
+    if (!verr.empty()) {
+        std::fprintf(stderr, "prudtorture: FAILURE: validate(): %s\n",
+                     verr.c_str());
+        ++failures;
+    }
+    if (!alloc.page_allocator().check_integrity())
+        fail("buddy allocator integrity check failed");
+    std::int64_t live = 0, deferred = 0;
+    for (const auto& s : alloc.snapshots()) {
+        live += s.live_objects;
+        deferred += s.deferred_outstanding;
+    }
+    if (live != 0)
+        fail("live objects remain after quiesce (leaked connections "
+             "or published objects)");
+    if (deferred != 0)
+        fail("deferred objects remain after quiesce");
+    if (slub != nullptr && slub->callback_stats().backlog != 0)
+        fail("callback backlog remains after quiesce");
+    if (r.latency.count != r.completed_requests)
+        fail("latency histogram total != completed requests");
+
+    // Offline replay audit: the op stream the engine served must be a
+    // pure function of (spec, shard, seed) — same counts, same
+    // fingerprints, whatever the engine's threads did.
+    std::uint64_t replay_total = 0;
+    bool fp_mismatch = false;
+    for (unsigned s = 0; s < spec.shards; ++s) {
+        std::uint64_t count = 0, fp = 0;
+        prudence::ShardScript::replay(spec, s, spec.seed, count, fp);
+        replay_total += count;
+        if (fp != r.shard_fingerprints[s])
+            fp_mismatch = true;
+    }
+    if (fp_mismatch)
+        fail("per-shard op-stream fingerprint diverged from offline "
+             "replay");
+    if (replay_total != r.completed_requests)
+        fail("completed requests != offline replay schedule length");
+    if (prudence::combine_fingerprints(r.shard_fingerprints) !=
+        r.fingerprint)
+        fail("combined fingerprint does not fold the shard "
+             "fingerprints");
+    std::printf("replay audit: %" PRIu64 " requests, fingerprint "
+                "0x%016" PRIx64 " (%s)\n",
+                replay_total, r.fingerprint,
+                failures == 0 ? "match" : "see failures");
+
+    int mismatches = fault_report(reports, opt.fault_seed);
+    if (mismatches != 0)
+        fail("fault decision sequence diverged from offline replay");
+
+    if (failures == 0) {
+        std::printf(
+            "\nprudtorture: SUCCESS (0 invariant violations)\n");
+        return 0;
+    }
+    std::fprintf(stderr, "\nprudtorture: %d check(s) FAILED\n",
+                 failures);
+    return 1;
+}
+
 }  // namespace
 
 int
@@ -712,6 +899,9 @@ main(int argc, char** argv)
     // Arm faults only after construction so startup itself (arena
     // reservation, cache creation) is not perturbed.
     arm_faults(opt);
+
+    if (!opt.scenario.empty())
+        return run_scenario_mode(opt, domain, *alloc, slub);
 
     // Adaptive reclamation governor (DESIGN.md §13): a private 1 ms
     // monitor feeds the stock scheme list; the OOM ladder hands off
